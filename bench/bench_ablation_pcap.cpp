@@ -1,0 +1,71 @@
+// Ablation: overlapped vs blocking partial reconfiguration (§IV.E stage 6).
+//
+// The paper's manager "does not check the completion of the PCAP transfer"
+// — it returns immediately and lets the client overlap the multi-
+// millisecond download with useful work. The ablation makes the service
+// block until the PCAP finishes, which inflates the response time by three
+// orders of magnitude and stalls every other VM (the manager runs at the
+// highest priority).
+//
+// Usage: bench_ablation_pcap [sim_ms]
+#include <cstdio>
+#include <string>
+
+#include "hwmgr/manager.hpp"
+#include "ucos/system.hpp"
+#include "util/table.hpp"
+
+using namespace minova;
+
+namespace {
+
+struct Result {
+  double exec_us;
+  double total_us;
+  u64 jobs;
+  u64 guest_ticks;
+};
+
+Result run(bool blocking, double sim_ms) {
+  ucos::SystemConfig cfg;
+  cfg.num_guests = 2;
+  cfg.seed = 42;
+  ucos::VirtualizedSystem sys(cfg);
+  sys.manager().set_blocking_reconfig(blocking);
+  sys.run_for_us(sim_ms * 1000.0);
+  Result r{};
+  auto& lat = sys.kernel().hwmgr_latencies();
+  r.exec_us = lat.exec_us.count() ? lat.exec_us.mean() : 0.0;
+  r.total_us = lat.total_us.count() ? lat.total_us.mean() : 0.0;
+  r.jobs = sys.total_thw_stats().jobs_completed;
+  for (u32 g = 0; g < sys.num_guests(); ++g)
+    r.guest_ticks += sys.guest(g).os().tick_count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sim_ms = argc > 1 ? std::stod(argv[1]) : 1000.0;
+  std::printf("=== Ablation: overlapped vs blocking PCAP reconfiguration "
+              "(SIV.E) ===\n(2 guests, %.0f ms simulated)\n\n",
+              sim_ms);
+  const Result overlap = run(false, sim_ms);
+  const Result block = run(true, sim_ms);
+
+  util::TextTable t({"metric", "overlapped (paper)", "blocking (ablation)"});
+  auto f2 = [](double v) { return util::TextTable::fmt_double(v, 2); };
+  t.add_row({"HW manager execution (us)", f2(overlap.exec_us),
+             f2(block.exec_us)});
+  t.add_row({"HW request response (us)", f2(overlap.total_us),
+             f2(block.total_us)});
+  t.add_row({"hardware jobs completed", std::to_string(overlap.jobs),
+             std::to_string(block.jobs)});
+  t.add_row({"guest ticks progressed", std::to_string(overlap.guest_ticks),
+             std::to_string(block.guest_ticks)});
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nBlocking inflates the response by %.0fx (the PCAP "
+              "transfer is ~2-5 ms at ~145 MB/s).\n",
+              block.total_us / overlap.total_us);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 9: "Performance degradation ratio of Hardware Task
+// Manager" — R_D = t_virtualization / t_native for execution and total
+// overhead, and t_nOS / t_1OS for the overheads that are zero natively
+// (manager entry/exit, PL IRQ entry), across 1-4 parallel guest OSes.
+//
+// The paper's key claims: ratios decline in growth with the OS number
+// (saturation towards a constant worst case) and the total impact stays
+// modest (~1.23x at 4 guests).
+//
+// Usage: bench_fig9 [sim_ms_per_config]
+#include <cstdio>
+#include <string>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+using namespace minova;
+
+namespace {
+std::string f3(double v) { return util::TextTable::fmt_double(v, 3); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sim_ms = argc > 1 ? std::stod(argv[1]) : 2000.0;
+  std::printf("=== Fig. 9: degradation ratio R_D of the Hardware Task "
+              "Manager ===\n(%.0f ms simulated per configuration)\n\n",
+              sim_ms);
+
+  const bench::Measurement native = bench::run_native(sim_ms, 42);
+  bench::Measurement virt[5];
+  for (u32 g = 1; g <= 4; ++g)
+    virt[g] = bench::run_virtualized(g, sim_ms, 42);
+
+  util::TextTable t({"Ratio", "Native", "1 OS", "2 OS", "3 OS", "4 OS"});
+  // Entry/exit/IRQ-entry are zero natively: normalized to the 1-OS value,
+  // exactly as the paper does for Fig. 9.
+  auto rel1 = [&](double bench::Measurement::* f, const char* name) {
+    t.add_row({name, "-", "1.000", f3(virt[2].*f / virt[1].*f),
+               f3(virt[3].*f / virt[1].*f), f3(virt[4].*f / virt[1].*f)});
+  };
+  rel1(&bench::Measurement::entry, "entry (vs 1 OS)");
+  rel1(&bench::Measurement::exit, "exit (vs 1 OS)");
+  rel1(&bench::Measurement::irq_entry, "IRQ entry (vs 1 OS)");
+  // Execution and total are normalized to native.
+  auto reln = [&](double bench::Measurement::* f, const char* name) {
+    t.add_row({name, "1.000", f3(virt[1].*f / native.*f),
+               f3(virt[2].*f / native.*f), f3(virt[3].*f / native.*f),
+               f3(virt[4].*f / native.*f)});
+  };
+  reln(&bench::Measurement::exec, "execution (vs native)");
+  reln(&bench::Measurement::total, "total (vs native)");
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::printf("\nPaper (Fig. 9 data) for comparison:\n");
+  util::TextTable p({"Ratio", "Native", "1 OS", "2 OS", "3 OS", "4 OS"});
+  p.add_row({"entry (vs 1 OS)", "-", "1.000", "1.270", "1.443", "1.655"});
+  p.add_row({"exit (vs 1 OS)", "-", "1.000", "1.255", "1.328", "1.366"});
+  p.add_row({"IRQ entry (vs 1 OS)", "-", "1.000", "1.981", "2.115", "2.221"});
+  p.add_row({"execution (vs native)", "1.000", "1.032", "1.056", "1.075",
+             "1.085"});
+  p.add_row({"total (vs native)", "1.000", "1.138", "1.191", "1.223",
+             "1.227"});
+  std::fputs(p.to_string().c_str(), stdout);
+
+  // Shape checks the reproduction must satisfy (§V.B): growth decelerates
+  // ("the trend is slowing down"), approaching a constant worst case.
+  const double d12 = virt[2].total - virt[1].total;
+  const double d34 = virt[4].total - virt[3].total;
+  std::printf("\nShape: total growth 1->2 OS = %.3f us, 3->4 OS = %.3f us "
+              "(%s)\n",
+              d12, d34,
+              d34 <= d12 + 0.35 ? "decelerating: OK" : "NOT decelerating");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Kernel footprint statistics (§V.B text claims).
+//
+// The paper reports: 25 hypercalls, a ~200 LoC guest porting patch, 5,363
+// LoC of kernel+services compiling to ~40 KB of ELF, and a 20 MB runtime
+// footprint. This bench reports the model's analogues: hypercall count,
+// modeled kernel text bytes, kernel heap / page-table consumption and the
+// physical-memory reservation per subsystem.
+//
+// Usage: bench_footprint
+#include <cstdio>
+
+#include "ucos/system.hpp"
+#include "util/table.hpp"
+
+using namespace minova;
+
+int main() {
+  ucos::SystemConfig cfg;
+  cfg.num_guests = 4;
+  ucos::VirtualizedSystem sys(cfg);
+  sys.run_for_us(50'000);  // boot + settle
+
+  std::printf("=== Mini-NOVA footprint (paper SV.B analogues) ===\n\n");
+  util::TextTable t({"quantity", "model", "paper"});
+  t.add_row({"hypercalls provided", std::to_string(nova::kNumHypercalls),
+             "25"});
+  t.add_row({"kernel text (modeled code regions)",
+             std::to_string(5 * kKiB) + " B order",
+             "~40 KB ELF (5,363 LoC)"});
+  t.add_row({"kernel heap used",
+             std::to_string(sys.kernel().heap().bytes_used()) + " B",
+             "part of 20 MB footprint"});
+  t.add_row({"kernel reservation (text+heap+bitstreams+manager)",
+             std::to_string((nova::kKernelTextSize + nova::kKernelHeapSize +
+                             nova::kBitstreamSize + nova::kManagerSize) /
+                            kMiB) +
+                 " MiB",
+             "20 MB"});
+  t.add_row({"per-VM physical slab",
+             std::to_string(nova::kVmPhysSize / kMiB) + " MiB", "n/a"});
+  t.add_row({"resident DRAM frames after boot (4 guests)",
+             std::to_string(sys.platform().dram().resident_frames() * 4) +
+                 " KiB",
+             "n/a"});
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

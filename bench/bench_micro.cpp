@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark): host-side cost of the simulator's
+// hot primitives and simulated cost of the kernel's fast paths. These guard
+// against performance regressions of the simulator itself and document the
+// modeled latencies of individual mechanisms.
+#include <benchmark/benchmark.h>
+
+#include "core/platform.hpp"
+#include "hwtask/fft_core.hpp"
+#include "mmu/page_table.hpp"
+#include "nova/kernel.hpp"
+#include "workloads/adpcm.hpp"
+
+namespace {
+
+using namespace minova;
+
+// ---- simulator primitives (host ns/op) --------------------------------------
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  cache::MemHierarchy h;
+  h.access_data(0x1000, false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(h.access_data(0x1000, false));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStreaming(benchmark::State& state) {
+  cache::MemHierarchy h;
+  paddr_t pa = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.access_data(pa, false));
+    pa += 32;
+  }
+}
+BENCHMARK(BM_CacheAccessStreaming);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  cache::Tlb tlb(128);
+  tlb.insert(cache::TlbEntry{.asid = 1, .vpage = 1, .ppage = 1, .attrs = 0,
+                             .global = false, .large = false, .valid = true,
+                             .lru = 0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tlb.lookup(1, 0x1000));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_MmuTranslateWalk(benchmark::State& state) {
+  mem::PhysMem ram(0, 16 * kMiB);
+  cache::MemHierarchy h;
+  cache::Tlb tlb(128);
+  mmu::Mmu mmu(ram, h, tlb);
+  mmu::PageTableAllocator alloc(ram, 1 * kMiB, 4 * kMiB);
+  mmu::AddressSpace as(ram, alloc);
+  as.map_page(0x40'0000, 0x80'0000, mmu::MapAttrs{});
+  mmu.set_ttbr0(as.root());
+  mmu.set_dacr(mmu::dacr_set(0, 0, mmu::DomainMode::kClient));
+  mmu.set_enabled(true);
+  for (auto _ : state) {
+    tlb.flush_all();  // force a walk every iteration
+    benchmark::DoNotOptimize(
+        mmu.translate(0x40'0000, mmu::AccessKind::kRead, false));
+  }
+}
+BENCHMARK(BM_MmuTranslateWalk);
+
+// ---- behavioral cores (host throughput) -------------------------------------
+
+void BM_FftCore1024(benchmark::State& state) {
+  hwtask::FftCore core(1024);
+  std::vector<u8> in(1024 * 8, 0x5A);
+  for (auto _ : state) benchmark::DoNotOptimize(core.process(in));
+  state.SetBytesProcessed(i64(state.iterations()) * i64(in.size()));
+}
+BENCHMARK(BM_FftCore1024);
+
+void BM_AdpcmEncodeBlock(benchmark::State& state) {
+  workloads::AdpcmCodec::State st;
+  std::vector<i16> pcm(1024);
+  for (std::size_t i = 0; i < pcm.size(); ++i) pcm[i] = i16((i * 37) % 8000);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(workloads::AdpcmCodec::encode(pcm, st));
+  state.SetBytesProcessed(i64(state.iterations()) * i64(pcm.size() * 2));
+}
+BENCHMARK(BM_AdpcmEncodeBlock);
+
+// ---- simulated fast-path latencies (reported in simulated us) ---------------
+
+void BM_SimulatedHypercallRoundTrip(benchmark::State& state) {
+  // A null-ish hypercall (register read): the paravirtualization tax.
+  Platform platform;
+  nova::Kernel kernel(platform);
+  class Idle final : public nova::GuestOs {
+    const char* guest_name() const override { return "idle"; }
+    void boot(nova::GuestContext&) override {}
+    nova::StepExit step(nova::GuestContext&, cycles_t) override {
+      return nova::StepExit::kYield;
+    }
+    void on_virq(nova::GuestContext&, u32) override {}
+  };
+  auto& pd = kernel.create_vm("vm0", 1, std::make_unique<Idle>());
+  kernel.run_for_us(100);
+  nova::GuestContext ctx(kernel, pd, platform.cpu());
+  double total_us = 0;
+  u64 n = 0;
+  for (auto _ : state) {
+    const cycles_t t0 = platform.clock().now();
+    benchmark::DoNotOptimize(
+        ctx.hypercall(nova::Hypercall::kRegRead, 0, 0));
+    total_us += platform.clock().cycles_to_us(platform.clock().now() - t0);
+    ++n;
+  }
+  state.counters["sim_us_per_call"] = total_us / double(n);
+}
+BENCHMARK(BM_SimulatedHypercallRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

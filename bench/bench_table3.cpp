@@ -1,0 +1,71 @@
+// Reproduces Table III: "Overhead of hardware task management (us)" —
+// HW Manager entry / exit, PL IRQ entry, HW Manager execution, and total
+// response, for native execution and 1-4 parallel guest OSes.
+//
+// Setup mirrors §V.B / Fig. 8: four PRRs (two FFT-capable), the FFT
+// (256..8192 points) and QAM (4/16/64) task sets, guests running GSM
+// encoding + ADPCM compression plus the T_hw requester, 33 ms time slices.
+//
+// Usage: bench_table3 [sim_ms_per_config] [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+using namespace minova;
+
+namespace {
+using Row = bench::Measurement;
+using bench::run_native;
+using bench::run_virtualized;
+
+std::string f2(double v) { return util::TextTable::fmt_double(v, 2); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sim_ms = 2000.0;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0)
+      csv = true;
+    else
+      sim_ms = std::stod(argv[i]);
+  }
+
+  std::printf("=== Table III: overhead of hardware task management (us) ===\n");
+  std::printf("(%.0f ms simulated per configuration)\n\n", sim_ms);
+
+  Row rows[5];
+  rows[0] = run_native(sim_ms, 42);
+  for (u32 g = 1; g <= 4; ++g) rows[g] = run_virtualized(g, sim_ms, 42);
+
+  util::TextTable t({"Guest OS number", "Native", "1", "2", "3", "4"});
+  auto add = [&](const char* name, double Row::* field) {
+    std::vector<std::string> cells{name};
+    for (const auto& r : rows) cells.push_back(f2(r.*field));
+    t.add_row(std::move(cells));
+  };
+  add("HW Manager entry", &Row::entry);
+  add("HW Manager exit", &Row::exit);
+  add("PL IRQ entry", &Row::irq_entry);
+  add("HW Manager execution", &Row::exec);
+  add("Total overhead", &Row::total);
+  {
+    std::vector<std::string> cells{"(samples)"};
+    for (const auto& r : rows) cells.push_back(std::to_string(r.samples));
+    t.add_row(std::move(cells));
+  }
+  std::fputs((csv ? t.to_csv() : t.to_string()).c_str(), stdout);
+
+  std::printf("\nPaper (Table III) for comparison:\n");
+  util::TextTable p({"Guest OS number", "Native", "1", "2", "3", "4"});
+  p.add_row({"HW Manager entry", "0", "0.87", "1.11", "1.26", "1.29"});
+  p.add_row({"HW Manager exit", "0", "0.72", "0.91", "0.96", "0.99"});
+  p.add_row({"PL IRQ entry", "0", "0.23", "0.46", "0.50", "0.51"});
+  p.add_row({"HW Manager execution", "15.01", "15.46", "15.83", "16.11", "16.31"});
+  p.add_row({"Total overhead", "15.01", "17.06", "17.84", "18.33", "18.57"});
+  std::fputs(p.to_string().c_str(), stdout);
+  return 0;
+}

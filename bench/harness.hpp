@@ -1,0 +1,52 @@
+// Shared measurement harness for the Table III / Fig. 9 benches: runs the
+// paper's Fig. 8 setup (native, or N paravirtualized guests) and collects
+// the hardware-task-management latencies.
+#pragma once
+
+#include <string>
+
+#include "ucos/native.hpp"
+#include "ucos/system.hpp"
+
+namespace minova::bench {
+
+struct Measurement {
+  double entry = 0, exit = 0, irq_entry = 0, exec = 0, total = 0;
+  std::size_t samples = 0;
+};
+
+inline Measurement run_native(double sim_ms, u64 seed,
+                              ucos::NativeConfig cfg = {}) {
+  Platform platform;
+  cfg.seed = seed;
+  ucos::NativeSystem sys(platform, cfg);
+  sys.run_for_us(sim_ms * 1000.0);
+  Measurement m;
+  auto& exec = sys.allocator().exec_us();
+  if (exec.count() > 0) m.exec = exec.mean();
+  m.total = m.exec;  // direct function call: no entry/exit/IRQ overhead
+  m.samples = exec.count();
+  return m;
+}
+
+inline Measurement run_virtualized(u32 guests, double sim_ms, u64 seed,
+                                   ucos::SystemConfig cfg = {}) {
+  cfg.num_guests = guests;
+  cfg.seed = seed;
+  ucos::VirtualizedSystem sys(cfg);
+  sys.run_for_us(sim_ms * 1000.0);
+  Measurement m;
+  auto& lat = sys.kernel().hwmgr_latencies();
+  if (lat.entry_us.count() > 0) {
+    m.entry = lat.entry_us.mean();
+    m.exit = lat.exit_us.mean();
+    m.exec = lat.exec_us.mean();
+    m.total = lat.total_us.mean();
+    m.samples = lat.entry_us.count();
+  }
+  if (lat.pl_irq_entry_us.count() > 0)
+    m.irq_entry = lat.pl_irq_entry_us.mean();
+  return m;
+}
+
+}  // namespace minova::bench

@@ -1,0 +1,108 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+
+namespace minova::cache {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  MINOVA_CHECK(is_pow2(cfg.line_bytes));
+  MINOVA_CHECK(cfg.ways > 0);
+  MINOVA_CHECK(cfg.size_bytes % (cfg.line_bytes * cfg.ways) == 0);
+  sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
+  MINOVA_CHECK(is_pow2(sets_));
+  line_shift_ = u32(std::countr_zero(cfg.line_bytes));
+  lines_.resize(std::size_t(sets_) * cfg.ways);
+}
+
+Cache::AccessResult Cache::access(paddr_t pa, bool write) {
+  const u32 set = set_index(pa);
+  const paddr_t tag = line_addr(pa);
+  Line* base = &lines_[std::size_t(set) * cfg_.ways];
+
+  // Hit path.
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      ln.lru = ++use_clock_;
+      ln.dirty = ln.dirty || write;
+      ++stats_.hits;
+      return AccessResult{.hit = true};
+    }
+  }
+
+  // Miss: pick an invalid way, else true-LRU victim.
+  ++stats_.misses;
+  Line* victim = nullptr;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  AccessResult res{};
+  if (victim == nullptr) {
+    if (cfg_.policy == ReplacementPolicy::kLru) {
+      victim = base;
+      for (u32 w = 1; w < cfg_.ways; ++w)
+        if (base[w].lru < victim->lru) victim = &base[w];
+    } else {
+      // 16-bit Galois LFSR, as in the A9/PL310 pseudo-random generators.
+      lfsr_ = (lfsr_ >> 1) ^ ((lfsr_ & 1u) ? 0xB400u : 0u);
+      victim = &base[lfsr_ % cfg_.ways];
+    }
+    ++stats_.evictions;
+    res.evicted_valid = true;
+    res.victim_line = victim->tag << line_shift_;
+    if (victim->dirty) {
+      res.writeback = true;
+      ++stats_.writebacks;
+    }
+  }
+  victim->valid = true;
+  victim->dirty = write;
+  victim->tag = tag;
+  victim->lru = ++use_clock_;
+  return res;
+}
+
+bool Cache::contains(paddr_t pa) const {
+  const u32 set = set_index(pa);
+  const paddr_t tag = line_addr(pa);
+  const Line* base = &lines_[std::size_t(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::invalidate_all() {
+  for (auto& ln : lines_) ln = Line{};
+}
+
+u32 Cache::flush_all() {
+  u32 dirty = 0;
+  for (auto& ln : lines_) {
+    if (ln.valid && ln.dirty) ++dirty;
+    ln = Line{};
+  }
+  stats_.writebacks += dirty;
+  ++stats_.flushes;
+  return dirty;
+}
+
+bool Cache::invalidate_line(paddr_t pa) {
+  const u32 set = set_index(pa);
+  const paddr_t tag = line_addr(pa);
+  Line* base = &lines_[std::size_t(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      const bool was_dirty = ln.dirty;
+      ln = Line{};
+      if (was_dirty) ++stats_.writebacks;
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+}  // namespace minova::cache

@@ -1,0 +1,76 @@
+// Memory hierarchy: L1 I/D -> unified L2 -> DRAM, with cycle accounting.
+//
+// Latencies approximate the Zynq-7000 PS (Cortex-A9 r3p0 + PL310 L2):
+// L1 hit ~1 cycle pipeline-visible cost, L2 hit ~8 cycles, DRAM ~60 cycles.
+// Device (MMIO) accesses bypass the caches and pay a fixed AXI round trip.
+#pragma once
+
+#include <functional>
+
+#include "cache/cache.hpp"
+#include "util/types.hpp"
+
+namespace minova::cache {
+
+struct HierarchyConfig {
+  CacheConfig l1i{.name = "L1I", .size_bytes = 32 * kKiB, .line_bytes = 32,
+                  .ways = 4, .hit_cycles = 1};
+  CacheConfig l1d{.name = "L1D", .size_bytes = 32 * kKiB, .line_bytes = 32,
+                  .ways = 4, .hit_cycles = 1};
+  CacheConfig l2{.name = "L2", .size_bytes = 512 * kKiB, .line_bytes = 32,
+                 .ways = 8, .hit_cycles = 8};
+  u32 dram_cycles = 60;       // L2 miss penalty to DDR
+  u32 device_cycles = 35;     // uncached MMIO round trip on the PS AXI
+  u32 writeback_cycles = 8;   // posted write cost charged to the evictor
+  bool enabled = true;        // caches off => every access pays DRAM cost
+};
+
+/// Pure timing/tag model; data movement happens in PhysMem independently.
+class MemHierarchy {
+ public:
+  explicit MemHierarchy(const HierarchyConfig& cfg = {});
+
+  /// Cost of a cached data access at physical address `pa`.
+  cycles_t access_data(paddr_t pa, bool write);
+
+  /// Cost of an instruction fetch at physical address `pa`.
+  cycles_t access_ifetch(paddr_t pa);
+
+  /// Cost of an uncached device access.
+  cycles_t access_device() const { return cfg_.device_cycles; }
+
+  /// Cost of a page-table-walk descriptor fetch. Cortex-A9 walks bypass L1
+  /// but may hit in the outer (L2) cache, which is how TLB-miss costs stay
+  /// moderate while still growing when guests thrash L2.
+  cycles_t access_walk(paddr_t pa);
+
+  /// Clean + invalidate both L1s and L2; returns the cycle cost (dirty
+  /// lines pay a writeback each). Models the guest-initiated cache flush
+  /// hypercall and kernel cache maintenance.
+  cycles_t flush_all();
+
+  /// Invalidate instruction cache only (e.g. after code upload).
+  cycles_t invalidate_icache();
+
+  Cache& l1i() { return l1i_; }
+  Cache& l1d() { return l1d_; }
+  Cache& l2() { return l2_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
+
+  const HierarchyConfig& config() const { return cfg_; }
+  void set_enabled(bool on) { cfg_.enabled = on; }
+
+  void reset_stats();
+
+ private:
+  cycles_t access_through(Cache& l1, paddr_t pa, bool write);
+
+  HierarchyConfig cfg_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+};
+
+}  // namespace minova::cache

@@ -1,0 +1,89 @@
+#include "cache/tlb.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::cache {
+
+Tlb::Tlb(u32 entries) { entries_.resize(entries); }
+
+bool Tlb::matches(const TlbEntry& e, u32 asid, vaddr_t va) {
+  if (!e.valid) return false;
+  if (!e.global && e.asid != asid) return false;
+  const vaddr_t vpage = va >> 12;
+  if (e.large) {
+    // 1 MB section: compare the top 12 bits (va >> 20).
+    return (e.vpage >> 8) == (vpage >> 8);
+  }
+  return e.vpage == vpage;
+}
+
+const TlbEntry* Tlb::lookup(u32 asid, vaddr_t va) {
+  for (auto& e : entries_) {
+    if (matches(e, asid, va)) {
+      e.lru = ++use_clock_;
+      ++stats_.hits;
+      return &e;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void Tlb::insert(const TlbEntry& entry) {
+  MINOVA_CHECK(entry.valid);
+  // Replace an existing entry for the same page first (re-walk after a
+  // permission update), else an invalid slot, else LRU.
+  TlbEntry* slot = nullptr;
+  for (auto& e : entries_) {
+    if (e.valid && e.vpage == entry.vpage && e.large == entry.large &&
+        (e.global || e.asid == entry.asid)) {
+      slot = &e;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    for (auto& e : entries_) {
+      if (!e.valid) {
+        slot = &e;
+        break;
+      }
+    }
+  }
+  if (slot == nullptr) {
+    slot = &entries_.front();
+    for (auto& e : entries_)
+      if (e.lru < slot->lru) slot = &e;
+  }
+  *slot = entry;
+  slot->lru = ++use_clock_;
+}
+
+void Tlb::flush_all() {
+  for (auto& e : entries_) e.valid = false;
+  ++stats_.flushes;
+}
+
+void Tlb::flush_asid(u32 asid) {
+  for (auto& e : entries_)
+    if (e.valid && !e.global && e.asid == asid) e.valid = false;
+  ++stats_.asid_flushes;
+}
+
+void Tlb::flush_va(vaddr_t va) {
+  const vaddr_t vpage = va >> 12;
+  for (auto& e : entries_) {
+    if (!e.valid) continue;
+    const bool hit =
+        e.large ? (e.vpage >> 8) == (vpage >> 8) : e.vpage == vpage;
+    if (hit) e.valid = false;
+  }
+}
+
+u32 Tlb::valid_count() const {
+  u32 n = 0;
+  for (const auto& e : entries_)
+    if (e.valid) ++n;
+  return n;
+}
+
+}  // namespace minova::cache

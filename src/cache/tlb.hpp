@@ -1,0 +1,67 @@
+// ASID-tagged TLB model.
+//
+// The paper's §III.C relies on the Cortex-A9's address-space identifiers to
+// avoid TLB flushes on VM switch: each VM gets one unique ASID, and the
+// kernel simply reloads CONTEXTIDR. The TLB model therefore keys entries on
+// (ASID, virtual page) with a global bit for kernel mappings, and supports
+// the three maintenance operations the kernel uses: flush-all, flush-by-
+// ASID and flush-by-VA.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace minova::cache {
+
+struct TlbEntry {
+  u32 asid = 0;
+  vaddr_t vpage = 0;   // va >> 12
+  paddr_t ppage = 0;   // pa >> 12
+  u32 attrs = 0;       // opaque permission summary cached by the MMU
+  bool global = false; // matches any ASID (kernel mappings)
+  bool large = false;  // 1 MB section entry (vpage/ppage are still 4K pages
+                       // of the section base; match masks low bits)
+  bool valid = false;
+  u64 lru = 0;
+};
+
+struct TlbStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 flushes = 0;
+  u64 asid_flushes = 0;
+  double miss_rate() const {
+    const u64 t = hits + misses;
+    return t == 0 ? 0.0 : double(misses) / double(t);
+  }
+};
+
+class Tlb {
+ public:
+  /// Fully-associative with `entries` entries (Cortex-A9 main TLB: 128).
+  explicit Tlb(u32 entries = 128);
+
+  /// Find a translation for (asid, va). Returns nullptr on miss.
+  const TlbEntry* lookup(u32 asid, vaddr_t va);
+
+  void insert(const TlbEntry& entry);
+
+  void flush_all();
+  void flush_asid(u32 asid);
+  void flush_va(vaddr_t va);  // all ASIDs, both entry sizes
+
+  const TlbStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  u32 capacity() const { return u32(entries_.size()); }
+  u32 valid_count() const;
+
+ private:
+  static bool matches(const TlbEntry& e, u32 asid, vaddr_t va);
+
+  std::vector<TlbEntry> entries_;
+  u64 use_clock_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace minova::cache

@@ -1,0 +1,49 @@
+#include "core/platform.hpp"
+
+namespace minova {
+
+Platform::Platform(const PlatformConfig& cfg)
+    : cfg_(cfg),
+      clock_(cfg.cpu_freq_hz),
+      dram_(mem::kDdrBase, cfg.dram_bytes),
+      ocm_(mem::kOcmBase, mem::kOcmSize),
+      gic_(mem::kNumIrqs),
+      cpu_(clock_, dram_, bus_, cfg.core),
+      ptimer_(clock_, events_, gic_),
+      gtimer_(clock_),
+      ttc_(clock_, events_, gic_),
+      library_(hwtask::TaskLibrary::evaluation_set(cfg.large_prrs,
+                                                   cfg.small_prrs)),
+      prrctl_(clock_, events_, gic_, bus_, library_,
+              pl::make_floorplan(cfg.large_prrs, cfg.small_prrs),
+              cfg.prr_ctl),
+      pcap_(clock_, events_, gic_, prrctl_, cfg.pcap),
+      uart0_(clock_, events_, gic_) {
+  bus_.add_ram(&dram_);
+  bus_.add_ram(&ocm_);
+  bus_.add_device(mem::kPrrCtrlBase,
+                  (mem::kPrrMaxRegions + 1) * mem::kPrrRegGroupStride,
+                  &prrctl_);
+  bus_.add_device(mem::kDevcfgBase, mem::kDevcfgSize, &pcap_);
+  bus_.add_device(mem::kUart0Base, mem::kUartSize, &uart0_);
+  gic_.set_irq_line([this](bool asserted) { cpu_.set_irq_line(asserted); });
+}
+
+void Platform::pump() {
+  events_.run_due(clock_.now());
+  cpu_.set_irq_line(gic_.irq_asserted());
+}
+
+bool Platform::idle_until_next_event(cycles_t limit) {
+  cycles_t deadline = 0;
+  if (!events_.next_deadline(deadline) || deadline > limit) {
+    clock_.advance_to(limit);
+    pump();
+    return false;
+  }
+  clock_.advance_to(deadline);
+  pump();
+  return true;
+}
+
+}  // namespace minova

@@ -1,0 +1,72 @@
+#include "core/uart.hpp"
+
+namespace minova::dev {
+
+Uart::Uart(sim::Clock& clock, sim::EventQueue& events, irq::Gic& gic,
+           u32 irq_id)
+    : clock_(clock), events_(events), gic_(gic), irq_id_(irq_id) {}
+
+u32 Uart::mmio_read(u32 offset) {
+  switch (offset) {
+    case kUartMode: return mode_;
+    case kUartBaudgen: return baud_cycles_;
+    case kUartStatus: {
+      u32 s = 0;
+      if (fifo_.size() >= kFifoDepth) s |= kUartStatusTxFull;
+      if (fifo_.empty()) s |= kUartStatusTxEmpty;
+      return s;
+    }
+    case kUartIer: return ier_;
+    default: return 0;
+  }
+}
+
+void Uart::mmio_write(u32 offset, u32 value) {
+  switch (offset) {
+    case kUartCtrl:
+      tx_enabled_ = (value & 1u) != 0;
+      if (value & 2u) fifo_.clear();  // flush
+      if (tx_enabled_) schedule_drain();
+      break;
+    case kUartMode:
+      mode_ = value;
+      break;
+    case kUartBaudgen:
+      baud_cycles_ = value;
+      break;
+    case kUartFifo:
+      if (fifo_.size() >= kFifoDepth) {
+        ++dropped_;  // overrun: the character is lost, as on hardware
+        break;
+      }
+      fifo_.push_back(char(value & 0xFF));
+      if (tx_enabled_) schedule_drain();
+      break;
+    case kUartIer:
+      ier_ = value & 1u;
+      break;
+    default:
+      break;
+  }
+}
+
+void Uart::schedule_drain() {
+  if (draining_ || fifo_.empty()) return;
+  draining_ = true;
+  const cycles_t delay = baud_cycles_ == 0 ? 1 : baud_cycles_;
+  events_.schedule_at(clock_.now() + delay, [this] { drain_one(); });
+}
+
+void Uart::drain_one() {
+  draining_ = false;
+  if (!tx_enabled_ || fifo_.empty()) return;
+  tx_log_.push_back(fifo_.front());
+  fifo_.pop_front();
+  if (fifo_.empty()) {
+    if (ier_ & 1u) gic_.raise(irq_id_);
+  } else {
+    schedule_drain();
+  }
+}
+
+}  // namespace minova::dev

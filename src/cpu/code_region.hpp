@@ -1,0 +1,49 @@
+// Code-footprint model.
+//
+// The simulator does not interpret ARM instructions; instead, every modeled
+// software routine (kernel entry stub, hypercall dispatcher, manager
+// service, guest loops) owns a `CodeRegion` — a real range of physical
+// addresses sized like the routine's text. "Executing" the routine fetches
+// its lines through the I-cache and charges pipeline cycles. This is what
+// makes the paper's cache-pollution effects emerge: a routine that hasn't
+// run recently misses in L1I/L2 exactly like cold kernel text on hardware.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace minova::cpu {
+
+struct CodeRegion {
+  paddr_t base = 0;
+  u32 bytes = 0;
+
+  u32 lines(u32 line_bytes = 32) const {
+    return u32(align_up(bytes, line_bytes) / line_bytes);
+  }
+  /// Rough instruction count (A32: 4 bytes/insn).
+  u32 instructions() const { return bytes / 4; }
+};
+
+/// Bump allocator laying routine text into a physical window, line-aligned
+/// so distinct routines never share cache lines.
+class CodeLayout {
+ public:
+  CodeLayout(paddr_t base, u32 size) : base_(base), size_(size), next_(base) {}
+
+  CodeRegion place(u32 bytes, u32 align = 32) {
+    const paddr_t start = paddr_t(align_up(next_, align));
+    next_ = start + u32(align_up(bytes, align));
+    return CodeRegion{start, bytes};
+  }
+
+  u32 bytes_used() const { return next_ - base_; }
+  paddr_t base() const { return base_; }
+  u32 size() const { return size_; }
+
+ private:
+  paddr_t base_;
+  u32 size_;
+  paddr_t next_;
+};
+
+}  // namespace minova::cpu

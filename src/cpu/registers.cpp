@@ -1,0 +1,53 @@
+#include "cpu/registers.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::cpu {
+
+unsigned RegisterFile::bank_of(Mode mode) {
+  switch (mode) {
+    case Mode::kUsr:
+    case Mode::kSys: return 0;
+    case Mode::kSvc: return 1;
+    case Mode::kIrq: return 2;
+    case Mode::kFiq: return 3;
+    case Mode::kUnd: return 4;
+    case Mode::kAbt: return 5;
+  }
+  return 6;
+}
+
+u32 RegisterFile::get(Mode mode, unsigned index) const {
+  MINOVA_CHECK(index <= 15);
+  if (index == 15) return pc_;
+  if (index <= 7) return shared_[index];
+  if (index <= 12) {
+    if (mode == Mode::kFiq) return fiq_high_[index - 8];
+    return shared_[index];
+  }
+  const SpLr& b = banked_[bank_of(mode)];
+  return index == 13 ? b.sp : b.lr;
+}
+
+void RegisterFile::set(Mode mode, unsigned index, u32 value) {
+  MINOVA_CHECK(index <= 15);
+  if (index == 15) {
+    pc_ = value;
+    return;
+  }
+  if (index <= 7) {
+    shared_[index] = value;
+    return;
+  }
+  if (index <= 12) {
+    if (mode == Mode::kFiq)
+      fiq_high_[index - 8] = value;
+    else
+      shared_[index] = value;
+    return;
+  }
+  SpLr& b = banked_[bank_of(mode)];
+  (index == 13 ? b.sp : b.lr) = value;
+}
+
+}  // namespace minova::cpu

@@ -1,0 +1,335 @@
+#include "hwmgr/manager.hpp"
+
+#include "mem/address_map.hpp"
+#include "pl/pcap.hpp"
+#include "pl/prr_controller.hpp"
+
+namespace minova::hwmgr {
+
+using nova::GuestContext;
+using nova::HcStatus;
+using nova::HwTaskRequest;
+using nova::PdId;
+
+ManagerService::ManagerService(nova::Kernel& kernel,
+                               const ManagerCostModel& costs)
+    : kernel_(kernel),
+      costs_(costs),
+      prr_table_(kernel.platform().prr_controller().num_prrs()),
+      code_(nova::kManagerBase + 0x10000 + 0x2c40, 64 * kKiB) {
+  rg_handle_ = code_.place(768);
+  rg_select_ = code_.place(384);
+  rg_consistency_ = code_.place(512);
+  rg_pcap_ = code_.place(320);
+  rg_release_ = code_.place(384);
+}
+
+nova::ProtectionDomain& ManagerService::install(u32 priority) {
+  pd_ = &kernel_.create_manager("hw-task-manager", priority, *this);
+  return *pd_;
+}
+
+void ManagerService::touch_task_table(GuestContext& ctx, hwtask::TaskId task) {
+  // 8-word table row: bitstream addr/size, latency, PRR list (Fig. 7).
+  const vaddr_t row = kTaskTableVa + (task % 64) * 32;
+  for (u32 w = 0; w < 8; ++w) (void)ctx.read32(row + w * 4);
+}
+
+void ManagerService::touch_prr_table(GuestContext& ctx, u32 prr_idx,
+                                     bool write) {
+  const vaddr_t row = kPrrTableVa + prr_idx * 32;
+  for (u32 w = 0; w < 8; ++w) {
+    if (write)
+      (void)ctx.write32(row + w * 4, 0);
+    else
+      (void)ctx.read32(row + w * 4);
+  }
+}
+
+int ManagerService::select_prr(GuestContext& ctx,
+                               const hwtask::TaskInfo& info, PdId requester,
+                               bool& needs_reconfig) {
+  ctx.exec(rg_select_);
+  const auto& prrctl = kernel_.platform().prr_controller();
+
+  // Refresh the table's in-flight bits from the static logic first: a PRR
+  // whose PCAP download has completed is available again.
+  for (u32 prr : info.compatible_prrs)
+    prr_table_[prr].reconfiguring = prrctl.prr(prr).reconfiguring;
+
+  // First pass (kResidentFirst only): an idle compatible PRR already
+  // configured with this task (no reconfiguration needed). Each candidate
+  // is evaluated against its table row plus a live status read from the
+  // static logic.
+  auto& core = ctx.core();
+  for (u32 prr : info.compatible_prrs) {
+    touch_prr_table(ctx, prr, /*write=*/false);
+    u32 status = 0;
+    (void)kernel_.platform().bus().read32(
+        prrctl.reg_group_pa(prr) + pl::kRegStatus, status);
+    core.spend(core.caches().access_device());
+    ctx.spend_insns(costs_.insns_select_per_prr);
+    const auto& hw = prrctl.prr(prr);
+    if (hw.busy || hw.reconfiguring) continue;
+    if (policy_ == AllocPolicy::kResidentFirst &&
+        prr_table_[prr].task == info.id && hw.loaded_task == info.id) {
+      needs_reconfig = false;
+      return int(prr);
+    }
+  }
+  // Second pass: an idle compatible PRR per the configured policy; prefer
+  // unowned regions, then reclaim from other clients. A region owned by
+  // the requester itself is fine too.
+  needs_reconfig = true;
+  // Preference order for resident-first/first-fit: a dark (never
+  // configured) cheap region spreads tasks across the fabric and maximizes
+  // later residency hits; then any cheap region; reclaiming from another
+  // client is the last resort.
+  int dark = -1, cheap_used = -1, reclaimable = -1, lru = -1;
+  for (u32 prr : info.compatible_prrs) {
+    const auto& hw = prrctl.prr(prr);
+    if (hw.busy || hw.reconfiguring) continue;
+    const bool cheap = prr_table_[prr].client == nova::kInvalidPd ||
+                       prr_table_[prr].client == requester;
+    if (cheap && hw.loaded_task == hwtask::kInvalidTask && dark < 0)
+      dark = int(prr);
+    else if (cheap && cheap_used < 0)
+      cheap_used = int(prr);
+    else if (!cheap && reclaimable < 0)
+      reclaimable = int(prr);
+    if (lru < 0 || prr_table_[prr].last_grant_seq <
+                       prr_table_[u32(lru)].last_grant_seq)
+      lru = int(prr);
+  }
+  if (policy_ == AllocPolicy::kLruRegion) return lru;
+  if (dark >= 0) return dark;
+  if (cheap_used >= 0) return cheap_used;
+  return reclaimable;
+}
+
+void ManagerService::reclaim_from(GuestContext& ctx, u32 prr_idx) {
+  ctx.exec(rg_consistency_);
+  ctx.spend_insns(costs_.insns_consistency);
+  PrrTableEntry& entry = prr_table_[prr_idx];
+  nova::ProtectionDomain* old_client = kernel_.pd_by_id(entry.client);
+  if (old_client == nullptr) return;
+  ++stats_.reclaims;
+  kernel_.platform().trace().emit(kernel_.platform().clock().now(),
+                                  sim::TraceKind::kHwReclaim, prr_idx,
+                                  entry.client);
+
+  // Read the interface register group through the static logic (manager's
+  // authority over the fabric) — 8 uncached device reads.
+  auto& core = ctx.core();
+  const auto& prrctl = kernel_.platform().prr_controller();
+  std::array<u32, 8> regs{};
+  for (u32 w = 0; w < 8; ++w) {
+    u32 v = 0;
+    (void)kernel_.platform().bus().read32(
+        prrctl.reg_group_pa(prr_idx) + w * 4, v);
+    regs[w] = v;
+    core.spend(core.caches().access_device());
+  }
+
+  // Save register contents + inconsistent flag into the old client's data
+  // section (§IV.C / Fig. 5).
+  std::array<u32, kConsistencyWords> record{};
+  record[0] = kStateInconsistent;
+  record[1] = entry.task;
+  for (u32 w = 0; w < 8; ++w) record[2 + w] = regs[w];
+  kernel_.svc_write_client_data(*pd_, entry.client,
+                                consistency_offset(old_client->hw_data_size),
+                                record);
+
+  // Demap the interface page from the old client — but only when its VA
+  // still points at *this* region (a later grant may have retargeted it).
+  if (entry.client_iface_va != 0) {
+    const auto key = std::make_pair(entry.client, entry.client_iface_va);
+    auto it = iface_map_.find(key);
+    if (it != iface_map_.end() && it->second == prr_idx) {
+      kernel_.svc_unmap_from(*pd_, entry.client, entry.client_iface_va);
+      iface_map_.erase(it);
+    }
+  }
+
+  entry.client = nova::kInvalidPd;
+  entry.client_iface_va = 0;
+}
+
+void ManagerService::program_hwmmu(GuestContext& ctx, u32 prr_idx,
+                                   paddr_t base, u32 size) {
+  const vaddr_t glob = nova::manager_pl_ctrl_va();
+  ctx.spend_insns(costs_.insns_hwmmu);
+  (void)ctx.write32(glob + pl::kGlobPrrSelect, prr_idx);
+  (void)ctx.write32(glob + pl::kGlobHwmmuBase, base);
+  (void)ctx.write32(glob + pl::kGlobHwmmuSize, size);
+}
+
+u32 ManagerService::ensure_pl_irq(GuestContext& ctx, u32 prr_idx) {
+  if (prr_table_[prr_idx].irq_index != 0xFFFF'FFFFu)
+    return prr_table_[prr_idx].irq_index;
+  const vaddr_t glob = nova::manager_pl_ctrl_va();
+  (void)ctx.write32(glob + pl::kGlobPrrSelect, prr_idx);
+  (void)ctx.write32(glob + pl::kGlobIrqAlloc, 1);
+  const auto r = ctx.read32(glob + pl::kGlobIrqAlloc);
+  prr_table_[prr_idx].irq_index = r.value;
+  return r.value;
+}
+
+bool ManagerService::launch_pcap(GuestContext& ctx, u32 prr_idx,
+                                 hwtask::TaskId task) {
+  ctx.exec(rg_pcap_);
+  ctx.spend_insns(costs_.insns_pcap);
+  const vaddr_t pcap = nova::manager_pcap_va();
+  const auto status = ctx.read32(pcap + pl::kPcapStatus);
+  if (status.value & pl::kPcapStatusBusy) return false;
+  (void)ctx.write32(pcap + pl::kPcapSrcAddr, kernel_.bitstream_pa(task));
+  (void)ctx.write32(pcap + pl::kPcapLen, kernel_.bitstream_len(task));
+  (void)ctx.write32(pcap + pl::kPcapTarget, prr_idx);
+  (void)ctx.write32(pcap + pl::kPcapTaskId, task);
+  (void)ctx.write32(pcap + pl::kPcapCtrl, 1);
+  kernel_.platform().trace().emit(kernel_.platform().clock().now(),
+                                  sim::TraceKind::kPcapStart, task, prr_idx);
+  return true;
+}
+
+HcStatus ManagerService::handle_request(GuestContext& ctx,
+                                        const HwTaskRequest& req,
+                                        u32& result_flags) {
+  ++stats_.requests;
+  ctx.exec(rg_handle_);
+  // Stage 1: read the request from the mailbox (written by the kernel).
+  for (u32 w = 0; w < 4; ++w) (void)ctx.read32(kMailboxVa + w * 4);
+
+  const hwtask::TaskInfo* info =
+      kernel_.platform().task_library().find(req.task);
+  if (info == nullptr) return HcStatus::kNotFound;
+  touch_task_table(ctx, req.task);
+  ctx.spend_insns(costs_.insns_validate);
+
+  nova::ProtectionDomain* client = kernel_.pd_by_id(req.client);
+  if (client == nullptr) return HcStatus::kInvalidArg;
+
+  // Stage 2: PRR selection.
+  bool needs_reconfig = false;
+  const int prr = select_prr(ctx, *info, req.client, needs_reconfig);
+  if (prr < 0) {
+    ++stats_.busy_rejections;
+    return HcStatus::kBusy;  // no idle PRR: applicant retries (§IV.E)
+  }
+  PrrTableEntry& entry = prr_table_[u32(prr)];
+
+  // When a PCAP transfer would be needed but the port is streaming another
+  // bitstream, report Busy rather than blocking the service.
+  if (needs_reconfig && entry.task != req.task &&
+      kernel_.platform().pcap().busy()) {
+    ++stats_.busy_rejections;
+    return HcStatus::kBusy;
+  }
+
+  // Consistency protocol when another client owns the region (§IV.C).
+  if (entry.client != nova::kInvalidPd && entry.client != req.client)
+    reclaim_from(ctx, u32(prr));
+
+  // Stage 3: map the interface page into the client. The live (client, VA)
+  // -> PRR map decides whether the page table actually needs an update.
+  const paddr_t reg_pa =
+      kernel_.platform().prr_controller().reg_group_pa(u32(prr));
+  const auto key = std::make_pair(req.client, req.iface_va);
+  auto it = iface_map_.find(key);
+  if (it == iface_map_.end() || it->second != u32(prr)) {
+    const HcStatus map_status =
+        kernel_.svc_map_into(*pd_, req.client, req.iface_va, reg_pa);
+    if (map_status != HcStatus::kSuccess) return map_status;
+    iface_map_[key] = u32(prr);
+  }
+
+  // Stage 4: load the hwMMU with the client's data section.
+  program_hwmmu(ctx, u32(prr), client->hw_data_pa, client->hw_data_size);
+
+  // PL interrupt plumbing (§IV.D): allocate a source and register it in the
+  // client's vGIC.
+  const u32 irq_idx = ensure_pl_irq(ctx, u32(prr));
+  if (irq_idx < mem::kNumPlIrqs)
+    kernel_.svc_assign_pl_irq(*pd_, req.client, mem::pl_irq_to_gic(irq_idx));
+
+  // Stage 5: reconfigure if the task is not already in the region.
+  result_flags = 0;
+  if (entry.task != req.task || needs_reconfig_forces_pcap(u32(prr), req.task)) {
+    kernel_.svc_set_pcap_owner(*pd_, req.client);
+    if (!launch_pcap(ctx, u32(prr), req.task)) {
+      ++stats_.busy_rejections;
+      return HcStatus::kBusy;
+    }
+    result_flags = 1;  // reconfig in progress
+    ++stats_.grants_with_reconfig;
+    if (blocking_reconfig_) {
+      // Ablation: poll the PCAP to completion inside the service. The
+      // paper's design explicitly avoids this ("the manager service does
+      // not check the completion of the PCAP transfer").
+      auto& plat = kernel_.platform();
+      while (plat.pcap().busy()) {
+        (void)ctx.read32(nova::manager_pcap_va() + pl::kPcapStatus);
+        plat.idle_until_next_event(plat.clock().now() +
+                                   plat.clock().us_to_cycles(50));
+      }
+      result_flags = 0;  // configured before returning
+    }
+  } else {
+    ++stats_.grants_no_reconfig;
+  }
+
+  // Mark the client's own consistency record as consistent.
+  const std::array<u32, 2> ok_record{kStateConsistent, req.task};
+  kernel_.svc_write_client_data(*pd_, req.client,
+                                consistency_offset(client->hw_data_size),
+                                ok_record);
+
+  // Stage 6: update the PRR table and return without waiting for PCAP.
+  entry.client = req.client;
+  entry.task = req.task;
+  entry.client_iface_va = req.iface_va;
+  entry.reconfiguring = result_flags != 0;
+  entry.last_grant_seq = ++grant_seq_;
+  touch_prr_table(ctx, u32(prr), /*write=*/true);
+  ctx.spend_insns(costs_.insns_table_update);
+  return HcStatus::kSuccess;
+}
+
+bool ManagerService::needs_reconfig_forces_pcap(u32 prr_idx,
+                                                hwtask::TaskId task) {
+  // The table may claim the task is present while the fabric is still dark
+  // (first use of a region): verify against the static logic.
+  const auto& hw = kernel_.platform().prr_controller().prr(prr_idx);
+  return hw.loaded_task != task;
+}
+
+HcStatus ManagerService::handle_release(GuestContext& ctx, PdId client,
+                                        hwtask::TaskId task) {
+  ctx.exec(rg_release_);
+  ctx.spend_insns(costs_.insns_release);
+  for (u32 prr = 0; prr < num_prrs(); ++prr) {
+    PrrTableEntry& entry = prr_table_[prr];
+    if (entry.client != client || entry.task != task) continue;
+    if (kernel_.platform().prr_controller().prr(prr).busy)
+      return HcStatus::kBusy;
+    if (entry.client_iface_va != 0) {
+      const auto key = std::make_pair(client, entry.client_iface_va);
+      auto it = iface_map_.find(key);
+      if (it != iface_map_.end() && it->second == prr) {
+        kernel_.svc_unmap_from(*pd_, client, entry.client_iface_va);
+        iface_map_.erase(it);
+      }
+    }
+    program_hwmmu(ctx, prr, 0, 0);
+    entry.client = nova::kInvalidPd;
+    entry.client_iface_va = 0;
+    // The configured task stays resident for cheap re-dispatch.
+    touch_prr_table(ctx, prr, /*write=*/true);
+    ++stats_.releases;
+    return HcStatus::kSuccess;
+  }
+  return HcStatus::kNotFound;
+}
+
+}  // namespace minova::hwmgr

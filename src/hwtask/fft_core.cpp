@@ -1,0 +1,75 @@
+#include "hwtask/fft_core.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace minova::hwtask {
+
+FftCore::FftCore(u32 points) : points_(points) {
+  MINOVA_CHECK(is_pow2(points));
+  MINOVA_CHECK(points >= 256 && points <= 8192);
+  name_ = "FFT-" + std::to_string(points);
+}
+
+void FftCore::fft_inplace(std::vector<std::complex<float>>& x) {
+  const std::size_t n = x.size();
+  MINOVA_CHECK(is_pow2(n));
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Iterative Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / double(len);
+    const std::complex<float> wlen(float(std::cos(ang)), float(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<float> u = x[i + k];
+        const std::complex<float> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<u8> FftCore::process(std::span<const u8> in) {
+  // Truncate to whole samples and at most one transform frame; zero-pad a
+  // short frame (streaming cores flush with zeros).
+  const u32 samples = std::min<u32>(u32(in.size() / kBytesPerSample), points_);
+  std::vector<std::complex<float>> x(points_, {0.0f, 0.0f});
+  for (u32 i = 0; i < samples; ++i) {
+    float re, im;
+    std::memcpy(&re, in.data() + i * kBytesPerSample, 4);
+    std::memcpy(&im, in.data() + i * kBytesPerSample + 4, 4);
+    x[i] = {re, im};
+  }
+  fft_inplace(x);
+  std::vector<u8> out(std::size_t(points_) * kBytesPerSample);
+  for (u32 i = 0; i < points_; ++i) {
+    const float re = x[i].real(), im = x[i].imag();
+    std::memcpy(out.data() + i * kBytesPerSample, &re, 4);
+    std::memcpy(out.data() + i * kBytesPerSample + 4, &im, 4);
+  }
+  return out;
+}
+
+cycles_t FftCore::latency_cycles(u32 in_bytes) const {
+  // Streaming core at PL clock (~150 MHz -> 4.4 CPU cycles per PL cycle):
+  // N cycles to stream in + N to transform (overlapped pipeline stages
+  // amortize to ~2N PL cycles) + fixed start overhead.
+  (void)in_bytes;
+  const cycles_t pl_cycles = cycles_t(points_) * 2 + 64;
+  return pl_cycles * 44 / 10;
+}
+
+}  // namespace minova::hwtask

@@ -1,0 +1,37 @@
+// FFT accelerator model (radix-2 decimation-in-time, complex float32).
+//
+// The paper's FFT hardware tasks span 256 to 8192 points and are "quite
+// large", fitting only PRR1/PRR2. The behavioral model computes a real FFT
+// over interleaved float32 I/Q samples; its latency model follows the
+// pipelined-streaming Xilinx FFT core: roughly N transform cycles at the
+// PL clock plus a fixed configuration overhead.
+#pragma once
+
+#include <complex>
+
+#include "hwtask/ip_core.hpp"
+
+namespace minova::hwtask {
+
+class FftCore final : public IpCore {
+ public:
+  /// `points` must be a power of two in [256, 8192].
+  explicit FftCore(u32 points);
+
+  const std::string& name() const override { return name_; }
+  std::vector<u8> process(std::span<const u8> in) override;
+  cycles_t latency_cycles(u32 in_bytes) const override;
+
+  u32 points() const { return points_; }
+
+  /// Reference transform used by `process` and by tests for validation.
+  static void fft_inplace(std::vector<std::complex<float>>& x);
+
+  static constexpr u32 kBytesPerSample = 8;  // float32 I + float32 Q
+
+ private:
+  u32 points_;
+  std::string name_;
+};
+
+}  // namespace minova::hwtask

@@ -1,0 +1,77 @@
+#include "hwtask/library.hpp"
+
+#include "hwtask/fft_core.hpp"
+#include "hwtask/qam_core.hpp"
+#include "util/assert.hpp"
+
+namespace minova::hwtask {
+
+void TaskLibrary::add(TaskInfo info) {
+  MINOVA_CHECK(info.id != kInvalidTask);
+  MINOVA_CHECK_MSG(tasks_.find(info.id) == tasks_.end(), "duplicate task id");
+  MINOVA_CHECK(info.make_core != nullptr);
+  MINOVA_CHECK(!info.compatible_prrs.empty());
+  tasks_.emplace(info.id, std::move(info));
+}
+
+const TaskInfo* TaskLibrary::find(TaskId id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<IpCore> TaskLibrary::instantiate(TaskId id) const {
+  const TaskInfo* info = find(id);
+  MINOVA_CHECK_MSG(info != nullptr, "unknown task id");
+  return info->make_core();
+}
+
+std::vector<TaskId> TaskLibrary::ids() const {
+  std::vector<TaskId> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, _] : tasks_) out.push_back(id);
+  return out;
+}
+
+TaskLibrary TaskLibrary::evaluation_set(u32 num_large, u32 num_small) {
+  MINOVA_CHECK(num_large >= 1);
+  TaskLibrary lib;
+  std::vector<u32> large_prrs;
+  for (u32 i = 0; i < num_large; ++i) large_prrs.push_back(i);
+  std::vector<u32> all_prrs = large_prrs;          // QAM fits everywhere
+  for (u32 i = 0; i < num_small; ++i) all_prrs.push_back(num_large + i);
+
+  struct FftSpec { TaskId id; u32 points; u32 bit_kib; };
+  // Partial-bitstream sizes grow with the logic the core consumes; values
+  // are in the range of real 7-series partial bitstreams for these cores.
+  const FftSpec ffts[] = {
+      {kFft256, 256, 310},  {kFft512, 512, 350},   {kFft1024, 1024, 420},
+      {kFft2048, 2048, 500}, {kFft4096, 4096, 610}, {kFft8192, 8192, 760},
+  };
+  for (const auto& f : ffts) {
+    lib.add(TaskInfo{
+        .id = f.id,
+        .name = "FFT-" + std::to_string(f.points),
+        .bitstream_bytes = f.bit_kib * kKiB,
+        .compatible_prrs = large_prrs,
+        .make_core = [points = f.points] {
+          return std::unique_ptr<IpCore>(std::make_unique<FftCore>(points));
+        }});
+  }
+
+  struct QamSpec { TaskId id; u32 order; u32 bit_kib; };
+  const QamSpec qams[] = {
+      {kQam4, 4, 120}, {kQam16, 16, 140}, {kQam64, 64, 165}};
+  for (const auto& q : qams) {
+    lib.add(TaskInfo{
+        .id = q.id,
+        .name = "QAM-" + std::to_string(q.order),
+        .bitstream_bytes = q.bit_kib * kKiB,
+        .compatible_prrs = all_prrs,
+        .make_core = [order = q.order] {
+          return std::unique_ptr<IpCore>(std::make_unique<QamCore>(order));
+        }});
+  }
+  return lib;
+}
+
+}  // namespace minova::hwtask

@@ -1,0 +1,71 @@
+#include "hwtask/qam_core.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace minova::hwtask {
+
+namespace {
+/// Inverse Gray code: level index for raw (Gray-coded) bits, so adjacent
+/// constellation points differ by exactly one input bit.
+u32 gray_to_index(u32 g) {
+  u32 v = g;
+  for (u32 shift = 1; shift < 16; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+/// Average-energy normalization for a square M-QAM: E = 2(M-1)/3 per
+/// dimension pair, where sqrt(M) PAM levels are +/-1, +/-3, ...
+float norm_factor(u32 order) {
+  return 1.0f / std::sqrt(2.0f * (float(order) - 1.0f) / 3.0f);
+}
+}  // namespace
+
+QamCore::QamCore(u32 order) : order_(order) {
+  MINOVA_CHECK(order == 4 || order == 16 || order == 64);
+  bits_per_symbol_ = u32(std::countr_zero(order));
+  name_ = "QAM-" + std::to_string(order);
+}
+
+void QamCore::map_symbol(u32 bits, u32 order, float& i_out, float& q_out) {
+  const u32 bps = u32(std::countr_zero(order));
+  const u32 half = bps / 2;
+  const u32 side = 1u << half;  // sqrt(order) PAM levels per axis
+  const u32 i_bits = bits & (side - 1);
+  const u32 q_bits = bits >> half;
+  // Gray demapping: bit pattern -> level index -> amplitude.
+  const u32 i_idx = gray_to_index(i_bits);
+  const u32 q_idx = gray_to_index(q_bits);
+  const float scale = norm_factor(order);
+  i_out = (2.0f * float(i_idx) - float(side - 1)) * scale;
+  q_out = (2.0f * float(q_idx) - float(side - 1)) * scale;
+}
+
+std::vector<u8> QamCore::process(std::span<const u8> in) {
+  const u32 total_bits = u32(in.size()) * 8;
+  const u32 symbols = total_bits / bits_per_symbol_;
+  std::vector<u8> out(std::size_t(symbols) * 8);
+  u32 bitpos = 0;
+  for (u32 s = 0; s < symbols; ++s) {
+    u32 bits = 0;
+    for (u32 b = 0; b < bits_per_symbol_; ++b, ++bitpos)
+      bits |= u32((in[bitpos / 8] >> (bitpos % 8)) & 1u) << b;
+    float iv, qv;
+    map_symbol(bits, order_, iv, qv);
+    std::memcpy(out.data() + s * 8, &iv, 4);
+    std::memcpy(out.data() + s * 8 + 4, &qv, 4);
+  }
+  return out;
+}
+
+cycles_t QamCore::latency_cycles(u32 in_bytes) const {
+  // One symbol per PL cycle after a short pipeline fill.
+  const u32 symbols = in_bytes * 8 / bits_per_symbol_;
+  const cycles_t pl_cycles = symbols + 16;
+  return pl_cycles * 44 / 10;  // PL clock ~150 MHz vs CPU 660 MHz
+}
+
+}  // namespace minova::hwtask

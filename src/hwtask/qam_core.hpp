@@ -1,0 +1,35 @@
+// QAM mapper accelerator model (QAM-4 / QAM-16 / QAM-64).
+//
+// Maps an input bit stream onto Gray-coded square-constellation I/Q symbols
+// (float32 pairs), normalized to unit average energy — the digital-
+// communication workload the paper's motivation (TDS-OFDM work, ref [2])
+// draws from. Small cores: they fit any of the four PRRs.
+#pragma once
+
+#include "hwtask/ip_core.hpp"
+
+namespace minova::hwtask {
+
+class QamCore final : public IpCore {
+ public:
+  /// `order` in {4, 16, 64}.
+  explicit QamCore(u32 order);
+
+  const std::string& name() const override { return name_; }
+  std::vector<u8> process(std::span<const u8> in) override;
+  cycles_t latency_cycles(u32 in_bytes) const override;
+
+  u32 order() const { return order_; }
+  u32 bits_per_symbol() const { return bits_per_symbol_; }
+
+  /// Map `bits` (LSB-first within each symbol) to one I/Q pair. Exposed for
+  /// the software reference implementation and tests.
+  static void map_symbol(u32 bits, u32 order, float& i_out, float& q_out);
+
+ private:
+  u32 order_;
+  u32 bits_per_symbol_;
+  std::string name_;
+};
+
+}  // namespace minova::hwtask

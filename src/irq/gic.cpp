@@ -1,0 +1,95 @@
+#include "irq/gic.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace minova::irq {
+
+Gic::Gic(u32 num_irqs) { state_.resize(num_irqs); }
+
+void Gic::enable_irq(u32 id) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].enabled = true;
+  update_line();
+}
+
+void Gic::disable_irq(u32 id) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].enabled = false;
+  update_line();
+}
+
+bool Gic::is_enabled(u32 id) const {
+  MINOVA_CHECK(id < state_.size());
+  return state_[id].enabled;
+}
+
+void Gic::set_priority(u32 id, u8 prio) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].prio = prio;
+  update_line();
+}
+
+u8 Gic::priority(u32 id) const {
+  MINOVA_CHECK(id < state_.size());
+  return state_[id].prio;
+}
+
+void Gic::raise(u32 id) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].pending = true;
+  ++raised_count_;
+  update_line();
+}
+
+bool Gic::is_pending(u32 id) const {
+  MINOVA_CHECK(id < state_.size());
+  return state_[id].pending;
+}
+
+void Gic::clear_pending(u32 id) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].pending = false;
+  update_line();
+}
+
+int Gic::highest_pending() const {
+  int best = -1;
+  for (u32 i = 0; i < state_.size(); ++i) {
+    const IrqState& s = state_[i];
+    if (!s.enabled || !s.pending || s.active) continue;
+    if (s.prio >= priority_mask_) continue;
+    if (best < 0 || s.prio < state_[u32(best)].prio) best = int(i);
+  }
+  return best;
+}
+
+bool Gic::irq_asserted() const { return highest_pending() >= 0; }
+
+u32 Gic::acknowledge() {
+  const int id = highest_pending();
+  if (id < 0) return kSpuriousIrq;
+  IrqState& s = state_[u32(id)];
+  s.pending = false;
+  s.active = true;
+  ++acked_count_;
+  update_line();
+  return u32(id);
+}
+
+void Gic::eoi(u32 id) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].active = false;
+  update_line();
+}
+
+void Gic::update_line() {
+  const bool asserted = irq_asserted();
+  if (asserted != line_state_) {
+    line_state_ = asserted;
+    if (irq_line_) irq_line_(asserted);
+  }
+}
+
+}  // namespace minova::irq

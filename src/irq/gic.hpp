@@ -1,0 +1,81 @@
+// Generic Interrupt Controller model (GIC-390 class, as integrated in the
+// Zynq-7000 MPCore).
+//
+// Models the distributor (per-interrupt enable/pending/active state and
+// priorities) and one CPU interface (acknowledge / end-of-interrupt /
+// priority masking). Mini-NOVA programs this interface directly; each vGIC
+// masks/unmasks its VM's interrupt set here on every VM switch (paper
+// §III.B) and writes EOI before injecting the virtual IRQ.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mem/address_map.hpp"
+#include "util/types.hpp"
+
+namespace minova::irq {
+
+inline constexpr u32 kSpuriousIrq = 1023;
+
+class Gic {
+ public:
+  /// `irq_line` is asserted/deasserted towards the CPU as the highest
+  /// pending-and-enabled priority rises above/falls below the mask.
+  using IrqLine = std::function<void(bool)>;
+
+  explicit Gic(u32 num_irqs = mem::kNumIrqs);
+
+  void set_irq_line(IrqLine line) { irq_line_ = std::move(line); }
+
+  // ---- Distributor ----
+  void enable_irq(u32 id);
+  void disable_irq(u32 id);
+  bool is_enabled(u32 id) const;
+  void set_priority(u32 id, u8 prio);  // lower value = higher priority
+  u8 priority(u32 id) const;
+
+  /// Device-side assertion (edge semantics: latches pending).
+  void raise(u32 id);
+  bool is_pending(u32 id) const;
+  void clear_pending(u32 id);
+
+  // ---- CPU interface ----
+  /// Acknowledge the highest-priority pending enabled interrupt: marks it
+  /// active, clears pending, returns its ID (or kSpuriousIrq).
+  u32 acknowledge();
+  /// End of interrupt: drops the active state.
+  void eoi(u32 id);
+  void set_priority_mask(u8 mask) { priority_mask_ = mask; update_line(); }
+  u8 priority_mask() const { return priority_mask_; }
+
+  /// True when some enabled interrupt is pending above the mask (the state
+  /// of the nIRQ line towards the core).
+  bool irq_asserted() const;
+
+  u32 num_irqs() const { return u32(state_.size()); }
+
+  // Stats for tests.
+  u64 raised_count() const { return raised_count_; }
+  u64 acked_count() const { return acked_count_; }
+
+ private:
+  struct IrqState {
+    bool enabled = false;
+    bool pending = false;
+    bool active = false;
+    u8 prio = 0xA0;
+  };
+
+  int highest_pending() const;  // index or -1
+  void update_line();
+
+  std::vector<IrqState> state_;
+  u8 priority_mask_ = 0xFF;  // 0xFF = no masking
+  IrqLine irq_line_;
+  bool line_state_ = false;
+  u64 raised_count_ = 0;
+  u64 acked_count_ = 0;
+};
+
+}  // namespace minova::irq

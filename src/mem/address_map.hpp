@@ -1,0 +1,78 @@
+// Zynq-7000 physical address map (subset modeled by the simulator).
+//
+// Values follow Xilinx UG585 ("Zynq-7000 All Programmable SoC Technical
+// Reference Manual"), the same document the paper cites for platform
+// behaviour. Only regions the Mini-NOVA stack touches are modeled.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace minova::mem {
+
+// ---- DDR DRAM (evaluation board: 512 MB) ----------------------------------
+inline constexpr paddr_t kDdrBase = 0x0000'0000u;
+inline constexpr u32 kDdrSize = 512u * kMiB;
+
+// ---- On-chip memory (256 KB, mapped high) ----------------------------------
+inline constexpr paddr_t kOcmBase = 0xFFFC'0000u;
+inline constexpr u32 kOcmSize = 256u * kKiB;
+
+// ---- PL AXI_GP windows ------------------------------------------------------
+// General-purpose master port 0: PRR controller register groups live here.
+inline constexpr paddr_t kAxiGp0Base = 0x4000'0000u;
+inline constexpr u32 kAxiGp0Size = 0x4000'0000u;  // 1 GB window
+inline constexpr paddr_t kAxiGp1Base = 0x8000'0000u;
+inline constexpr u32 kAxiGp1Size = 0x4000'0000u;
+
+// PRR controller block inside GP0. Each PRR's register group is placed on
+// its own 4 KB small page so it can be mapped per-VM (paper §IV.C).
+inline constexpr paddr_t kPrrCtrlBase = kAxiGp0Base;          // 0x4000'0000
+inline constexpr u32 kPrrRegGroupStride = 4u * kKiB;          // one page each
+inline constexpr u32 kPrrMaxRegions = 8;
+// Global (manager-only) control page after the per-PRR pages.
+inline constexpr paddr_t kPrrGlobalRegsBase =
+    kPrrCtrlBase + kPrrMaxRegions * kPrrRegGroupStride;
+
+// ---- PS peripherals ---------------------------------------------------------
+inline constexpr paddr_t kUart0Base = 0xE000'0000u;
+inline constexpr paddr_t kUart1Base = 0xE000'1000u;
+inline constexpr u32 kUartSize = 4u * kKiB;
+
+inline constexpr paddr_t kDevcfgBase = 0xF800'7000u;  // PCAP lives here
+inline constexpr u32 kDevcfgSize = 4u * kKiB;
+
+inline constexpr paddr_t kTtc0Base = 0xF800'1000u;
+inline constexpr u32 kTtcSize = 4u * kKiB;
+
+// MPCore private memory region: SCU, GIC CPU interface, global timer,
+// private timer/watchdog, GIC distributor.
+inline constexpr paddr_t kMpcorePrivBase = 0xF8F0'0000u;
+inline constexpr paddr_t kGicCpuIfaceBase = 0xF8F0'0100u;
+inline constexpr paddr_t kGlobalTimerBase = 0xF8F0'0200u;
+inline constexpr paddr_t kPrivateTimerBase = 0xF8F0'0600u;
+inline constexpr paddr_t kGicDistBase = 0xF8F0'1000u;
+inline constexpr u32 kGicDistSize = 4u * kKiB;
+
+// ---- Interrupt IDs (GIC) ----------------------------------------------------
+// PPIs (banked per CPU)
+inline constexpr u32 kIrqGlobalTimer = 27;
+inline constexpr u32 kIrqPrivateTimer = 29;
+inline constexpr u32 kIrqPrivateWdt = 30;
+// SPIs
+inline constexpr u32 kIrqTtc0_0 = 42;
+inline constexpr u32 kIrqDevcfg = 40;  // PCAP / DMA done
+inline constexpr u32 kIrqUart0 = 59;
+inline constexpr u32 kIrqUart1 = 82;
+// PL-to-PS interrupts: Zynq provides IRQF2P[15:0] as two banks of 8 SPIs.
+inline constexpr u32 kIrqPl0Base = 61;  // PL IRQs 0..7  -> SPI 61..68
+inline constexpr u32 kIrqPl1Base = 84;  // PL IRQs 8..15 -> SPI 84..91
+inline constexpr u32 kNumPlIrqs = 16;
+
+inline constexpr u32 kNumIrqs = 96;
+
+/// Map PL interrupt index (0..15) to its GIC SPI number.
+constexpr u32 pl_irq_to_gic(u32 pl_index) {
+  return pl_index < 8 ? kIrqPl0Base + pl_index : kIrqPl1Base + (pl_index - 8);
+}
+
+}  // namespace minova::mem

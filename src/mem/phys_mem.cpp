@@ -1,0 +1,104 @@
+#include "mem/phys_mem.hpp"
+
+#include <cstring>
+
+namespace minova::mem {
+
+PhysMem::PhysMem(paddr_t base, u32 size) : base_(base), size_(size) {
+  MINOVA_CHECK(is_aligned(base, kFrameSize));
+  MINOVA_CHECK(is_aligned(size, kFrameSize));
+  frames_.resize(size / kFrameSize);
+}
+
+u8* PhysMem::frame_for(paddr_t pa) const {
+  MINOVA_CHECK_MSG(contains(pa), "physical access outside RAM window");
+  const u32 idx = (pa - base_) / kFrameSize;
+  if (!frames_[idx]) {
+    frames_[idx] = std::make_unique<u8[]>(kFrameSize);
+    std::memset(frames_[idx].get(), 0, kFrameSize);
+  }
+  return frames_[idx].get();
+}
+
+namespace {
+// Accesses are naturally aligned in the simulated software, so a single
+// frame always covers a scalar access.
+template <typename T>
+T load(const u8* frame, u32 off) {
+  T v;
+  std::memcpy(&v, frame + off, sizeof(T));
+  return v;
+}
+template <typename T>
+void store(u8* frame, u32 off, T v) {
+  std::memcpy(frame + off, &v, sizeof(T));
+}
+}  // namespace
+
+#define MINOVA_SCALAR_OFF(pa) ((pa - base_) % kFrameSize)
+
+u8 PhysMem::read8(paddr_t pa) const {
+  return load<u8>(frame_for(pa), MINOVA_SCALAR_OFF(pa));
+}
+u16 PhysMem::read16(paddr_t pa) const {
+  MINOVA_CHECK(is_aligned(pa, 2));
+  return load<u16>(frame_for(pa), MINOVA_SCALAR_OFF(pa));
+}
+u32 PhysMem::read32(paddr_t pa) const {
+  MINOVA_CHECK(is_aligned(pa, 4));
+  return load<u32>(frame_for(pa), MINOVA_SCALAR_OFF(pa));
+}
+u64 PhysMem::read64(paddr_t pa) const {
+  MINOVA_CHECK(is_aligned(pa, 8));
+  return load<u64>(frame_for(pa), MINOVA_SCALAR_OFF(pa));
+}
+void PhysMem::write8(paddr_t pa, u8 v) {
+  store<u8>(frame_for(pa), MINOVA_SCALAR_OFF(pa), v);
+}
+void PhysMem::write16(paddr_t pa, u16 v) {
+  MINOVA_CHECK(is_aligned(pa, 2));
+  store<u16>(frame_for(pa), MINOVA_SCALAR_OFF(pa), v);
+}
+void PhysMem::write32(paddr_t pa, u32 v) {
+  MINOVA_CHECK(is_aligned(pa, 4));
+  store<u32>(frame_for(pa), MINOVA_SCALAR_OFF(pa), v);
+}
+void PhysMem::write64(paddr_t pa, u64 v) {
+  MINOVA_CHECK(is_aligned(pa, 8));
+  store<u64>(frame_for(pa), MINOVA_SCALAR_OFF(pa), v);
+}
+
+#undef MINOVA_SCALAR_OFF
+
+void PhysMem::read_block(paddr_t pa, std::span<u8> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const paddr_t cur = pa + paddr_t(done);
+    const u32 off = (cur - base_) % kFrameSize;
+    const std::size_t chunk =
+        std::min<std::size_t>(kFrameSize - off, out.size() - done);
+    std::memcpy(out.data() + done, frame_for(cur) + off, chunk);
+    done += chunk;
+  }
+}
+
+void PhysMem::write_block(paddr_t pa, std::span<const u8> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const paddr_t cur = pa + paddr_t(done);
+    const u32 off = (cur - base_) % kFrameSize;
+    const std::size_t chunk =
+        std::min<std::size_t>(kFrameSize - off, in.size() - done);
+    std::memcpy(frame_for(cur) + off, in.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+std::size_t PhysMem::resident_frames() const {
+  std::size_t n = 0;
+  for (const auto& f : frames_)
+    if (f) ++n;
+  return n;
+}
+
+}  // namespace minova::mem

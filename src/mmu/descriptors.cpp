@@ -1,0 +1,80 @@
+#include "mmu/descriptors.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::mmu {
+
+namespace {
+constexpr u32 ap_low(Ap ap) { return u32(ap) & 0b11u; }
+constexpr u32 ap_x(Ap ap) { return (u32(ap) >> 2) & 1u; }
+constexpr Ap ap_from(u32 low, u32 apx) { return Ap((apx << 2) | low); }
+}  // namespace
+
+u32 L1Desc::encode() const {
+  switch (type) {
+    case L1Type::kFault:
+      return 0;
+    case L1Type::kPageTable:
+      MINOVA_CHECK(is_aligned(l2_base, 1024));
+      return (l2_base & 0xFFFF'FC00u) | (domain << 5) | 0b01u;
+    case L1Type::kSection: {
+      MINOVA_CHECK(is_aligned(section_base, kSectionSize));
+      u32 raw = (section_base & 0xFFF0'0000u) | 0b10u;
+      raw |= (domain & 0xFu) << 5;
+      raw |= ap_low(ap) << 10;
+      raw |= ap_x(ap) << 15;
+      raw |= (ng ? 1u : 0u) << 17;
+      raw |= (xn ? 1u : 0u) << 4;
+      return raw;
+    }
+  }
+  MINOVA_UNREACHABLE("bad L1 type");
+}
+
+L1Desc L1Desc::decode(u32 raw) {
+  L1Desc d;
+  switch (raw & 0b11u) {
+    case 0b00:
+      d.type = L1Type::kFault;
+      break;
+    case 0b01:
+      d.type = L1Type::kPageTable;
+      d.l2_base = raw & 0xFFFF'FC00u;
+      d.domain = bits(raw, 8, 5);
+      break;
+    case 0b10:
+    case 0b11:  // supersections unsupported; treated as section
+      d.type = L1Type::kSection;
+      d.section_base = raw & 0xFFF0'0000u;
+      d.domain = bits(raw, 8, 5);
+      d.ap = ap_from(bits(raw, 11, 10), bit(raw, 15) ? 1 : 0);
+      d.ng = bit(raw, 17);
+      d.xn = bit(raw, 4);
+      break;
+  }
+  return d;
+}
+
+u32 L2Desc::encode() const {
+  if (!valid) return 0;
+  MINOVA_CHECK(is_aligned(page_base, kPageSize));
+  u32 raw = (page_base & 0xFFFF'F000u) | 0b10u;
+  raw |= (xn ? 1u : 0u);  // XN is bit 0 for small pages
+  raw |= ap_low(ap) << 4;
+  raw |= ap_x(ap) << 9;
+  raw |= (ng ? 1u : 0u) << 11;
+  return raw;
+}
+
+L2Desc L2Desc::decode(u32 raw) {
+  L2Desc d;
+  if ((raw & 0b10u) == 0) return d;  // fault or large page (unsupported)
+  d.valid = true;
+  d.page_base = raw & 0xFFFF'F000u;
+  d.xn = bit(raw, 0);
+  d.ap = ap_from(bits(raw, 5, 4), bit(raw, 9) ? 1 : 0);
+  d.ng = bit(raw, 11);
+  return d;
+}
+
+}  // namespace minova::mmu

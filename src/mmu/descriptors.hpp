@@ -1,0 +1,96 @@
+// ARMv7-A short-descriptor translation table formats (VMSAv7).
+//
+// Mini-NOVA builds real first/second-level tables in simulated DRAM; the
+// walker in mmu.cpp decodes these exact bit layouts. Keeping the encoding
+// faithful means the per-VM isolation and the PRR-interface 4 KB mapping
+// trick (paper §IV.C) are exercised at the descriptor level.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace minova::mmu {
+
+// Access permissions, AP[2:0] with the APX bit folded in as AP[2]
+// (SCTLR.AFE=0 encoding).
+enum class Ap : u8 {
+  kNoAccess = 0b000,       // all accesses fault
+  kPrivOnly = 0b001,       // PL1 RW, PL0 none
+  kPrivRwUserRo = 0b010,   // PL1 RW, PL0 read-only
+  kFullAccess = 0b011,     // PL1 RW, PL0 RW
+  kPrivRo = 0b101,         // PL1 RO, PL0 none
+  kReadOnly = 0b111,       // PL1 RO, PL0 RO
+};
+
+/// Evaluate an AP encoding. Returns true when the access is permitted.
+constexpr bool ap_permits(Ap ap, bool privileged, bool write) {
+  switch (ap) {
+    case Ap::kNoAccess: return false;
+    case Ap::kPrivOnly: return privileged;
+    case Ap::kPrivRwUserRo: return privileged || !write;
+    case Ap::kFullAccess: return true;
+    case Ap::kPrivRo: return privileged && !write;
+    case Ap::kReadOnly: return !write;
+  }
+  return false;
+}
+
+// Domain access control (DACR field values, paper Table II).
+enum class DomainMode : u8 {
+  kNoAccess = 0b00,  // any access generates a domain fault
+  kClient = 0b01,    // accesses checked against AP bits
+  kManager = 0b11,   // accesses never checked (check-free)
+};
+
+/// 32-bit DACR register helpers: 16 domains x 2 bits.
+constexpr u32 dacr_set(u32 dacr, u32 domain, DomainMode mode) {
+  const u32 shift = domain * 2;
+  return (dacr & ~(0b11u << shift)) | (u32(mode) << shift);
+}
+constexpr DomainMode dacr_get(u32 dacr, u32 domain) {
+  return DomainMode((dacr >> (domain * 2)) & 0b11u);
+}
+
+// ---- First-level descriptors (one per 1 MB of VA; 4096-entry table) --------
+
+enum class L1Type : u8 { kFault = 0b00, kPageTable = 0b01, kSection = 0b10 };
+
+struct L1Desc {
+  L1Type type = L1Type::kFault;
+  // kPageTable
+  paddr_t l2_base = 0;  // 1 KB aligned
+  // kSection
+  paddr_t section_base = 0;  // 1 MB aligned
+  Ap ap = Ap::kNoAccess;
+  bool ng = false;  // non-global (ASID-tagged)
+  bool xn = false;
+  u32 domain = 0;
+
+  u32 encode() const;
+  static L1Desc decode(u32 raw);
+};
+
+// ---- Second-level descriptors (small pages; 256-entry tables) ---------------
+
+struct L2Desc {
+  bool valid = false;
+  paddr_t page_base = 0;  // 4 KB aligned
+  Ap ap = Ap::kNoAccess;
+  bool ng = false;
+  bool xn = false;
+
+  u32 encode() const;
+  static L2Desc decode(u32 raw);
+};
+
+inline constexpr u32 kL1Entries = 4096;
+inline constexpr u32 kL1TableBytes = kL1Entries * 4;  // 16 KB
+inline constexpr u32 kL2Entries = 256;
+inline constexpr u32 kL2TableBytes = kL2Entries * 4;  // 1 KB
+
+inline constexpr u32 kSectionSize = 1u * kMiB;
+inline constexpr u32 kPageSize = 4u * kKiB;
+
+constexpr u32 l1_index(vaddr_t va) { return va >> 20; }
+constexpr u32 l2_index(vaddr_t va) { return (va >> 12) & 0xFFu; }
+
+}  // namespace minova::mmu

@@ -1,0 +1,132 @@
+#include "mmu/mmu.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::mmu {
+
+Mmu::Mmu(mem::PhysMem& table_ram, cache::MemHierarchy& hierarchy,
+         cache::Tlb& tlb)
+    : ram_(table_ram), hierarchy_(hierarchy), tlb_(tlb) {}
+
+u32 Mmu::pack_attrs(Ap ap, u32 domain, bool xn) {
+  return (u32(ap) & 0x7u) | ((domain & 0xFu) << 3) | ((xn ? 1u : 0u) << 7);
+}
+
+Mmu::WalkOut Mmu::walk(vaddr_t va, cycles_t& cost) {
+  WalkOut out;
+  const paddr_t l1_slot = ttbr0_ + l1_index(va) * 4;
+  cost += hierarchy_.access_walk(l1_slot);
+  const L1Desc l1 = L1Desc::decode(ram_.read32(l1_slot));
+  switch (l1.type) {
+    case L1Type::kFault:
+      out.fault = FaultType::kTranslationL1;
+      return out;
+    case L1Type::kSection: {
+      out.ok = true;
+      out.entry.valid = true;
+      out.entry.large = true;
+      out.entry.asid = asid_;
+      out.entry.global = !l1.ng;
+      // Store the section base pages so offset math is uniform with small
+      // pages (the Tlb matches sections on the top 12 VA bits).
+      out.entry.vpage = (va >> 20) << 8;
+      out.entry.ppage = l1.section_base >> 12;
+      out.entry.attrs = pack_attrs(l1.ap, l1.domain, l1.xn);
+      return out;
+    }
+    case L1Type::kPageTable: {
+      const paddr_t l2_slot = l1.l2_base + l2_index(va) * 4;
+      cost += hierarchy_.access_walk(l2_slot);
+      const L2Desc l2 = L2Desc::decode(ram_.read32(l2_slot));
+      if (!l2.valid) {
+        out.fault = FaultType::kTranslationL2;
+        return out;
+      }
+      out.ok = true;
+      out.entry.valid = true;
+      out.entry.large = false;
+      out.entry.asid = asid_;
+      out.entry.global = !l2.ng;
+      out.entry.vpage = va >> 12;
+      out.entry.ppage = l2.page_base >> 12;
+      out.entry.attrs = pack_attrs(l2.ap, l1.domain, l2.xn);
+      return out;
+    }
+  }
+  out.fault = FaultType::kTranslationL1;
+  return out;
+}
+
+TranslateResult Mmu::translate(vaddr_t va, AccessKind kind, bool privileged) {
+  TranslateResult res;
+  if (!enabled_) {
+    res.pa = va;  // flat mapping with MMU off
+    return res;
+  }
+
+  const cache::TlbEntry* entry = tlb_.lookup(asid_, va);
+  u32 attrs;
+  paddr_t pa;
+  if (entry != nullptr) {
+    res.tlb_hit = true;
+    attrs = entry->attrs;
+    if (entry->large) {
+      pa = (entry->ppage << 12) | (va & (kSectionSize - 1));
+    } else {
+      pa = (entry->ppage << 12) | (va & (kPageSize - 1));
+    }
+  } else {
+    WalkOut w = walk(va, res.cost);
+    if (!w.ok) {
+      res.fault = Fault{.type = w.fault,
+                        .address = va,
+                        .domain = 0,
+                        .write = kind == AccessKind::kWrite,
+                        .instruction = kind == AccessKind::kExecute};
+      return res;
+    }
+    tlb_.insert(w.entry);
+    attrs = w.entry.attrs;
+    if (w.entry.large) {
+      pa = (w.entry.ppage << 12) | (va & (kSectionSize - 1));
+    } else {
+      pa = (w.entry.ppage << 12) | (va & (kPageSize - 1));
+    }
+  }
+
+  // Domain check against the *current* DACR (per-access, even on TLB hit).
+  const u32 domain = attrs_domain(attrs);
+  const DomainMode dm = dacr_get(dacr_, domain);
+  if (dm == DomainMode::kNoAccess) {
+    res.fault = Fault{.type = FaultType::kDomain,
+                      .address = va,
+                      .domain = domain,
+                      .write = kind == AccessKind::kWrite,
+                      .instruction = kind == AccessKind::kExecute};
+    return res;
+  }
+  if (dm == DomainMode::kClient) {
+    if (kind == AccessKind::kExecute && attrs_xn(attrs)) {
+      res.fault = Fault{.type = FaultType::kExecuteNever,
+                        .address = va,
+                        .domain = domain,
+                        .write = false,
+                        .instruction = true};
+      return res;
+    }
+    const bool write = kind == AccessKind::kWrite;
+    if (!ap_permits(attrs_ap(attrs), privileged, write)) {
+      res.fault = Fault{.type = FaultType::kPermission,
+                        .address = va,
+                        .domain = domain,
+                        .write = write,
+                        .instruction = kind == AccessKind::kExecute};
+      return res;
+    }
+  }
+  // Manager domain: no checks.
+  res.pa = pa;
+  return res;
+}
+
+}  // namespace minova::mmu

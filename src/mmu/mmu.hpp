@@ -1,0 +1,83 @@
+// The MMU proper: TLB-fronted two-level table walker with DACR and AP
+// permission checking, plus the CP15-visible state (TTBR0, DACR,
+// CONTEXTIDR/ASID, enable).
+//
+// Permission evaluation happens on every access against the *current* DACR,
+// even on TLB hits — this is the hardware property Mini-NOVA's guest-kernel
+// vs guest-user separation exploits (paper Table II): the kernel flips a
+// domain between Client and NoAccess on guest privilege changes without
+// touching the TLB.
+#pragma once
+
+#include "cache/hierarchy.hpp"
+#include "cache/tlb.hpp"
+#include "mem/phys_mem.hpp"
+#include "mmu/descriptors.hpp"
+#include "mmu/fault.hpp"
+#include "util/types.hpp"
+
+namespace minova::mmu {
+
+enum class AccessKind : u8 { kRead, kWrite, kExecute };
+
+struct TranslateResult {
+  paddr_t pa = 0;
+  Fault fault;  // fault.type == kNone on success
+  cycles_t cost = 0;  // walk cost (0 on TLB hit)
+  bool tlb_hit = false;
+
+  bool ok() const { return !fault.is_fault(); }
+};
+
+class Mmu {
+ public:
+  Mmu(mem::PhysMem& table_ram, cache::MemHierarchy& hierarchy,
+      cache::Tlb& tlb);
+
+  // ---- CP15-visible state ----
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void set_ttbr0(paddr_t root) { ttbr0_ = root; }
+  paddr_t ttbr0() const { return ttbr0_; }
+  void set_dacr(u32 dacr) { dacr_ = dacr; }
+  u32 dacr() const { return dacr_; }
+  void set_asid(u32 asid) { asid_ = asid & 0xFFu; }
+  u32 asid() const { return asid_; }
+
+  // ---- TLB maintenance (driven by CP15 c8 operations) ----
+  void tlb_flush_all() { tlb_.flush_all(); }
+  void tlb_flush_asid(u32 asid) { tlb_.flush_asid(asid); }
+  void tlb_flush_va(vaddr_t va) { tlb_.flush_va(va); }
+
+  /// Translate `va` for an access of `kind` at the given privilege.
+  /// On success, `cost` covers TLB miss walk descriptor fetches only; the
+  /// caller charges the actual data/instruction access separately.
+  TranslateResult translate(vaddr_t va, AccessKind kind, bool privileged);
+
+  cache::Tlb& tlb() { return tlb_; }
+
+ private:
+  struct WalkOut {
+    bool ok = false;
+    FaultType fault = FaultType::kNone;
+    cache::TlbEntry entry;
+  };
+  WalkOut walk(vaddr_t va, cycles_t& cost);
+
+  // Attribute summary packed into TlbEntry::attrs.
+  static u32 pack_attrs(Ap ap, u32 domain, bool xn);
+  static Ap attrs_ap(u32 a) { return Ap(a & 0x7u); }
+  static u32 attrs_domain(u32 a) { return (a >> 3) & 0xFu; }
+  static bool attrs_xn(u32 a) { return ((a >> 7) & 1u) != 0; }
+
+  mem::PhysMem& ram_;
+  cache::MemHierarchy& hierarchy_;
+  cache::Tlb& tlb_;
+
+  bool enabled_ = false;
+  paddr_t ttbr0_ = 0;
+  u32 dacr_ = 0;
+  u32 asid_ = 0;
+};
+
+}  // namespace minova::mmu

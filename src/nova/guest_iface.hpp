@@ -1,0 +1,102 @@
+// The kernel <-> guest execution interface.
+//
+// Guests (paravirtualized OSes and user services) are modeled as C++
+// objects the kernel drives in bounded steps; traps occur at well-defined
+// points exactly as in a paravirtualized system, where every sensitive
+// operation is an explicit hypercall. The `GuestContext` a guest receives
+// is its only window onto the platform: user-mode memory accesses through
+// the current address space, the hypercall gate, and virtual time.
+#pragma once
+
+#include <functional>
+
+#include "cpu/core.hpp"
+#include "nova/hypercall.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+class Kernel;
+class ProtectionDomain;
+
+/// Why a guest returned from `step` before exhausting its budget.
+enum class StepExit : u8 {
+  kBudget = 0,   // consumed the whole budget (still runnable)
+  kYield,        // nothing to do until the next tick/IRQ
+  kResched,      // a hypercall requested rescheduling
+  kHalt,         // guest finished for good
+};
+
+class GuestContext {
+ public:
+  GuestContext(Kernel& kernel, ProtectionDomain& pd, cpu::Core& core)
+      : kernel_(kernel), pd_(pd), core_(core) {}
+
+  /// Issue a hypercall: full SVC entry/exit cost plus handler execution.
+  HypercallResult hypercall(Hypercall number, u32 r0 = 0, u32 r1 = 0,
+                            u32 r2 = 0, u32 r3 = 0);
+
+  /// User-mode memory access in the VM's address space. A fault traps to
+  /// the kernel (data abort) which, per the paper's model, forwards it to
+  /// the guest; the access returns failure here.
+  cpu::Core::MemResult read32(vaddr_t va) { return core_.vread32(va); }
+  cpu::Core::MemResult write32(vaddr_t va, u32 v) {
+    return core_.vwrite32(va, v);
+  }
+  cpu::Core::MemResult read_block(vaddr_t va, std::span<u8> out) {
+    return core_.vread_block(va, out);
+  }
+  cpu::Core::MemResult write_block(vaddr_t va, std::span<const u8> in) {
+    return core_.vwrite_block(va, in);
+  }
+
+  /// Execute guest code: fetches the region through the I-cache.
+  void exec(const cpu::CodeRegion& region, double fraction = 1.0) {
+    core_.exec_code(region, fraction);
+  }
+  void spend_insns(u64 n) { core_.spend_insns(n); }
+
+  /// Simulated time (the guest reading the global timer via its virtual
+  /// timer interface; reads are cheap and unprivileged on the A9).
+  double now_us() const;
+  cycles_t now_cycles() const;
+
+  /// Touch the VFP unit: under lazy switching the first touch after another
+  /// VM used it traps (UND) and the kernel swaps the bank contexts.
+  void use_vfp();
+
+  /// Report a faulting guest access: runs the kernel's abort-forwarding
+  /// path (SIV.C) so the guest's fault handler cost is accounted.
+  void take_fault(const mmu::Fault& fault);
+
+  Kernel& kernel() { return kernel_; }
+  ProtectionDomain& pd() { return pd_; }
+  cpu::Core& core() { return core_; }
+
+ private:
+  Kernel& kernel_;
+  ProtectionDomain& pd_;
+  cpu::Core& core_;
+};
+
+/// A guest OS or user service hosted in a protection domain.
+class GuestOs {
+ public:
+  virtual ~GuestOs() = default;
+
+  virtual const char* guest_name() const = 0;
+
+  /// One-time initialization, called with the VM's context when the kernel
+  /// first schedules it. Sensitive setup must go through hypercalls.
+  virtual void boot(GuestContext& ctx) = 0;
+
+  /// Run for at most `budget` cycles of virtual time, then return. The
+  /// kernel delivers pending vIRQs via `on_virq` before each step.
+  virtual StepExit step(GuestContext& ctx, cycles_t budget) = 0;
+
+  /// Virtual IRQ injection: the vGIC forces the VM to its IRQ entry. The
+  /// guest handles it (cost charged inside) and returns.
+  virtual void on_virq(GuestContext& ctx, u32 irq) = 0;
+};
+
+}  // namespace minova::nova

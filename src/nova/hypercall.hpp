@@ -1,0 +1,119 @@
+// Mini-NOVA hypercall ABI.
+//
+// The paper states Mini-NOVA provides exactly 25 hypercalls to
+// paravirtualized operating systems (§V.B), grouped as in §III.A:
+// (1) general cache/TLB operations, (2) IRQ operations, (3) memory
+// management, (4) privileged-register access, (5) shared-device access
+// (DMA, FPGA, I/O), (6) inter-VM communication. Arguments travel in
+// r0-r3 like a real SVC-based ABI; the hypercall number rides in r12.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+enum class Hypercall : u8 {
+  // -- (1) cache / TLB operations --
+  kCacheFlushAll = 0,
+  kCacheCleanRange,
+  kIcacheInvalidate,
+  kTlbFlushAll,
+  kTlbFlushVa,
+  // -- (2) IRQ operations --
+  kIrqEnable,
+  kIrqDisable,
+  kIrqComplete,
+  kIrqSetEntry,
+  // -- (3) memory management --
+  kMapInsert,
+  kMapRemove,
+  kPtCreate,
+  kMemProtect,
+  kSetGuestMode,
+  // -- (4) privileged register access --
+  kRegRead,
+  kRegWrite,
+  kVtimerConfig,
+  // -- (5) shared devices --
+  kUartWrite,
+  kSdTransfer,
+  kDmaRequest,
+  kHwTaskRequest,
+  kHwTaskRelease,
+  kHwTaskQuery,
+  // -- (6) inter-VM communication --
+  kIvcSend,
+  kIvcRecv,
+
+  kCount,
+};
+
+inline constexpr u32 kNumHypercalls = u32(Hypercall::kCount);
+static_assert(kNumHypercalls == 25, "paper specifies 25 hypercalls");
+
+constexpr const char* hypercall_name(Hypercall h) {
+  switch (h) {
+    case Hypercall::kCacheFlushAll: return "cache_flush_all";
+    case Hypercall::kCacheCleanRange: return "cache_clean_range";
+    case Hypercall::kIcacheInvalidate: return "icache_invalidate";
+    case Hypercall::kTlbFlushAll: return "tlb_flush_all";
+    case Hypercall::kTlbFlushVa: return "tlb_flush_va";
+    case Hypercall::kIrqEnable: return "irq_enable";
+    case Hypercall::kIrqDisable: return "irq_disable";
+    case Hypercall::kIrqComplete: return "irq_complete";
+    case Hypercall::kIrqSetEntry: return "irq_set_entry";
+    case Hypercall::kMapInsert: return "map_insert";
+    case Hypercall::kMapRemove: return "map_remove";
+    case Hypercall::kPtCreate: return "pt_create";
+    case Hypercall::kMemProtect: return "mem_protect";
+    case Hypercall::kSetGuestMode: return "set_guest_mode";
+    case Hypercall::kRegRead: return "reg_read";
+    case Hypercall::kRegWrite: return "reg_write";
+    case Hypercall::kVtimerConfig: return "vtimer_config";
+    case Hypercall::kUartWrite: return "uart_write";
+    case Hypercall::kSdTransfer: return "sd_transfer";
+    case Hypercall::kDmaRequest: return "dma_request";
+    case Hypercall::kHwTaskRequest: return "hwtask_request";
+    case Hypercall::kHwTaskRelease: return "hwtask_release";
+    case Hypercall::kHwTaskQuery: return "hwtask_query";
+    case Hypercall::kIvcSend: return "ivc_send";
+    case Hypercall::kIvcRecv: return "ivc_recv";
+    case Hypercall::kCount: break;
+  }
+  return "?";
+}
+
+/// Hypercall status codes returned in r0 (negative values are errors).
+enum class HcStatus : i32 {
+  kSuccess = 0,
+  /// Hardware task was dispatched but a PCAP reconfiguration is in flight;
+  /// poll or wait for the PCAP completion IRQ (paper §IV.E stage 6).
+  kReconfig = 1,
+  /// No idle compatible PRR: try again later (§IV.E stage 2).
+  kBusy = 2,
+
+  kInvalidArg = -1,
+  kDenied = -2,
+  kNotFound = -3,
+  kNoMemory = -4,
+  kNotSupported = -5,
+};
+
+struct HypercallArgs {
+  Hypercall number = Hypercall::kCount;
+  std::array<u32, 4> r{};  // r0-r3
+};
+
+struct HypercallResult {
+  HcStatus status = HcStatus::kSuccess;
+  u32 r1 = 0;  // secondary return value
+  /// True when the call woke a higher-priority protection domain and the
+  /// caller should yield at the next preemption point.
+  bool need_resched = false;
+
+  bool ok() const { return i32(status) >= 0; }
+};
+
+}  // namespace minova::nova

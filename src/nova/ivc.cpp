@@ -1,0 +1,50 @@
+#include "nova/ivc.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::nova {
+
+IvcChannel::IvcChannel(u32 id, KernelHeap& heap, PdId a, PdId b, u32 capacity)
+    : id_(id),
+      buffer_pa_(heap.alloc(capacity * 64, 64)),
+      a_(a),
+      b_(b),
+      capacity_(capacity) {
+  MINOVA_CHECK(a != b);
+}
+
+bool IvcChannel::send(cpu::Core& core, PdId sender, std::vector<u32> words) {
+  MINOVA_CHECK(connects(sender));
+  if (queue_.size() >= capacity_) return false;
+  // Copy the payload into the kernel buffer through the cache model.
+  const u32 slot = u32(queue_.size() % capacity_);
+  for (std::size_t w = 0; w < words.size() && w < 16; ++w)
+    (void)core.vwrite32(kernel_va(buffer_pa_ + slot * 64) + u32(w) * 4,
+                        words[w]);
+  queue_.push_back(Slot{peer_of(sender),
+                        IvcMessage{sender, std::move(words)}});
+  return true;
+}
+
+bool IvcChannel::recv(cpu::Core& core, PdId receiver, IvcMessage& out) {
+  MINOVA_CHECK(connects(receiver));
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->dest != receiver) continue;
+    // Read the payload back out of the kernel buffer.
+    for (std::size_t w = 0; w < it->msg.words.size() && w < 16; ++w)
+      (void)core.vread32(kernel_va(buffer_pa_) + u32(w) * 4);
+    out = std::move(it->msg);
+    queue_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::size_t IvcChannel::pending_for(PdId receiver) const {
+  std::size_t n = 0;
+  for (const auto& s : queue_)
+    if (s.dest == receiver) ++n;
+  return n;
+}
+
+}  // namespace minova::nova

@@ -1,0 +1,60 @@
+// Inter-VM communication (paper §III.A item 6).
+//
+// Kernel-mediated message channels: fixed-capacity word queues living in
+// kernel memory. A send copies the payload through the cache model and
+// latches a *virtual-only* interrupt in the receiver's vGIC (IRQ numbers
+// above the physical GIC range never touch the distributor), so a blocked
+// receiver learns about the message the next time it is scheduled — the
+// same delivery semantics as hardware-task IRQs for descheduled VMs.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "nova/kheap.hpp"
+#include "nova/pd.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+/// First virtual-only IRQ number (beyond the physical GIC sources).
+inline constexpr u32 kIvcIrqBase = 128;
+
+struct IvcMessage {
+  PdId sender = kInvalidPd;
+  std::vector<u32> words;
+};
+
+class IvcChannel {
+ public:
+  IvcChannel(u32 id, KernelHeap& heap, PdId a, PdId b, u32 capacity = 8);
+
+  u32 id() const { return id_; }
+  u32 virq() const { return kIvcIrqBase + id_; }
+  bool connects(PdId pd) const { return pd == a_ || pd == b_; }
+  PdId peer_of(PdId pd) const { return pd == a_ ? b_ : a_; }
+
+  /// Enqueue towards the peer of `sender`; false when full.
+  bool send(cpu::Core& core, PdId sender, std::vector<u32> words);
+
+  /// Dequeue the oldest message addressed to `receiver`; false when empty.
+  bool recv(cpu::Core& core, PdId receiver, IvcMessage& out);
+
+  std::size_t pending_for(PdId receiver) const;
+  u32 capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    PdId dest;
+    IvcMessage msg;
+  };
+
+  u32 id_;
+  paddr_t buffer_pa_;
+  PdId a_, b_;
+  u32 capacity_;
+  std::deque<Slot> queue_;
+};
+
+}  // namespace minova::nova

@@ -1,0 +1,238 @@
+// The Mini-NOVA microkernel (paper §III).
+//
+// A single-core paravirtualization microkernel: guests run de-privileged in
+// USR mode inside protection domains; every sensitive operation arrives as
+// one of the 25 hypercalls; physical interrupts are taken by the kernel,
+// EOI'd at the GIC and re-injected as virtual IRQs through the owning VM's
+// vGIC; VM switches save/restore vCPU state (lazily for VFP/L2-control),
+// remask the GIC, and reload TTBR/ASID/DACR without cache or TLB flushes.
+//
+// The kernel also hosts the synchronous invocation path of the Hardware
+// Task Manager user service (§IV.E): a guest's hardware-task hypercall
+// switches to the manager's protection domain, runs the service, and
+// resumes the guest with its status — the exact path Table III measures
+// (manager entry / execution / exit, PL IRQ entry).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "cpu/code_region.hpp"
+#include "nova/guest_iface.hpp"
+#include "nova/hypercall.hpp"
+#include "nova/ivc.hpp"
+#include "nova/kheap.hpp"
+#include "nova/kmem.hpp"
+#include "nova/pd.hpp"
+#include "nova/sched.hpp"
+#include "util/log.hpp"
+
+namespace minova::nova {
+
+/// Virtual-only IRQ number for the per-VM virtual timer tick.
+inline constexpr u32 kVtimerVirq = 120;
+
+/// Synchronous hardware-task service implemented by the Hardware Task
+/// Manager (src/hwmgr). The kernel routes the hardware-task hypercalls here
+/// after switching into the manager's protection domain.
+class HwService {
+ public:
+  virtual ~HwService() = default;
+  /// Handle a dispatch request (§IV.E stages 2-6). `result_flags` conveys
+  /// kReconfig when a PCAP transfer was launched.
+  virtual HcStatus handle_request(GuestContext& ctx, const HwTaskRequest& req,
+                                  u32& result_flags) = 0;
+  /// Client voluntarily releases its hardware task.
+  virtual HcStatus handle_release(GuestContext& ctx, PdId client,
+                                  hwtask::TaskId task) = 0;
+};
+
+struct KernelConfig {
+  double quantum_ms = 33.0;   // per-guest time slice (paper §V.B)
+  u32 tick_period_us = 1000;  // kernel scheduling/vtimer tick
+
+  // Ablation switches (paper design decisions).
+  bool lazy_vfp = true;        // Table I: lazy-switch the VFP bank
+  bool lazy_l2ctrl = true;     // Table I: lazy-switch L2 control registers
+  bool use_asid = true;        // §III.C: ASID reload vs full TLB flush
+
+  // Code-footprint model (bytes of kernel text per path); these sizes give
+  // the 5.4 kLOC kernel its cache behaviour. Calibrated against Table III.
+  u32 sz_vector = 64;
+  u32 sz_hc_entry = 256;
+  u32 sz_hc_exit = 416;
+  u32 sz_dispatch = 192;
+  u32 sz_irq_entry = 256;
+  u32 sz_tick = 352;
+  u32 sz_vm_switch = 384;
+  u32 sz_inject = 128;
+  u32 sz_abt_handler = 320;    // data-abort attribution + forwarding
+  u32 sz_handler_small = 160;  // register/IRQ/cache one-liners
+  u32 sz_handler_mm = 384;     // memory-management handlers
+  u32 sz_handler_hw = 224;     // hardware-task request path
+  u32 sz_service_call = 160;   // manager->kernel nested service calls
+};
+
+/// Table III instrumentation: averages are computed over a run.
+struct HwMgrLatencies {
+  sim::LatencyStat entry_us;
+  sim::LatencyStat exec_us;
+  sim::LatencyStat exit_us;
+  sim::LatencyStat total_us;
+  sim::LatencyStat pl_irq_entry_us;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(Platform& platform, const KernelConfig& cfg = {});
+
+  // ---- system construction ----
+  ProtectionDomain& create_vm(std::string name, u32 priority,
+                              std::unique_ptr<GuestOs> guest);
+  /// Create the Hardware Task Manager service PD (suspended by default,
+  /// higher priority than guests, holds the map-other/PL capabilities).
+  ProtectionDomain& create_manager(std::string name, u32 priority,
+                                   HwService& service);
+  IvcChannel& create_channel(ProtectionDomain& a, ProtectionDomain& b);
+
+  // ---- simulation driving ----
+  void run_for_us(double us) {
+    run_until(platform_.clock().now() + platform_.clock().us_to_cycles(us));
+  }
+  void run_until(cycles_t deadline);
+
+  // ---- hypercall gate (invoked via GuestContext) ----
+  HypercallResult hypercall_gate(ProtectionDomain& caller,
+                                 const HypercallArgs& args);
+
+  // ---- lazy VFP access from guests ----
+  void vfp_access(ProtectionDomain& pd);
+
+  // ---- guest fault path (paper SIV.C acknowledgement method 2) ----
+  /// A de-privileged guest access faulted (e.g. a demapped hardware-task
+  /// interface page). Charges the ABT exception entry, the kernel abort
+  /// handler that attributes the fault, the forwarding to the guest's
+  /// registered handler, and the return. Returns the count of faults this
+  /// PD has taken (also kept in `pd.sysregs[7]` as an emulated FSR/FAR
+  /// acknowledgement the guest can read).
+  u64 forward_guest_fault(ProtectionDomain& pd, const mmu::Fault& fault);
+  u64 guest_faults_forwarded() const { return guest_faults_; }
+
+  // ---- kernel services used by the manager (capability-checked) ----
+  HcStatus svc_map_into(ProtectionDomain& caller, PdId target, vaddr_t va,
+                        paddr_t pa, bool executable_never = true);
+  HcStatus svc_unmap_from(ProtectionDomain& caller, PdId target, vaddr_t va);
+  HcStatus svc_assign_pl_irq(ProtectionDomain& caller, PdId client,
+                             u32 gic_irq);
+  HcStatus svc_set_pcap_owner(ProtectionDomain& caller, PdId client);
+  /// Write a consistency record into a client's hardware task data section
+  /// (the state flag + saved interface registers of §IV.C).
+  HcStatus svc_write_client_data(ProtectionDomain& caller, PdId client,
+                                 u32 offset, std::span<const u32> words);
+
+  // ---- lookups ----
+  ProtectionDomain* pd_by_id(PdId id);
+  ProtectionDomain* current() { return current_; }
+  paddr_t bitstream_pa(hwtask::TaskId task) const;
+  u32 bitstream_len(hwtask::TaskId task) const;
+
+  Platform& platform() { return platform_; }
+  Scheduler& scheduler() { return sched_; }
+  KernelHeap& heap() { return heap_; }
+  const KernelConfig& config() const { return cfg_; }
+  HwMgrLatencies& hwmgr_latencies() { return hwmgr_lat_; }
+  const std::string& console() const { return console_; }
+  double now_us() const { return platform_.clock().now_us(); }
+
+  /// Count of VM switches performed (tests / benches).
+  u64 vm_switch_count() const { return vm_switches_; }
+  u64 hypercall_count() const { return hypercalls_; }
+
+ private:
+  // -- run-loop pieces --
+  void boot();
+  void stage_bitstreams();
+  void handle_pending_irqs();
+  void route_irq(u32 irq);
+  void kernel_tick();
+  void deliver_virqs(ProtectionDomain& pd);
+  void vm_switch(ProtectionDomain* to);
+  void idle(cycles_t limit);
+
+  // -- hypercall dispatch --
+  HypercallResult dispatch(ProtectionDomain& caller,
+                           const HypercallArgs& args);
+  HypercallResult hc_hwtask_request(ProtectionDomain& caller,
+                                    const HypercallArgs& args);
+  HypercallResult hc_hwtask_release(ProtectionDomain& caller,
+                                    const HypercallArgs& args);
+  HypercallResult hc_map_insert(ProtectionDomain& caller,
+                                const HypercallArgs& args);
+  HypercallResult hc_map_remove(ProtectionDomain& caller,
+                                const HypercallArgs& args);
+  HypercallResult hc_ivc(ProtectionDomain& caller, const HypercallArgs& args,
+                         bool send);
+
+  void charge_service_call();
+  GuestContext make_ctx(ProtectionDomain& pd) {
+    return GuestContext(*this, pd, platform_.cpu());
+  }
+
+  Platform& platform_;
+  KernelConfig cfg_;
+  KernelHeap heap_;
+  mmu::PageTableAllocator pt_alloc_;
+  VmSpaceBuilder space_builder_;
+  Scheduler sched_;
+
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+  std::vector<std::unique_ptr<IvcChannel>> channels_;
+  ProtectionDomain* current_ = nullptr;
+  ProtectionDomain* manager_pd_ = nullptr;
+  HwService* hw_service_ = nullptr;
+  std::unique_ptr<mmu::AddressSpace> kernel_space_;
+
+  // Kernel code footprint regions.
+  cpu::CodeLayout code_;
+  cpu::CodeRegion rg_vector_, rg_hc_entry_, rg_hc_exit_, rg_dispatch_,
+      rg_irq_entry_, rg_tick_, rg_vm_switch_, rg_inject_, rg_service_call_,
+      rg_abt_;
+  std::array<cpu::CodeRegion, kNumHypercalls> rg_handlers_{};
+
+  // IRQ routing.
+  std::array<PdId, mem::kNumIrqs> irq_owner_{};
+  PdId pcap_owner_ = kInvalidPd;
+  // Pending PL IRQ latency measurement. The paper's "PL IRQ entry" is the
+  // active CPU time from the exception vector to the vGIC injection; when
+  // the owner VM is descheduled the pending wait (§IV.D) is excluded, so we
+  // accumulate the routing segment at IRQ time and add the injection
+  // segment when the owner is finally dispatched.
+  std::array<cycles_t, mem::kNumIrqs> pl_irq_route_cycles_{};
+
+  // Lazy-switch ownership.
+  PdId vfp_owner_ = kInvalidPd;
+  PdId l2ctrl_owner_ = kInvalidPd;
+
+  // Bitstream store index.
+  std::vector<std::pair<hwtask::TaskId, std::pair<paddr_t, u32>>> bitstreams_;
+
+  // Instrumentation.
+  HwMgrLatencies hwmgr_lat_;
+  u64 vm_switches_ = 0;
+  u64 hypercalls_ = 0;
+  u64 guest_faults_ = 0;
+  // Hardware-task request timestamps (valid while a request is in flight).
+  cycles_t hw_req_t0_ = 0;
+  cycles_t hw_entry_end_ = 0;
+  cycles_t hw_exec_end_ = 0;
+
+  std::string console_;
+  std::vector<u8> sd_image_;
+  u32 next_asid_ = 1;
+  u32 next_vm_index_ = 0;
+  util::Logger log_{"nova.kernel"};
+};
+
+}  // namespace minova::nova

@@ -1,0 +1,36 @@
+// Kernel heap: bump allocator over the kernel's physical heap window.
+//
+// Holds vCPU save areas, vGIC tables, kernel stacks and the page-table pool.
+// Objects are cache-line aligned so per-VM structures never share lines —
+// the same discipline a real kernel uses to keep switch costs predictable.
+#pragma once
+
+#include "nova/kmem.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+class KernelHeap {
+ public:
+  KernelHeap(paddr_t base, u32 size) : base_(base), size_(size), next_(base) {}
+
+  paddr_t alloc(u32 bytes, u32 align = 64) {
+    const paddr_t start = paddr_t(align_up(next_, align));
+    MINOVA_CHECK_MSG(u64(start) + bytes <= u64(base_) + size_,
+                     "kernel heap exhausted");
+    next_ = start + bytes;
+    return start;
+  }
+
+  u32 bytes_used() const { return next_ - base_; }
+  u32 bytes_free() const { return size_ - bytes_used(); }
+  paddr_t base() const { return base_; }
+
+ private:
+  paddr_t base_;
+  u32 size_;
+  paddr_t next_;
+};
+
+}  // namespace minova::nova

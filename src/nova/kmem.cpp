@@ -1,0 +1,110 @@
+#include "nova/kmem.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::nova {
+
+void VmSpaceBuilder::add_kernel_global_mappings(mmu::AddressSpace& as) {
+  // Microkernel image + heap: global (shared TLB entries across ASIDs),
+  // privileged-only, kernel domain. Sections keep the walk shallow.
+  const mmu::MapAttrs kattrs{.ap = mmu::Ap::kPrivOnly,
+                             .domain = kDomKernel,
+                             .ng = false,
+                             .xn = false};
+  for (u32 mb = 0; mb < 8; ++mb)
+    as.map_section(kKernelVa + mb * mmu::kSectionSize,
+                   kKernelTextBase + mb * mmu::kSectionSize, kattrs);
+
+  // Kernel device window: GIC / timers / PCAP / PRR controller global page,
+  // privileged-only. One section over the 0xF8xx'xxxx peripheral space and
+  // one over the PL control window keep it simple; device-ness is decided
+  // by the bus, not the page tables.
+  as.map_section(kKernelDeviceVa, 0xF800'0000u,
+                 mmu::MapAttrs{.ap = mmu::Ap::kPrivOnly,
+                               .domain = kDomKernel,
+                               .ng = false,
+                               .xn = true});
+  as.map_section(kKernelDeviceVa + mmu::kSectionSize, 0xF8F0'0000u & 0xFFF0'0000u,
+                 mmu::MapAttrs{.ap = mmu::Ap::kPrivOnly,
+                               .domain = kDomKernel,
+                               .ng = false,
+                               .xn = true});
+  // PL control window (PRR controller pages + global page) for the kernel.
+  as.map_section(kKernelDeviceVa + 2 * mmu::kSectionSize, mem::kPrrCtrlBase,
+                 mmu::MapAttrs{.ap = mmu::Ap::kPrivOnly,
+                               .domain = kDomKernel,
+                               .ng = false,
+                               .xn = true});
+}
+
+std::unique_ptr<mmu::AddressSpace> VmSpaceBuilder::build_vm_space(
+    u32 vm_index) {
+  auto as = std::make_unique<mmu::AddressSpace>(dram_, alloc_);
+  const paddr_t phys = vm_phys_base(vm_index);
+
+  // Guest kernel image: user-accessible AP (the de-privileged guest kernel
+  // runs in USR mode); isolation from guest user comes from the DACR flip.
+  as->map_range(kGuestKernelVa, phys, kGuestKernelSize,
+                mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                              .domain = kDomGuestKernel,
+                              .ng = true,
+                              .xn = false});
+  // Guest user space.
+  as->map_range(kGuestUserVa, phys + kGuestUserVa, kGuestUserSize,
+                mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                              .domain = kDomGuestUser,
+                              .ng = true,
+                              .xn = false});
+  // Hardware task data section: guest-user domain so both guest privilege
+  // levels and the DMA engine's window math agree on it.
+  as->map_range(kGuestHwDataVa, phys + kGuestHwDataVa, kGuestHwDataSize,
+                mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                              .domain = kDomGuestUser,
+                              .ng = true,
+                              .xn = true});
+
+  add_kernel_global_mappings(*as);
+  return as;
+}
+
+std::unique_ptr<mmu::AddressSpace> VmSpaceBuilder::build_manager_space() {
+  auto as = std::make_unique<mmu::AddressSpace>(dram_, alloc_);
+  // Manager image/tables at its identity-like window.
+  as->map_range(kGuestKernelVa, kManagerBase, kManagerSize,
+                mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                              .domain = kDomGuestKernel,
+                              .ng = true,
+                              .xn = false});
+  // Bitstream store: exclusively mapped to the manager (paper §IV.B).
+  as->map_range(kGuestUserVa + kGuestUserSize, kBitstreamBase, kBitstreamSize,
+                mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                              .domain = kDomGuestKernel,
+                              .ng = true,
+                              .xn = true});
+  // PL global control page + PCAP: the manager's authority over the fabric.
+  as->map_page(kGuestHwIfaceVa, mem::kPrrGlobalRegsBase,
+               mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                             .domain = kDomDevice,
+                             .ng = true,
+                             .xn = true});
+  as->map_page(kGuestHwIfaceVa + mmu::kPageSize, mem::kDevcfgBase,
+               mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                             .domain = kDomDevice,
+                             .ng = true,
+                             .xn = true});
+
+  add_kernel_global_mappings(*as);
+  return as;
+}
+
+std::unique_ptr<mmu::AddressSpace> VmSpaceBuilder::build_kernel_space() {
+  auto as = std::make_unique<mmu::AddressSpace>(dram_, alloc_);
+  add_kernel_global_mappings(*as);
+  return as;
+}
+
+/// VA where the manager sees the bitstream store (see build_manager_space).
+/// Defined here to keep the layout decisions in one translation unit.
+vaddr_t manager_bitstream_va() { return kGuestUserVa + kGuestUserSize; }
+
+}  // namespace minova::nova

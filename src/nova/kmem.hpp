@@ -1,0 +1,125 @@
+// Kernel memory layout and per-VM address-space construction.
+//
+// Physical layout (512 MB DDR):
+//   [0x0000'0000, +1 MB)   microkernel text/data (vector table, handlers)
+//   [0x0010'0000, +7 MB)   kernel heap: page tables, vCPU areas, stacks
+//   [0x0080'0000, +4 MB)   bitstream store (.bit images; manager-only)
+//   [0x00C0'0000, +4 MB)   Hardware Task Manager service image + tables
+//   [0x0100'0000, +16 MB)  VM 0 memory   (guest image + data section)
+//   [0x0200'0000, +16 MB)  VM 1 memory, ...
+//
+// Per-VM virtual layout:
+//   [0x0000'0000, +4 MB)   guest kernel image      (domain: guest-kernel)
+//   [0x0040'0000, +4 MB)   guest user space        (domain: guest-user)
+//   [0x0080'0000, +256 KB) hardware task data section (domain: guest-user)
+//   0x1000'0000 +          default hardware task interface window
+//   [0xF000'0000, +8 MB)   microkernel (global, PL1-only)
+//   0xF800'0000 +          kernel device windows (global, PL1-only)
+//
+// Domains implement the paper's Table II: the microkernel lives in a domain
+// that is always Client but whose pages carry PL1-only permissions; the
+// guest-kernel domain is flipped between Client and NoAccess as the guest
+// switches privilege level; guest-user is always Client.
+#pragma once
+
+#include "mem/address_map.hpp"
+#include "mmu/descriptors.hpp"
+#include "mmu/page_table.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+// ---- MMU domains (paper Table II) ----
+inline constexpr u32 kDomKernel = 0;
+inline constexpr u32 kDomGuestKernel = 1;
+inline constexpr u32 kDomGuestUser = 2;
+inline constexpr u32 kDomDevice = 3;  // manager-mapped device pages
+
+/// DACR while the guest runs in guest-USER space.
+constexpr u32 dacr_guest_user() {
+  u32 d = 0;
+  d = mmu::dacr_set(d, kDomKernel, mmu::DomainMode::kClient);
+  d = mmu::dacr_set(d, kDomGuestKernel, mmu::DomainMode::kNoAccess);
+  d = mmu::dacr_set(d, kDomGuestUser, mmu::DomainMode::kClient);
+  d = mmu::dacr_set(d, kDomDevice, mmu::DomainMode::kClient);
+  return d;
+}
+
+/// DACR while the guest runs in guest-KERNEL space.
+constexpr u32 dacr_guest_kernel() {
+  u32 d = dacr_guest_user();
+  d = mmu::dacr_set(d, kDomGuestKernel, mmu::DomainMode::kClient);
+  return d;
+}
+
+/// DACR while the microkernel itself runs (host kernel).
+constexpr u32 dacr_host_kernel() { return dacr_guest_kernel(); }
+
+// ---- Physical layout ----
+inline constexpr paddr_t kKernelTextBase = 0x0000'0000u;
+inline constexpr u32 kKernelTextSize = 1 * kMiB;
+inline constexpr paddr_t kKernelHeapBase = 0x0010'0000u;
+inline constexpr u32 kKernelHeapSize = 7 * kMiB;
+inline constexpr paddr_t kBitstreamBase = 0x0080'0000u;
+inline constexpr u32 kBitstreamSize = 4 * kMiB;
+inline constexpr paddr_t kManagerBase = 0x00C0'0000u;
+inline constexpr u32 kManagerSize = 4 * kMiB;
+inline constexpr paddr_t kVmPhysBase = 0x0100'0000u;
+inline constexpr u32 kVmPhysStride = 16 * kMiB;
+inline constexpr u32 kVmPhysSize = 16 * kMiB;
+
+constexpr paddr_t vm_phys_base(u32 vm_index) {
+  return kVmPhysBase + vm_index * kVmPhysStride;
+}
+
+// ---- Per-VM virtual layout ----
+inline constexpr vaddr_t kGuestKernelVa = 0x0000'0000u;
+inline constexpr u32 kGuestKernelSize = 4 * kMiB;
+inline constexpr vaddr_t kGuestUserVa = 0x0040'0000u;
+inline constexpr u32 kGuestUserSize = 4 * kMiB;
+inline constexpr vaddr_t kGuestHwDataVa = 0x0080'0000u;
+inline constexpr u32 kGuestHwDataSize = 256 * kKiB;
+inline constexpr vaddr_t kGuestHwIfaceVa = 0x1000'0000u;
+inline constexpr vaddr_t kKernelVa = 0xF000'0000u;
+inline constexpr vaddr_t kKernelDeviceVa = 0xF800'0000u;
+
+/// VA of the kernel alias for a physical address in kernel space.
+constexpr vaddr_t kernel_va(paddr_t pa) { return kKernelVa + pa; }
+
+/// VA of the manager's window onto the bitstream store.
+vaddr_t manager_bitstream_va();
+
+/// VA of the manager's window onto the PL global control page / PCAP.
+constexpr vaddr_t manager_pl_ctrl_va() { return kGuestHwIfaceVa; }
+constexpr vaddr_t manager_pcap_va() {
+  return kGuestHwIfaceVa + mmu::kPageSize;
+}
+
+/// Builds the microkernel's own address space and per-VM spaces with the
+/// shared global kernel mappings.
+class VmSpaceBuilder {
+ public:
+  VmSpaceBuilder(mem::PhysMem& dram, mmu::PageTableAllocator& alloc)
+      : dram_(dram), alloc_(alloc) {}
+
+  /// Create a VM address space: guest image, hardware task data section and
+  /// the global kernel/device mappings every space carries.
+  std::unique_ptr<mmu::AddressSpace> build_vm_space(u32 vm_index);
+
+  /// Create the Hardware Task Manager's space: manager image + bitstream
+  /// store + global kernel mappings + PL device pages (global control page,
+  /// PCAP). Per-PRR register pages are NOT mapped here by default — they are
+  /// mapped into client VMs on allocation.
+  std::unique_ptr<mmu::AddressSpace> build_manager_space();
+
+  /// Kernel-only space used before any VM exists (boot).
+  std::unique_ptr<mmu::AddressSpace> build_kernel_space();
+
+ private:
+  void add_kernel_global_mappings(mmu::AddressSpace& as);
+
+  mem::PhysMem& dram_;
+  mmu::PageTableAllocator& alloc_;
+};
+
+}  // namespace minova::nova

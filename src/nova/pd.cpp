@@ -1,0 +1,17 @@
+#include "nova/pd.hpp"
+
+namespace minova::nova {
+
+ProtectionDomain::ProtectionDomain(PdId id, std::string name, u32 priority,
+                                   KernelHeap& heap, irq::Gic& gic, u32 asid,
+                                   std::unique_ptr<mmu::AddressSpace> space,
+                                   u32 caps)
+    : id_(id),
+      name_(std::move(name)),
+      priority_(priority),
+      caps_(caps),
+      space_(std::move(space)),
+      vcpu_(heap, asid),
+      vgic_(heap, gic) {}
+
+}  // namespace minova::nova

@@ -1,0 +1,113 @@
+// Protection Domain — the kernel object representing one VM or user
+// service (paper §III.A).
+//
+// A PD is the resource container and capability interface between a virtual
+// machine and the microkernel: it holds the VM's identity and priority, its
+// vCPU, its address space (page-table root + ASID), its vGIC, the hardware
+// task data section, scheduling state, and the capability bits gating
+// privileged hypercalls (the Hardware Task Manager holds capabilities
+// ordinary guests don't).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "hwtask/library.hpp"
+#include "mmu/page_table.hpp"
+#include "nova/guest_iface.hpp"
+#include "nova/vcpu.hpp"
+#include "nova/vgic.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+using PdId = u32;
+inline constexpr PdId kInvalidPd = 0xFFFF'FFFFu;
+
+/// Capability bits held by a PD (subset of a capability-space model: enough
+/// to express the authority differences the paper relies on).
+enum PdCaps : u32 {
+  kCapNone = 0,
+  /// May map/unmap pages in *other* PDs' address spaces (manager only).
+  kCapMapOther = 1u << 0,
+  /// May program the PL global control page / PCAP (manager only).
+  kCapPlControl = 1u << 1,
+  /// May issue hardware task requests (ordinary guests).
+  kCapHwClient = 1u << 2,
+};
+
+/// A pending hardware-task request routed to the manager service
+/// (the 3-argument hypercall of §IV.E).
+struct HwTaskRequest {
+  PdId client = kInvalidPd;
+  hwtask::TaskId task = hwtask::kInvalidTask;
+  vaddr_t iface_va = 0;      // where the client wants the PRR reg group
+  vaddr_t data_section_va = 0;  // client's hardware task data section
+};
+
+enum class PdState : u8 { kReady, kSuspended, kHalted };
+
+class ProtectionDomain {
+ public:
+  ProtectionDomain(PdId id, std::string name, u32 priority, KernelHeap& heap,
+                   irq::Gic& gic, u32 asid,
+                   std::unique_ptr<mmu::AddressSpace> space, u32 caps);
+
+  PdId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  u32 priority() const { return priority_; }
+  u32 caps() const { return caps_; }
+  bool has_cap(PdCaps c) const { return (caps_ & c) != 0; }
+
+  Vcpu& vcpu() { return vcpu_; }
+  const Vcpu& vcpu() const { return vcpu_; }
+  VGic& vgic() { return vgic_; }
+  mmu::AddressSpace& space() { return *space_; }
+
+  void attach_guest(std::unique_ptr<GuestOs> guest) {
+    guest_ = std::move(guest);
+  }
+  GuestOs* guest() { return guest_.get(); }
+
+  PdState state() const { return state_; }
+  void set_state(PdState s) { state_ = s; }
+
+  // Scheduling bookkeeping (owned by the scheduler/kernel).
+  cycles_t quantum_left = 0;
+  bool booted = false;
+  // Parked: yielded with nothing to do; skipped by dispatch until a virtual
+  // interrupt becomes deliverable. Lets lower-priority PDs run while a
+  // high-priority VM sleeps.
+  bool parked = false;
+
+  // Hardware task data section (physical window the hwMMU is loaded with).
+  paddr_t hw_data_pa = 0;
+  u32 hw_data_size = 0;
+
+  // Index of this VM's physical memory slab (VMs only; services have none).
+  u32 vm_index = 0;
+
+  // Requests queued for this PD when it is the manager service.
+  std::deque<HwTaskRequest> mailbox;
+
+  // Guest privilege level (paper Table II): true while the guest executes
+  // its kernel; drives which DACR the vCPU carries.
+  bool guest_in_kernel = true;
+
+  // Emulated privileged system registers (reg_read/reg_write hypercalls).
+  std::array<u32, 8> sysregs{};
+
+ private:
+  PdId id_;
+  std::string name_;
+  u32 priority_;
+  u32 caps_;
+  std::unique_ptr<mmu::AddressSpace> space_;
+  Vcpu vcpu_;
+  VGic vgic_;
+  std::unique_ptr<GuestOs> guest_;
+  PdState state_ = PdState::kReady;
+};
+
+}  // namespace minova::nova

@@ -1,0 +1,88 @@
+#include "nova/sched.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace minova::nova {
+
+namespace {
+bool contains(const std::list<ProtectionDomain*>& l,
+              const ProtectionDomain* pd) {
+  return std::find(l.begin(), l.end(), pd) != l.end();
+}
+}  // namespace
+
+void Scheduler::enqueue(ProtectionDomain* pd) {
+  MINOVA_CHECK(pd != nullptr);
+  MINOVA_CHECK(pd->priority() < kNumPriorities);
+  if (is_runnable(pd)) return;
+  suspended_.remove(pd);
+  if (pd->quantum_left == 0) pd->quantum_left = default_quantum_;
+  level(pd->priority()).push_back(pd);
+  pd->set_state(PdState::kReady);
+}
+
+void Scheduler::suspend(ProtectionDomain* pd) {
+  MINOVA_CHECK(pd != nullptr);
+  level(pd->priority()).remove(pd);
+  if (!contains(suspended_, pd)) suspended_.push_back(pd);
+  pd->set_state(PdState::kSuspended);
+}
+
+void Scheduler::remove(ProtectionDomain* pd) {
+  MINOVA_CHECK(pd != nullptr);
+  level(pd->priority()).remove(pd);
+  suspended_.remove(pd);
+  pd->set_state(PdState::kHalted);
+}
+
+ProtectionDomain* Scheduler::pick() {
+  for (u32 p = kNumPriorities; p-- > 0;) {
+    if (!levels_[p].empty()) return levels_[p].front();
+  }
+  return nullptr;
+}
+
+ProtectionDomain* Scheduler::pick_eligible(
+    const std::function<bool(const ProtectionDomain*)>& eligible) {
+  for (u32 p = kNumPriorities; p-- > 0;) {
+    for (ProtectionDomain* pd : levels_[p])
+      if (eligible(pd)) return pd;
+  }
+  return nullptr;
+}
+
+void Scheduler::rotate(ProtectionDomain* pd) {
+  MINOVA_CHECK(pd != nullptr);
+  auto& lvl = level(pd->priority());
+  if (lvl.front() == pd) {
+    lvl.pop_front();
+    lvl.push_back(pd);
+  }
+  pd->quantum_left = default_quantum_;
+}
+
+bool Scheduler::is_runnable(const ProtectionDomain* pd) const {
+  return contains(levels_[pd->priority()],
+                  const_cast<ProtectionDomain*>(pd));
+}
+
+bool Scheduler::is_suspended(const ProtectionDomain* pd) const {
+  return contains(suspended_, const_cast<ProtectionDomain*>(pd));
+}
+
+bool Scheduler::higher_priority_ready(const ProtectionDomain* pd) {
+  for (u32 p = kNumPriorities; p-- > pd->priority() + 1;) {
+    if (!levels_[p].empty()) return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::runnable_count() const {
+  std::size_t n = 0;
+  for (const auto& l : levels_) n += l.size();
+  return n;
+}
+
+}  // namespace minova::nova

@@ -1,0 +1,67 @@
+// Preemptive priority-based round-robin scheduler (paper §III.D, Fig. 3).
+//
+// PDs are organized into a run queue and a suspend queue. The run queue is
+// an array of circular lists, one per priority level; the scheduler always
+// dispatches from the highest non-empty level and rotates within a level
+// when a time quantum expires. A preempted PD keeps its remaining quantum
+// so its total slice stays constant (§III.D); a PD whose quantum expired is
+// re-armed with the full quantum and moved to the back of its level.
+// User services (e.g. the Hardware Task Manager) normally sit in the
+// suspend queue and are enqueued only when invoked.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "nova/pd.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+class Scheduler {
+ public:
+  static constexpr u32 kNumPriorities = 8;
+
+  explicit Scheduler(cycles_t default_quantum)
+      : default_quantum_(default_quantum), levels_(kNumPriorities) {}
+
+  /// Add a PD to the run queue (at the back of its priority level). Arms a
+  /// fresh quantum when none is pending.
+  void enqueue(ProtectionDomain* pd);
+
+  /// Move a PD to the suspend queue (no CPU until re-enqueued).
+  void suspend(ProtectionDomain* pd);
+
+  /// Remove from both queues (halt).
+  void remove(ProtectionDomain* pd);
+
+  /// Highest-priority runnable PD, or nullptr. Does not rotate.
+  ProtectionDomain* pick();
+
+  /// Highest-priority runnable PD satisfying `eligible`, or nullptr.
+  ProtectionDomain* pick_eligible(
+      const std::function<bool(const ProtectionDomain*)>& eligible);
+
+  /// Quantum of `pd` expired: re-arm and rotate its level.
+  void rotate(ProtectionDomain* pd);
+
+  bool is_runnable(const ProtectionDomain* pd) const;
+  bool is_suspended(const ProtectionDomain* pd) const;
+
+  /// True when a runnable PD has higher priority than `pd`.
+  bool higher_priority_ready(const ProtectionDomain* pd);
+
+  cycles_t default_quantum() const { return default_quantum_; }
+
+  std::size_t runnable_count() const;
+
+ private:
+  std::list<ProtectionDomain*>& level(u32 prio) { return levels_[prio]; }
+
+  cycles_t default_quantum_;
+  std::vector<std::list<ProtectionDomain*>> levels_;
+  std::list<ProtectionDomain*> suspended_;
+};
+
+}  // namespace minova::nova

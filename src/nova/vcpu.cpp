@@ -1,0 +1,76 @@
+#include "nova/vcpu.hpp"
+
+namespace minova::nova {
+
+Vcpu::Vcpu(KernelHeap& heap, u32 asid)
+    : save_area_(heap.alloc((kActiveWords + kVfpWords + kL2CtrlWords) * 4, 64)),
+      asid_(asid) {
+  psr_.mode = cpu::Mode::kUsr;
+  psr_.irq_masked = false;
+}
+
+void Vcpu::touch_area(cpu::Core& core, u32 words, bool write) const {
+  // Stream the save area through the kernel's global mapping; faults are
+  // impossible here (kernel heap is always mapped), so results are ignored
+  // beyond the cost they charge.
+  for (u32 w = 0; w < words; ++w) {
+    const vaddr_t va = kernel_va(save_area_) + w * 4;
+    if (write)
+      (void)core.vwrite32(va, 0 /*values mirrored in members*/);
+    else
+      (void)core.vread32(va);
+  }
+}
+
+void Vcpu::save_active(cpu::Core& core) {
+  for (unsigned i = 0; i < 16; ++i)
+    regs_[i] = core.regs().get(cpu::Mode::kUsr, i);
+  psr_ = core.cpsr();
+  ttbr0_ = core.mmu().ttbr0();
+  dacr_ = core.mmu().dacr();
+  touch_area(core, kActiveWords, /*write=*/true);
+  core.spend(kActiveWords / 2);  // STM pipeline overhead
+}
+
+void Vcpu::restore_active(cpu::Core& core) const {
+  touch_area(core, kActiveWords, /*write=*/false);
+  for (unsigned i = 0; i < 16; ++i)
+    core.regs().set(cpu::Mode::kUsr, i, regs_[i]);
+  // CPSR of the guest is re-applied by the kernel when it drops to USR; the
+  // MMU context switches immediately (TTBR + ASID + DACR: 3 CP15 writes).
+  core.mmu().set_ttbr0(ttbr0_);
+  core.mmu().set_asid(asid_);
+  core.mmu().set_dacr(dacr_);
+  core.spend(kActiveWords / 2 + 9);  // LDM overhead + CP15 writes + ISB
+}
+
+void Vcpu::save_vfp(cpu::Core& core) {
+  vfp_ = core.vfp();
+  // The VFP bank is larger than the active frame; charge it separately.
+  for (u32 w = 0; w < kVfpWords; ++w)
+    (void)core.vwrite32(kernel_va(save_area_) + (kActiveWords + w) * 4, 0);
+  core.spend(kVfpWords / 2);
+}
+
+void Vcpu::restore_vfp(cpu::Core& core) const {
+  for (u32 w = 0; w < kVfpWords; ++w)
+    (void)core.vread32(kernel_va(save_area_) + (kActiveWords + w) * 4);
+  core.vfp() = vfp_;
+  core.spend(kVfpWords / 2);
+}
+
+void Vcpu::save_l2ctrl(cpu::Core& core) {
+  for (u32 w = 0; w < kL2CtrlWords; ++w)
+    (void)core.vwrite32(
+        kernel_va(save_area_) + (kActiveWords + kVfpWords + w) * 4, 0);
+  core.spend(kL2CtrlWords);
+}
+
+void Vcpu::restore_l2ctrl(cpu::Core& core) const {
+  for (u32 w = 0; w < kL2CtrlWords; ++w)
+    (void)core.vread32(
+        kernel_va(save_area_) + (kActiveWords + kVfpWords + w) * 4);
+  core.spend(kL2CtrlWords);
+}
+
+}  // namespace minova::nova

@@ -1,0 +1,77 @@
+#include "pl/pcap.hpp"
+
+#include "mem/address_map.hpp"
+
+namespace minova::pl {
+
+Pcap::Pcap(sim::Clock& clock, sim::EventQueue& events, irq::Gic& gic,
+           PrrController& controller, const PcapConfig& cfg)
+    : clock_(clock),
+      events_(events),
+      gic_(gic),
+      controller_(controller),
+      cfg_(cfg) {}
+
+u32 Pcap::mmio_read(u32 offset) {
+  switch (offset) {
+    case kPcapStatus: {
+      u32 s = 0;
+      if (busy_) s |= kPcapStatusBusy;
+      if (done_) s |= kPcapStatusDone;
+      if (error_) s |= kPcapStatusError;
+      return s;
+    }
+    case kPcapSrcAddr: return src_addr_;
+    case kPcapLen: return len_;
+    case kPcapTarget: return target_;
+    case kPcapTaskId: return task_id_;
+    default: return 0;
+  }
+}
+
+void Pcap::mmio_write(u32 offset, u32 value) {
+  switch (offset) {
+    case kPcapCtrl:
+      if (value & 1u) start();
+      break;
+    case kPcapStatus:
+      if (value & kPcapStatusDone) done_ = false;
+      if (value & kPcapStatusError) error_ = false;
+      break;
+    case kPcapSrcAddr: src_addr_ = value; break;
+    case kPcapLen: len_ = value; break;
+    case kPcapTarget: target_ = value; break;
+    case kPcapTaskId: task_id_ = value; break;
+    default: break;
+  }
+}
+
+void Pcap::start() {
+  if (busy_ || len_ == 0 || target_ >= controller_.num_prrs()) {
+    error_ = true;
+    return;
+  }
+  if (controller_.prr(target_).busy) {
+    // Refuse to reconfigure a region with a job in flight.
+    error_ = true;
+    return;
+  }
+  busy_ = true;
+  done_ = false;
+  error_ = false;
+  controller_.begin_reconfigure(target_);
+  log_.debug("PCAP transfer start: task %u -> PRR%u (%u bytes)", task_id_,
+             target_, len_);
+  events_.schedule_at(clock_.now() + transfer_cycles(len_),
+                      [this] { complete(); });
+}
+
+void Pcap::complete() {
+  busy_ = false;
+  done_ = true;
+  ++transfers_completed_;
+  controller_.load_task(target_, task_id_);
+  gic_.raise(mem::kIrqDevcfg);
+}
+
+}  // namespace minova::pl

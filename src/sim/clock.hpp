@@ -1,0 +1,48 @@
+// Simulated CPU clock.
+//
+// All timing in the simulator is expressed in CPU cycles of the modeled
+// 660 MHz Cortex-A9 (the frequency of the paper's Zynq-7000 evaluation
+// board). Conversions to microseconds are provided for reporting; they are
+// exact rational conversions, not floating-point accumulation, so long runs
+// do not drift.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace minova::sim {
+
+class Clock {
+ public:
+  static constexpr u64 kDefaultFreqHz = 660'000'000ull;
+
+  explicit Clock(u64 freq_hz = kDefaultFreqHz) noexcept : freq_hz_(freq_hz) {}
+
+  cycles_t now() const noexcept { return now_; }
+  u64 freq_hz() const noexcept { return freq_hz_; }
+
+  void advance(cycles_t cycles) noexcept { now_ += cycles; }
+
+  /// Jump directly to an absolute time (used by the event loop when the CPU
+  /// is idle and the next event is in the future). Never moves backwards.
+  void advance_to(cycles_t t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  double cycles_to_us(cycles_t c) const noexcept {
+    return double(c) * 1e6 / double(freq_hz_);
+  }
+  double now_us() const noexcept { return cycles_to_us(now_); }
+
+  cycles_t us_to_cycles(double us) const noexcept {
+    return cycles_t(us * double(freq_hz_) / 1e6);
+  }
+  cycles_t ms_to_cycles(double ms) const noexcept {
+    return us_to_cycles(ms * 1000.0);
+  }
+
+ private:
+  u64 freq_hz_;
+  cycles_t now_ = 0;
+};
+
+}  // namespace minova::sim

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace minova::sim {
+
+EventQueue::EventId EventQueue::schedule_at(cycles_t when, Callback cb) {
+  MINOVA_CHECK(cb != nullptr);
+  const EventId id = callbacks_.size();
+  callbacks_.push_back(std::move(cb));
+  heap_.push(Event{when, next_seq_++, id});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= callbacks_.size() || !callbacks_[id]) return false;
+  callbacks_[id] = nullptr;  // lazily dropped when popped
+  --live_count_;
+  return true;
+}
+
+std::size_t EventQueue::run_due(cycles_t now) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().when <= now) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    Callback cb = std::move(callbacks_[ev.id]);
+    callbacks_[ev.id] = nullptr;
+    if (!cb) continue;  // was cancelled
+    --live_count_;
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+bool EventQueue::next_deadline(cycles_t& out) const {
+  // The heap may contain cancelled entries; peek past them without mutating
+  // state by copying (heap is small: device events only).
+  auto copy = heap_;
+  while (!copy.empty()) {
+    const Event& ev = copy.top();
+    if (callbacks_[ev.id]) {
+      out = ev.when;
+      return true;
+    }
+    copy.pop();
+  }
+  return false;
+}
+
+}  // namespace minova::sim

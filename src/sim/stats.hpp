@@ -1,0 +1,65 @@
+// Lightweight statistics registry.
+//
+// Components register named counters and latency accumulators; benches and
+// tests read them back to validate behaviour (e.g. cache miss growth with
+// guest count) without plumbing bespoke probes through every layer.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace minova::sim {
+
+/// Accumulates samples of a latency (or any scalar) and exposes summary
+/// statistics. Deliberately keeps all samples: experiment runs are bounded
+/// and exact percentiles beat streaming approximations for reproducibility.
+class LatencyStat {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double percentile(double p) const;  // p in [0,100]
+  void clear() { samples_.clear(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+class StatsRegistry {
+ public:
+  u64& counter(const std::string& name) { return counters_[name]; }
+  u64 counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  LatencyStat& latency(const std::string& name) { return latencies_[name]; }
+  const LatencyStat* find_latency(const std::string& name) const {
+    auto it = latencies_.find(name);
+    return it == latencies_.end() ? nullptr : &it->second;
+  }
+
+  void reset();
+
+  const std::map<std::string, u64>& counters() const { return counters_; }
+  const std::map<std::string, LatencyStat>& latencies() const {
+    return latencies_;
+  }
+
+ private:
+  std::map<std::string, u64> counters_;
+  std::map<std::string, LatencyStat> latencies_;
+};
+
+}  // namespace minova::sim

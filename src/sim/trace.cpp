@@ -1,0 +1,52 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace minova::sim {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kVmSwitch: return "vm-switch";
+    case TraceKind::kHypercall: return "hypercall";
+    case TraceKind::kIrq: return "irq";
+    case TraceKind::kVirqInject: return "virq-inject";
+    case TraceKind::kHwGrant: return "hw-grant";
+    case TraceKind::kHwReclaim: return "hw-reclaim";
+    case TraceKind::kPcapStart: return "pcap-start";
+    case TraceKind::kPcapDone: return "pcap-done";
+    case TraceKind::kGuestFault: return "guest-fault";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  return out;
+}
+
+std::size_t TraceBuffer::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+std::string TraceBuffer::to_string(u64 freq_hz) const {
+  std::ostringstream os;
+  char line[128];
+  for (const TraceEvent& e : snapshot()) {
+    std::snprintf(line, sizeof(line), "%12.3f us  %-12s a=%u b=%u\n",
+                  double(e.when) * 1e6 / double(freq_hz),
+                  trace_kind_name(e.kind), e.a, e.b);
+    os << line;
+  }
+  if (dropped_ > 0)
+    os << "(" << dropped_ << " older events dropped)\n";
+  return os.str();
+}
+
+}  // namespace minova::sim

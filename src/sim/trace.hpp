@@ -1,0 +1,81 @@
+// Kernel event tracing.
+//
+// A bounded ring buffer of typed events with simulated timestamps. The
+// Mini-NOVA kernel emits VM switches, hypercalls, interrupt routing,
+// hardware-task grants and PCAP activity; tests and tools read the buffer
+// back or render it as text. Tracing is off by default and costs nothing
+// when disabled (a real kernel would compile it out; here one branch).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace minova::sim {
+
+enum class TraceKind : u8 {
+  kVmSwitch = 0,   // a = from PD id (~0 none), b = to PD id
+  kHypercall,      // a = hypercall number, b = caller PD id
+  kIrq,            // a = GIC source, b = owner PD id (~0 kernel)
+  kVirqInject,     // a = virq number, b = PD id
+  kHwGrant,        // a = task id, b = client PD id
+  kHwReclaim,      // a = PRR index, b = previous client PD id
+  kPcapStart,      // a = task id, b = PRR index
+  kPcapDone,       // a = task id, b = PRR index
+  kGuestFault,     // a = FSR status, b = PD id
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  cycles_t when = 0;
+  TraceKind kind{};
+  u32 a = 0;
+  u32 b = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void emit(cycles_t when, TraceKind kind, u32 a, u32 b) {
+    if (!enabled_) return;
+    if (events_.size() == capacity_) {
+      events_[head_] = TraceEvent{when, kind, a, b};
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    } else {
+      events_.push_back(TraceEvent{when, kind, a, b});
+    }
+  }
+
+  /// Events in chronological order (oldest first).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Count of events of one kind currently in the buffer.
+  std::size_t count(TraceKind kind) const;
+
+  /// Human-readable dump: one line per event with the timestamp in µs.
+  std::string to_string(u64 freq_hz) const;
+
+  std::size_t size() const { return events_.size(); }
+  u64 dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;  // oldest element once the ring wrapped
+  u64 dropped_ = 0;
+};
+
+}  // namespace minova::sim

@@ -1,0 +1,70 @@
+// Paravirtualized uC/OS-II guest for Mini-NOVA (paper §V.A).
+//
+// This is the "porting patch" layer: the uC/OS-II kernel itself is
+// unmodified; this adapter replaces its sensitive operations with
+// hypercalls — virtual timer registration, interrupt entry registration,
+// the local vIRQ table, hardware-task client APIs, and UART output — which
+// is exactly the patch set the paper describes (~200 LoC, 17 of the 25
+// hypercalls used).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nova/guest_iface.hpp"
+#include "nova/kmem.hpp"
+#include "ucos/kernel.hpp"
+#include "workloads/adpcm.hpp"
+#include "workloads/gsm.hpp"
+#include "workloads/thw.hpp"
+
+namespace minova::ucos {
+
+struct GuestConfig {
+  u32 vm_index = 0;       // which physical slab this VM boots from
+  u32 tick_us = 1000;     // guest timer tick period
+  u64 seed = 1;
+  bool run_thw = true;    // the hardware-task requester task
+  u32 thw_period_ticks = 25;  // pause between T_hw request cycles
+  bool run_adpcm = true;
+  bool run_gsm = true;
+  std::vector<hwtask::TaskId> task_set;  // empty = full FFT+QAM set
+};
+
+class UcosGuest final : public nova::GuestOs {
+ public:
+  UcosGuest(const hwtask::TaskLibrary& library, GuestConfig cfg);
+  ~UcosGuest() override;
+
+  // nova::GuestOs
+  const char* guest_name() const override { return name_.c_str(); }
+  void boot(nova::GuestContext& ctx) override;
+  nova::StepExit step(nova::GuestContext& ctx, cycles_t budget) override;
+  void on_virq(nova::GuestContext& ctx, u32 irq) override;
+
+  Kernel& os() { return *os_; }
+  const workloads::ThwStats* thw_stats() const;
+  u64 virqs_handled() const { return virqs_handled_; }
+
+ private:
+  class GuestSvc;  // workloads::Services over the paravirt port
+
+  const hwtask::TaskLibrary& library_;
+  GuestConfig cfg_;
+  std::string name_;
+
+  std::unique_ptr<cpu::CodeLayout> code_;
+  std::unique_ptr<Kernel> os_;
+  std::unique_ptr<workloads::AdpcmWorkload> adpcm_;
+  std::unique_ptr<workloads::GsmWorkload> gsm_;
+  std::unique_ptr<workloads::ThwWorkload> thw_;
+  cpu::CodeRegion rg_irq_handler_;
+
+  // Local vIRQ state table (the guest-side record of §V.A): completion and
+  // reconfiguration events latched by the IRQ handler.
+  bool hw_completion_ = false;
+  bool pcap_done_seen_ = false;
+  u64 virqs_handled_ = 0;
+};
+
+}  // namespace minova::ucos

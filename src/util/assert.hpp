@@ -1,0 +1,36 @@
+// Project assertion/check utilities.
+//
+// `MINOVA_CHECK` is active in all build types: the simulator's invariants are
+// cheap relative to the modeled memory system, and silent corruption of the
+// machine model would invalidate every experiment built on top of it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace minova::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, std::string_view msg) {
+  std::fprintf(stderr, "MINOVA_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!msg.empty()) std::fprintf(stderr, " -- %.*s", int(msg.size()), msg.data());
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+}  // namespace minova::detail
+
+#define MINOVA_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) ::minova::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define MINOVA_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::minova::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+  } while (0)
+
+#define MINOVA_UNREACHABLE(msg)                                              \
+  ::minova::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

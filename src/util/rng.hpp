@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// The whole simulator must be reproducible run-to-run, so every stochastic
+// component owns an `Xoshiro256` seeded from the experiment configuration
+// instead of sharing global state.
+#pragma once
+
+#include "util/types.hpp"
+
+#include "util/assert.hpp"
+
+namespace minova::util {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+constexpr u64 splitmix64(u64& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna; fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0x5EEDu) noexcept {
+    u64 sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  u64 next() noexcept {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  u64 next_below(u64 bound) noexcept {
+    MINOVA_CHECK(bound != 0);
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for the small bounds used by workload generators.
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 next_range(u64 lo, u64 hi) noexcept {
+    MINOVA_CHECK(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 s_[4];
+};
+
+}  // namespace minova::util

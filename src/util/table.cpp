@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace minova::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MINOVA_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MINOVA_CHECK_MSG(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace minova::util

@@ -1,0 +1,34 @@
+// ASCII table / CSV rendering for benchmark output.
+//
+// Benches print paper-style tables (rows = metrics, columns = configurations)
+// so EXPERIMENTS.md can show paper-vs-measured side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace minova::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; cell count must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Render as CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  static std::string fmt_double(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace minova::util

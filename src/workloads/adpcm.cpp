@@ -1,0 +1,126 @@
+#include "workloads/adpcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace minova::workloads {
+
+namespace {
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                 -1, -1, -1, -1, 2, 4, 6, 8};
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+}  // namespace
+
+u8 AdpcmCodec::encode_sample(i16 sample, State& state) {
+  const int step = kStepTable[state.step_index];
+  int diff = int(sample) - state.predictor;
+  u8 nibble = 0;
+  if (diff < 0) {
+    nibble = 8;
+    diff = -diff;
+  }
+  int delta = step >> 3;
+  if (diff >= step) {
+    nibble |= 4;
+    diff -= step;
+    delta += step;
+  }
+  if (diff >= step >> 1) {
+    nibble |= 2;
+    diff -= step >> 1;
+    delta += step >> 1;
+  }
+  if (diff >= step >> 2) {
+    nibble |= 1;
+    delta += step >> 2;
+  }
+  state.predictor += (nibble & 8) ? -delta : delta;
+  state.predictor = std::clamp(state.predictor, -32768, 32767);
+  state.step_index =
+      std::clamp(state.step_index + kIndexTable[nibble], 0, 88);
+  return nibble;
+}
+
+i16 AdpcmCodec::decode_sample(u8 nibble, State& state) {
+  const int step = kStepTable[state.step_index];
+  int delta = step >> 3;
+  if (nibble & 4) delta += step;
+  if (nibble & 2) delta += step >> 1;
+  if (nibble & 1) delta += step >> 2;
+  state.predictor += (nibble & 8) ? -delta : delta;
+  state.predictor = std::clamp(state.predictor, -32768, 32767);
+  state.step_index =
+      std::clamp(state.step_index + kIndexTable[nibble & 0xF], 0, 88);
+  return i16(state.predictor);
+}
+
+std::vector<u8> AdpcmCodec::encode(std::span<const i16> pcm, State& state) {
+  std::vector<u8> out((pcm.size() + 1) / 2);
+  for (std::size_t i = 0; i < pcm.size(); ++i) {
+    const u8 nib = encode_sample(pcm[i], state);
+    if (i % 2 == 0)
+      out[i / 2] = nib;
+    else
+      out[i / 2] |= u8(nib << 4);
+  }
+  return out;
+}
+
+std::vector<i16> AdpcmCodec::decode(std::span<const u8> adpcm, State& state,
+                                    std::size_t sample_count) {
+  std::vector<i16> out(sample_count);
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const u8 byte = adpcm[i / 2];
+    const u8 nib = (i % 2 == 0) ? (byte & 0xF) : (byte >> 4);
+    out[i] = decode_sample(nib, state);
+  }
+  return out;
+}
+
+AdpcmWorkload::AdpcmWorkload(cpu::CodeRegion code, vaddr_t buffer_va,
+                             u32 block_samples, u64 seed)
+    : code_(code),
+      buffer_va_(buffer_va),
+      block_samples_(block_samples),
+      rng_(seed) {}
+
+u32 AdpcmWorkload::run_unit(Services& svc) {
+  // Synthesize a block of audio (two tones + noise) into the guest buffer.
+  std::vector<i16> pcm(block_samples_);
+  for (u32 i = 0; i < block_samples_; ++i, ++phase_) {
+    const double t = double(phase_);
+    const double v = 8000.0 * std::sin(t * 0.031) +
+                     4000.0 * std::sin(t * 0.0072) +
+                     double(i64(rng_.next_below(1200)) - 600);
+    pcm[i] = i16(std::clamp(v, -32000.0, 32000.0));
+  }
+  std::vector<u8> raw(pcm.size() * 2);
+  std::memcpy(raw.data(), pcm.data(), raw.size());
+  if (!svc.write_block(buffer_va_, raw)) return 0;
+
+  // "Run" the encoder: code footprint + per-sample ALU cost, then real
+  // encoding over the data read back from guest memory.
+  svc.exec(code_);
+  std::vector<u8> in(raw.size());
+  if (!svc.read_block(buffer_va_, in)) return 0;
+  std::vector<i16> samples(block_samples_);
+  std::memcpy(samples.data(), in.data(), in.size());
+  const auto encoded = AdpcmCodec::encode(samples, state_);
+  svc.spend_insns(u64(block_samples_) * 22);  // ~22 insns/sample on A9
+
+  if (!svc.write_block(buffer_va_ + u32(raw.size()), encoded)) return 0;
+  ++blocks_;
+  return u32(encoded.size());
+}
+
+}  // namespace minova::workloads

@@ -1,0 +1,103 @@
+#include "workloads/gsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace minova::workloads {
+
+GsmEncoder::Frame GsmEncoder::encode_frame(
+    std::span<const i16, kFrameSamples> pcm) {
+  // 1) Preprocessing: offset compensation + pre-emphasis (GSM 06.10 §4.2.1).
+  std::array<double, kFrameSamples> s{};
+  for (u32 k = 0; k < kFrameSamples; ++k) {
+    const double so = double(pcm[k]);
+    const double s1 = so - z1_;
+    z1_ = so;
+    l_z2_ = 0.999 * l_z2_ + s1;  // high-pass accumulator
+    const double sof = l_z2_;
+    s[k] = sof - 0.86 * mp_;     // pre-emphasis
+    mp_ = sof;
+  }
+
+  // 2) Autocorrelation, lags 0..8 (§4.2.4).
+  Frame f{};
+  for (u32 lag = 0; lag <= 8; ++lag) {
+    double acc = 0;
+    for (u32 k = lag; k < kFrameSamples; ++k) acc += s[k] * s[k - lag];
+    f.autocorr[lag] = acc;
+  }
+
+  // 3) Schur recursion -> 8 reflection coefficients (§4.2.5).
+  std::array<double, 9> p{}, kk{};
+  std::array<double, 9> acf = f.autocorr;
+  if (acf[0] == 0.0) acf[0] = 1.0;  // silence guard
+  std::array<double, 9> K{}, P{};
+  for (u32 i = 0; i <= 8; ++i) P[i] = acf[i];
+  for (u32 i = 1; i <= 8; ++i) K[i - 1] = acf[i];
+  std::array<double, 8> r{};
+  for (u32 n = 0; n < 8; ++n) {
+    if (std::abs(P[0]) < 1e-12) break;
+    r[n] = -K[0] / P[0];
+    // Update recursions.
+    for (u32 m = 0; m < 8 - n; ++m) {
+      const double Pm = P[m + 1] + r[n] * K[m];
+      const double Km = K[m] + r[n] * P[m + 1];
+      P[m] = Pm;
+      K[m] = Km;
+    }
+    P[8 - n] = 0;  // shrink window
+  }
+  (void)p;
+  (void)kk;
+
+  // 4) Reflection coefficients -> log-area ratios, quantized to 6 bits
+  // (§4.2.6/4.2.7, simplified uniform quantizer).
+  for (u32 i = 0; i < 8; ++i) {
+    const double rc = std::clamp(r[i], -0.9999, 0.9999);
+    const double lar = std::log10((1.0 + rc) / (1.0 - rc));
+    f.lar[i] = i8(std::clamp(lar * 16.0, -32.0, 31.0));
+  }
+  return f;
+}
+
+GsmWorkload::GsmWorkload(cpu::CodeRegion code, vaddr_t buffer_va, u64 seed)
+    : code_(code), buffer_va_(buffer_va), rng_(seed) {}
+
+u32 GsmWorkload::run_unit(Services& svc) {
+  constexpr u32 kFramesPerUnit = 4;
+  for (u32 fr = 0; fr < kFramesPerUnit; ++fr) {
+    // Synthetic voiced speech: pitch pulses + formant-ish tones + noise.
+    std::array<i16, GsmEncoder::kFrameSamples> pcm{};
+    for (u32 i = 0; i < pcm.size(); ++i, ++phase_) {
+      const double t = double(phase_);
+      double v = 5000.0 * std::sin(t * 0.08) * std::sin(t * 0.009);
+      if (phase_ % 64 < 4) v += 9000.0;  // glottal pulse
+      v += double(i64(rng_.next_below(900)) - 450);
+      pcm[i] = i16(std::clamp(v, -32000.0, 32000.0));
+    }
+    std::vector<u8> raw(pcm.size() * 2);
+    std::memcpy(raw.data(), pcm.data(), raw.size());
+    if (!svc.write_block(buffer_va_, raw)) return fr;
+
+    svc.exec(code_);
+    std::vector<u8> back(raw.size());
+    if (!svc.read_block(buffer_va_, back)) return fr;
+    std::array<i16, GsmEncoder::kFrameSamples> frame{};
+    std::memcpy(frame.data(), back.data(), back.size());
+    const auto encoded = enc_.encode_frame(frame);
+    // Autocorrelation dominates: ~9 lags x 160 MACs + filters.
+    svc.spend_insns(9 * 160 * 2 + 160 * 8);
+    svc.use_vfp();  // the Schur recursion runs on the VFP
+
+    // Store the LARs back into guest memory (the "bitstream").
+    std::vector<u8> lar_bytes(encoded.lar.size());
+    std::memcpy(lar_bytes.data(), encoded.lar.data(), lar_bytes.size());
+    if (!svc.write_block(buffer_va_ + u32(raw.size()), lar_bytes)) return fr;
+    ++frames_;
+  }
+  return kFramesPerUnit;
+}
+
+}  // namespace minova::workloads

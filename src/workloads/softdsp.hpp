@@ -1,0 +1,37 @@
+// Software implementations of the accelerated kernels, with ARM cycle-cost
+// models — the CPU-only baseline behind the paper's motivation (§I): DPR
+// hardware tasks pay off because these loops are expensive on the A9.
+//
+// The math reuses the behavioral IP cores (bit-identical results); what
+// this module adds is the *cost* of running them on the CPU: per-butterfly
+// and per-symbol instruction counts plus the real memory traffic of the
+// buffers, charged through a `Services` environment.
+#pragma once
+
+#include <vector>
+
+#include "workloads/services.hpp"
+
+namespace minova::workloads {
+
+struct SoftDspCosts {
+  // VFP-assisted radix-2 butterfly on the A9: ~4 flops + twiddle load +
+  // bookkeeping. The A9's VFP is not pipelined for every op; ~18 insns/bfly
+  // is in line with measured CMSIS-class software FFTs.
+  u32 insns_per_butterfly = 18;
+  // Gray mapping + scaling per QAM symbol.
+  u32 insns_per_symbol = 14;
+};
+
+/// Compute an FFT over `points` complex samples living at `buffer_va` in
+/// the environment's memory, entirely in software. Returns the simulated
+/// cycle cost charged. The transformed data is written back in place.
+cycles_t soft_fft(Services& svc, vaddr_t buffer_va, u32 points,
+                  const SoftDspCosts& costs = {});
+
+/// QAM-map `bits_bytes` of payload at `in_va` to I/Q pairs at `out_va` in
+/// software. Returns the symbol count produced.
+u32 soft_qam(Services& svc, vaddr_t in_va, u32 bits_bytes, vaddr_t out_va,
+             u32 order, const SoftDspCosts& costs = {});
+
+}  // namespace minova::workloads

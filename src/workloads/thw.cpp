@@ -1,0 +1,161 @@
+#include "workloads/thw.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pl/prr_controller.hpp"
+#include "util/assert.hpp"
+
+namespace minova::workloads {
+
+ThwWorkload::ThwWorkload(cpu::CodeRegion code,
+                         const hwtask::TaskLibrary& library,
+                         std::vector<hwtask::TaskId> task_set, u64 seed)
+    : code_(code), library_(library), task_set_(std::move(task_set)),
+      rng_(seed) {
+  MINOVA_CHECK(!task_set_.empty());
+}
+
+void ThwWorkload::prepare_input(const hwtask::TaskInfo& info) {
+  // Deterministic pseudo-random payload sized for the task: FFT cores take
+  // a frame of I/Q samples (capped at 2048 — streaming cores flush the
+  // remainder with zeros), QAM mappers a bit block.
+  u32 bytes = 512;
+  if (info.name.rfind("FFT-", 0) == 0) {
+    const u32 points = std::min(u32(std::stoul(info.name.substr(4))), 2048u);
+    bytes = points * 8;
+  }
+  input_.resize(bytes);
+  for (auto& b : input_) b = u8(rng_.next());
+  if (info.name.rfind("FFT-", 0) == 0) {
+    // Make the payload valid small floats (random bytes would be NaN-ish
+    // but harmless; bounded floats make validation tolerant and realistic).
+    const u32 samples = bytes / 8;
+    for (u32 i = 0; i < samples * 2; ++i) {
+      const float v = float(i64(rng_.next_below(2000)) - 1000) / 1000.0f;
+      std::memcpy(input_.data() + i * 4, &v, 4);
+    }
+  }
+  // Software reference output for validation.
+  auto core = library_.instantiate(info.id);
+  expected_ = core->process(input_);
+}
+
+bool ThwWorkload::program_and_start(Services& svc) {
+  const vaddr_t iface = svc.hw_iface_va();
+  // Consistency check (§IV.C): state flag at the tail of the data section.
+  u32 flag = 0;
+  const u32 flag_off = svc.hw_data_size() - 10 * 4;
+  if (!svc.read32(svc.hw_data_va() + flag_off, flag)) return false;
+  if (flag != 0) {
+    ++stats_.inconsistencies_detected;
+    return false;  // reclaimed: re-request
+  }
+  if (!svc.write_block(svc.hw_data_va(), input_)) return false;
+  bool ok = true;
+  ok &= svc.write32(iface + pl::kRegSrcAddr, svc.hw_data_pa());
+  ok &= svc.write32(iface + pl::kRegSrcLen, u32(input_.size()));
+  ok &= svc.write32(iface + pl::kRegDstAddr, svc.hw_data_pa() + kOutputOffset);
+  ok &= svc.write32(iface + pl::kRegCtrl, pl::kCtrlStart | pl::kCtrlIrqEn);
+  return ok;
+}
+
+bool ThwWorkload::validate_output(Services& svc) {
+  const vaddr_t iface = svc.hw_iface_va();
+  u32 status = 0;
+  if (!svc.read32(iface + pl::kRegStatus, status)) return false;
+  if ((status & pl::kStatusDone) == 0 || (status & pl::kStatusError)) {
+    ++stats_.fail_status;
+    return false;
+  }
+  u32 dst_len = 0;
+  if (!svc.read32(iface + pl::kRegDstLen, dst_len)) return false;
+  if (dst_len != expected_.size()) {
+    ++stats_.fail_length;
+    return false;
+  }
+  // Validate a bounded prefix: the full frame for small outputs, the first
+  // 16 KB for large FFTs (any stack corruption shows there too, and the
+  // consumer-side traffic stays realistic for a streaming pipeline).
+  const u32 check = std::min<u32>(dst_len, 16 * kKiB);
+  std::vector<u8> out(check);
+  if (!svc.read_block(svc.hw_data_va() + kOutputOffset, out)) return false;
+  // Clear DONE for the next job.
+  (void)svc.write32(iface + pl::kRegStatus, pl::kStatusDone);
+  if (!std::equal(out.begin(), out.end(), expected_.begin())) {
+    ++stats_.fail_content;
+    return false;
+  }
+  return true;
+}
+
+ThwWorkload::UnitResult ThwWorkload::run_unit(Services& svc) {
+  svc.exec(code_);
+  switch (state_) {
+    case State::kPickTask: {
+      current_ = task_set_[rng_.next_below(task_set_.size())];
+      const hwtask::TaskInfo* info = library_.find(current_);
+      MINOVA_CHECK(info != nullptr);
+      prepare_input(*info);
+      ++stats_.requests;
+      const HwReqStatus st =
+          svc.hw_request(current_, svc.hw_iface_va(), svc.hw_data_va());
+      switch (st) {
+        case HwReqStatus::kGranted:
+          ++stats_.grants;
+          state_ = State::kStartJob;
+          return UnitResult::kProgress;
+        case HwReqStatus::kGrantedReconfig:
+          ++stats_.grants;
+          ++stats_.reconfigs;
+          state_ = State::kWaitReconfig;
+          return UnitResult::kProgress;
+        case HwReqStatus::kBusy:
+          ++stats_.busy_retries;
+          return UnitResult::kWaiting;  // back off a tick, then retry
+        case HwReqStatus::kError:
+          return UnitResult::kWaiting;
+      }
+      return UnitResult::kWaiting;
+    }
+
+    case State::kWaitReconfig:
+      if (!svc.hw_reconfig_done()) return UnitResult::kWaiting;
+      state_ = State::kStartJob;
+      return UnitResult::kProgress;
+
+    case State::kStartJob:
+      if (!program_and_start(svc)) {
+        // Interface demapped or section flagged inconsistent: re-request.
+        state_ = State::kPickTask;
+        return UnitResult::kProgress;
+      }
+      state_ = State::kWaitDone;
+      return UnitResult::kProgress;
+
+    case State::kWaitDone: {
+      if (!svc.hw_take_completion()) return UnitResult::kWaiting;
+      if (validate_output(svc)) {
+        ++stats_.jobs_completed;
+        // Occasionally release the task voluntarily (exercises the
+        // release path; most cycles rely on manager-side reclaim).
+        if (rng_.next_bool(0.15) && svc.hw_release(current_))
+          ++stats_.releases;
+      } else {
+        // A reclaim can race the job; anything else is a real failure. The
+        // state flag disambiguates.
+        u32 flag = 1;
+        (void)svc.read32(svc.hw_data_va() + svc.hw_data_size() - 40, flag);
+        if (flag == 0)
+          ++stats_.validation_failures;
+        else
+          ++stats_.inconsistencies_detected;
+      }
+      state_ = State::kPickTask;
+      return UnitResult::kProgress;
+    }
+  }
+  return UnitResult::kWaiting;
+}
+
+}  // namespace minova::workloads

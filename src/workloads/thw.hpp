@@ -1,0 +1,81 @@
+// T_hw — the hardware-task requester workload of the paper's evaluation
+// (§V.B, Fig. 8).
+//
+// Each iteration randomly selects a hardware task from the FFT/QAM set,
+// requests it from the Hardware Task Manager via the 3-argument hypercall,
+// waits out any PCAP reconfiguration, streams input data into the hardware
+// task data section, programs the mapped PRR register group, lets the
+// accelerator run (IRQ-driven completion), and validates the output against
+// the software reference — an end-to-end correctness check of the whole
+// allocation/security/DMA stack, not just a latency probe.
+//
+// Consistency handling (§IV.C): before reusing a task, the workload checks
+// the state flag in its data section; a reclaimed task (or a faulting
+// access to a demapped interface page) triggers a fresh request.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hwtask/library.hpp"
+#include "util/rng.hpp"
+#include "workloads/services.hpp"
+
+namespace minova::workloads {
+
+struct ThwStats {
+  u64 requests = 0;
+  u64 grants = 0;
+  u64 reconfigs = 0;
+  u64 busy_retries = 0;
+  u64 jobs_completed = 0;
+  u64 releases = 0;
+  u64 validation_failures = 0;
+  u64 inconsistencies_detected = 0;
+  // Failure discrimination (debugging/test aid).
+  u64 fail_status = 0;    // DONE missing or ERROR set
+  u64 fail_length = 0;    // DST_LEN mismatch
+  u64 fail_content = 0;   // byte mismatch vs software reference
+};
+
+class ThwWorkload {
+ public:
+  enum class UnitResult : u8 { kProgress, kWaiting };
+
+  /// `task_set`: hardware task IDs to draw from (paper: FFT-256..8192 +
+  /// QAM-4/16/64). `library` computes expected outputs for validation.
+  ThwWorkload(cpu::CodeRegion code, const hwtask::TaskLibrary& library,
+              std::vector<hwtask::TaskId> task_set, u64 seed);
+
+  /// Advance the state machine by one unit. kWaiting means "nothing to do
+  /// until an external event" — the hosting task should sleep a tick.
+  UnitResult run_unit(Services& svc);
+
+  const ThwStats& stats() const { return stats_; }
+
+  /// True between request cycles (just completed/aborted one, about to pick
+  /// a new task). Hosts use this to pace request frequency.
+  bool at_cycle_boundary() const { return state_ == State::kPickTask; }
+
+ private:
+  enum class State : u8 { kPickTask, kWaitReconfig, kStartJob, kWaitDone };
+
+  void prepare_input(const hwtask::TaskInfo& info);
+  bool program_and_start(Services& svc);
+  bool validate_output(Services& svc);
+
+  cpu::CodeRegion code_;
+  const hwtask::TaskLibrary& library_;
+  std::vector<hwtask::TaskId> task_set_;
+  util::Xoshiro256 rng_;
+
+  State state_ = State::kPickTask;
+  hwtask::TaskId current_ = hwtask::kInvalidTask;
+  std::vector<u8> input_;
+  std::vector<u8> expected_;
+  ThwStats stats_;
+
+  static constexpr u32 kOutputOffset = 128 * kKiB;
+};
+
+}  // namespace minova::workloads

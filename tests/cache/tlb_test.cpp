@@ -1,0 +1,104 @@
+#include "cache/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minova::cache {
+namespace {
+
+TlbEntry page_entry(u32 asid, vaddr_t va, paddr_t pa, bool global = false) {
+  return TlbEntry{.asid = asid, .vpage = va >> 12, .ppage = pa >> 12,
+                  .attrs = 0, .global = global, .large = false,
+                  .valid = true, .lru = 0};
+}
+
+TEST(Tlb, MissThenHitSameAsid) {
+  Tlb t(8);
+  EXPECT_EQ(t.lookup(1, 0x1000), nullptr);
+  t.insert(page_entry(1, 0x1000, 0x9000));
+  const TlbEntry* e = t.lookup(1, 0x1FFF);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ppage, 0x9u);
+  EXPECT_EQ(t.stats().hits, 1u);
+  EXPECT_EQ(t.stats().misses, 1u);
+}
+
+TEST(Tlb, AsidIsolatesNonGlobalEntries) {
+  Tlb t(8);
+  t.insert(page_entry(1, 0x1000, 0x9000));
+  EXPECT_EQ(t.lookup(2, 0x1000), nullptr);  // different ASID: miss
+  EXPECT_NE(t.lookup(1, 0x1000), nullptr);
+}
+
+TEST(Tlb, GlobalEntriesMatchAnyAsid) {
+  Tlb t(8);
+  t.insert(page_entry(1, 0xF000, 0xF000, /*global=*/true));
+  EXPECT_NE(t.lookup(2, 0xF000), nullptr);
+  EXPECT_NE(t.lookup(99, 0xF000), nullptr);
+}
+
+TEST(Tlb, SectionEntryMatchesWholeMegabyte) {
+  Tlb t(8);
+  TlbEntry e;
+  e.valid = true;
+  e.large = true;
+  e.asid = 3;
+  e.vpage = (0x0030'0000u >> 20) << 8;  // section at VA 3 MB
+  e.ppage = 0x0500'0000u >> 12;
+  t.insert(e);
+  EXPECT_NE(t.lookup(3, 0x0030'0000u), nullptr);
+  EXPECT_NE(t.lookup(3, 0x003F'FFFFu), nullptr);
+  EXPECT_EQ(t.lookup(3, 0x0040'0000u), nullptr);
+}
+
+TEST(Tlb, FlushAllInvalidatesEverything) {
+  Tlb t(8);
+  t.insert(page_entry(1, 0x1000, 0x1000));
+  t.insert(page_entry(2, 0x2000, 0x2000));
+  t.flush_all();
+  EXPECT_EQ(t.valid_count(), 0u);
+  EXPECT_EQ(t.stats().flushes, 1u);
+}
+
+TEST(Tlb, FlushAsidSparesOthersAndGlobals) {
+  Tlb t(8);
+  t.insert(page_entry(1, 0x1000, 0x1000));
+  t.insert(page_entry(2, 0x2000, 0x2000));
+  t.insert(page_entry(1, 0xF000, 0xF000, /*global=*/true));
+  t.flush_asid(1);
+  EXPECT_EQ(t.lookup(1, 0x1000), nullptr);
+  EXPECT_NE(t.lookup(2, 0x2000), nullptr);
+  EXPECT_NE(t.lookup(1, 0xF000), nullptr);  // global survives
+}
+
+TEST(Tlb, FlushVaHitsAllAsids) {
+  Tlb t(8);
+  t.insert(page_entry(1, 0x1000, 0xA000));
+  t.insert(page_entry(2, 0x1000, 0xB000));
+  t.flush_va(0x1000);
+  EXPECT_EQ(t.lookup(1, 0x1000), nullptr);
+  EXPECT_EQ(t.lookup(2, 0x1000), nullptr);
+}
+
+TEST(Tlb, LruReplacementWhenFull) {
+  Tlb t(2);
+  t.insert(page_entry(1, 0x1000, 0x1000));
+  t.insert(page_entry(1, 0x2000, 0x2000));
+  t.lookup(1, 0x1000);                      // touch first: second is LRU
+  t.insert(page_entry(1, 0x3000, 0x3000));  // evicts 0x2000
+  EXPECT_NE(t.lookup(1, 0x1000), nullptr);
+  EXPECT_EQ(t.lookup(1, 0x2000), nullptr);
+  EXPECT_NE(t.lookup(1, 0x3000), nullptr);
+}
+
+TEST(Tlb, InsertReplacesExistingTranslation) {
+  Tlb t(4);
+  t.insert(page_entry(1, 0x1000, 0xA000));
+  t.insert(page_entry(1, 0x1000, 0xB000));  // remap same page
+  const TlbEntry* e = t.lookup(1, 0x1000);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ppage, 0xBu);
+  EXPECT_EQ(t.valid_count(), 1u);  // no duplicate
+}
+
+}  // namespace
+}  // namespace minova::cache

@@ -1,0 +1,96 @@
+#include "core/uart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+
+namespace minova::dev {
+namespace {
+
+class UartTest : public ::testing::Test {
+ protected:
+  void pump_until_idle() {
+    cycles_t dl;
+    while (platform_.events().next_deadline(dl)) {
+      platform_.clock().advance_to(dl);
+      platform_.pump();
+    }
+  }
+
+  void put(char c) {
+    platform_.bus().write32(mem::kUart0Base + kUartFifo, u32(c));
+  }
+  u32 status() {
+    u32 v = 0;
+    platform_.bus().read32(mem::kUart0Base + kUartStatus, v);
+    return v;
+  }
+
+  Platform platform_;  // fresh platform: no kernel, so events drain fully
+};
+
+TEST_F(UartTest, TransmitsFifoContentsInOrder) {
+  for (char c : std::string("hello")) put(c);
+  EXPECT_EQ(platform_.uart().fifo_level(), 5u);
+  pump_until_idle();
+  EXPECT_EQ(platform_.uart().transmitted(), "hello");
+  EXPECT_TRUE(status() & kUartStatusTxEmpty);
+}
+
+TEST_F(UartTest, BaudRatePacesDrain) {
+  platform_.bus().write32(mem::kUart0Base + kUartBaudgen, 1000);
+  put('a');
+  put('b');
+  platform_.clock().advance(999);
+  platform_.pump();
+  EXPECT_EQ(platform_.uart().transmitted(), "");
+  platform_.clock().advance(1);
+  platform_.pump();
+  EXPECT_EQ(platform_.uart().transmitted(), "a");
+  platform_.clock().advance(1000);
+  platform_.pump();
+  EXPECT_EQ(platform_.uart().transmitted(), "ab");
+}
+
+TEST_F(UartTest, FifoOverrunDropsCharacters) {
+  platform_.bus().write32(mem::kUart0Base + kUartBaudgen, 1'000'000);
+  for (u32 i = 0; i < Uart::kFifoDepth + 5; ++i) put('x');
+  EXPECT_TRUE(status() & kUartStatusTxFull);
+  EXPECT_EQ(platform_.uart().chars_dropped(), 5u);
+}
+
+TEST_F(UartTest, TxEmptyInterruptWhenEnabled) {
+  platform_.gic().enable_irq(mem::kIrqUart0);
+  platform_.bus().write32(mem::kUart0Base + kUartIer, 1);
+  put('z');
+  pump_until_idle();
+  EXPECT_TRUE(platform_.gic().is_pending(mem::kIrqUart0));
+}
+
+TEST_F(UartTest, NoInterruptWhenMasked) {
+  platform_.gic().enable_irq(mem::kIrqUart0);
+  put('z');
+  pump_until_idle();
+  EXPECT_FALSE(platform_.gic().is_pending(mem::kIrqUart0));
+}
+
+TEST_F(UartTest, FlushDiscardsPendingFifo) {
+  platform_.bus().write32(mem::kUart0Base + kUartBaudgen, 1'000'000);
+  put('q');
+  put('r');
+  platform_.bus().write32(mem::kUart0Base + kUartCtrl, 0b11);  // TXEN+flush
+  EXPECT_EQ(platform_.uart().fifo_level(), 0u);
+}
+
+TEST_F(UartTest, DisabledTxHoldsCharacters) {
+  platform_.bus().write32(mem::kUart0Base + kUartCtrl, 0);  // TX off
+  put('k');
+  pump_until_idle();
+  EXPECT_EQ(platform_.uart().transmitted(), "");
+  platform_.bus().write32(mem::kUart0Base + kUartCtrl, 1);  // TX on
+  pump_until_idle();
+  EXPECT_EQ(platform_.uart().transmitted(), "k");
+}
+
+}  // namespace
+}  // namespace minova::dev

@@ -1,0 +1,238 @@
+// Hardware Task Manager service: the Fig. 7 allocation routine, the §IV.C
+// security/consistency protocol and the §IV.D interrupt plumbing, exercised
+// through the real hypercall gate.
+#include "hwmgr/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../nova/stub_guest.hpp"
+#include "pl/pcap.hpp"
+#include "pl/prr_controller.hpp"
+
+namespace minova::hwmgr {
+namespace {
+
+using nova::GuestContext;
+using nova::HcStatus;
+using nova::Hypercall;
+using nova::testing::StubGuest;
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest() : kernel_(platform_), manager_(kernel_) {
+    manager_.install(/*priority=*/2);
+    pd0_ = &kernel_.create_vm("vm0", 1, std::make_unique<StubGuest>());
+    pd1_ = &kernel_.create_vm("vm1", 1, std::make_unique<StubGuest>());
+    kernel_.run_for_us(100);  // boot; vm0 becomes current
+  }
+
+  /// Issue the 3-argument request hypercall (§IV.E) from `pd`.
+  nova::HypercallResult request(nova::ProtectionDomain& pd,
+                                hwtask::TaskId task,
+                                vaddr_t iface = nova::kGuestHwIfaceVa) {
+    GuestContext ctx(kernel_, pd, platform_.cpu());
+    return ctx.hypercall(Hypercall::kHwTaskRequest, task, iface,
+                         nova::kGuestHwDataVa);
+  }
+
+  void drain_events() {
+    // Bounded: the kernel tick auto-reloads forever, so "until quiet" never
+    // terminates. 30 ms covers the longest PCAP transfer comfortably.
+    const cycles_t end =
+        platform_.clock().now() + platform_.clock().ms_to_cycles(30);
+    cycles_t dl;
+    while (platform_.events().next_deadline(dl) && dl < end) {
+      platform_.clock().advance_to(dl);
+      platform_.pump();
+    }
+  }
+
+  Platform platform_;
+  nova::Kernel kernel_;
+  ManagerService manager_;
+  nova::ProtectionDomain* pd0_ = nullptr;
+  nova::ProtectionDomain* pd1_ = nullptr;
+};
+
+TEST_F(ManagerTest, FirstRequestMapsInterfaceAndLaunchesPcap) {
+  const auto res = request(*pd0_, hwtask::TaskLibrary::kQam4);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.r1, 1u);  // reconfig flag: PCAP transfer in flight (§IV.E)
+  EXPECT_TRUE(platform_.pcap().busy());
+
+  // Stage 3: the PRR interface page is mapped into the client at iface_va.
+  const auto pa = pd0_->space().translate_raw(nova::kGuestHwIfaceVa);
+  ASSERT_TRUE(pa.has_value());
+  bool is_reg_group = false;
+  for (u32 p = 0; p < manager_.num_prrs(); ++p)
+    is_reg_group |= (*pa == platform_.prr_controller().reg_group_pa(p));
+  EXPECT_TRUE(is_reg_group);
+
+  // Stage 4: hwMMU holds the client's data section.
+  u32 granted = manager_.num_prrs();
+  for (u32 p = 0; p < manager_.num_prrs(); ++p)
+    if (manager_.prr_entry(p).client == pd0_->id()) granted = p;
+  ASSERT_LT(granted, manager_.num_prrs());
+  EXPECT_EQ(platform_.prr_controller().prr(granted).hwmmu_base,
+            pd0_->hw_data_pa);
+  EXPECT_EQ(platform_.prr_controller().prr(granted).hwmmu_size,
+            pd0_->hw_data_size);
+
+  // §IV.D: a PL IRQ source was allocated and registered in the vGIC.
+  const u32 irq_idx = manager_.prr_entry(granted).irq_index;
+  ASSERT_LT(irq_idx, mem::kNumPlIrqs);
+  EXPECT_TRUE(pd0_->vgic().is_registered(mem::pl_irq_to_gic(irq_idx)));
+}
+
+TEST_F(ManagerTest, ResidentTaskGrantedWithoutReconfig) {
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kQam4).ok());
+  drain_events();  // PCAP completes
+  const auto res = request(*pd0_, hwtask::TaskLibrary::kQam4);
+  ASSERT_EQ(res.status, HcStatus::kSuccess);
+  EXPECT_EQ(res.r1, 0u);  // no reconfiguration needed
+  EXPECT_EQ(manager_.stats().grants_no_reconfig, 1u);
+}
+
+TEST_F(ManagerTest, RequestWhilePcapStreamingIsBusy) {
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kFft256).ok());
+  ASSERT_TRUE(platform_.pcap().busy());
+  // A second task needing reconfiguration cannot start a transfer now.
+  const auto res = request(*pd1_, hwtask::TaskLibrary::kFft512);
+  EXPECT_EQ(res.status, HcStatus::kBusy);
+  drain_events();
+  EXPECT_TRUE(request(*pd1_, hwtask::TaskLibrary::kFft512).ok());
+}
+
+TEST_F(ManagerTest, UnknownTaskRejected) {
+  EXPECT_EQ(request(*pd0_, 999).status, HcStatus::kInvalidArg);
+}
+
+TEST_F(ManagerTest, MisalignedInterfaceVaRejected) {
+  EXPECT_EQ(request(*pd0_, hwtask::TaskLibrary::kQam4,
+                    nova::kGuestHwIfaceVa + 4).status,
+            HcStatus::kInvalidArg);
+}
+
+TEST_F(ManagerTest, ReclaimRunsConsistencyProtocol) {
+  // vm0 gets QAM-4 into some PRR; then vm1 requests the same task class
+  // enough times to force a reclaim of vm0's region.
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kQam4).ok());
+  drain_events();
+  // Occupy: vm1 requests QAM-4 -> resident PRR is owned by vm0 -> reclaim.
+  const auto res = request(*pd1_, hwtask::TaskLibrary::kQam4);
+  ASSERT_TRUE(res.ok());
+  drain_events();
+  EXPECT_GE(manager_.stats().reclaims, 1u);
+
+  // §IV.C: vm0's interface page is demapped...
+  EXPECT_EQ(pd0_->space().translate_raw(nova::kGuestHwIfaceVa), std::nullopt);
+  // ...and its data section carries the inconsistent flag + saved regs.
+  const u32 flag = platform_.dram().read32(
+      pd0_->hw_data_pa + consistency_offset(pd0_->hw_data_size));
+  EXPECT_EQ(flag, kStateInconsistent);
+  const u32 saved_task = platform_.dram().read32(
+      pd0_->hw_data_pa + consistency_offset(pd0_->hw_data_size) + 4);
+  EXPECT_EQ(saved_task, hwtask::TaskLibrary::kQam4);
+
+  // vm1 now owns the region with a consistent flag.
+  const u32 flag1 = platform_.dram().read32(
+      pd1_->hw_data_pa + consistency_offset(pd1_->hw_data_size));
+  EXPECT_EQ(flag1, kStateConsistent);
+  EXPECT_TRUE(pd1_->space().translate_raw(nova::kGuestHwIfaceVa).has_value());
+}
+
+TEST_F(ManagerTest, ExclusiveUseOneClientAtATime) {
+  // Security principle 1 (§IV.C): once dispatched, a hardware task belongs
+  // to exactly one VM; the previous client loses the mapping.
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kQam16).ok());
+  drain_events();
+  ASSERT_TRUE(request(*pd1_, hwtask::TaskLibrary::kQam16).ok());
+  drain_events();
+  u32 owners = 0;
+  for (u32 p = 0; p < manager_.num_prrs(); ++p)
+    if (manager_.prr_entry(p).task == hwtask::TaskLibrary::kQam16 &&
+        manager_.prr_entry(p).client != nova::kInvalidPd)
+      ++owners;
+  EXPECT_EQ(owners, 1u);
+}
+
+TEST_F(ManagerTest, AllPrrsBusyReturnsBusyStatus) {
+  // Fill both large PRRs with busy FFT jobs, then ask for another FFT.
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kFft256).ok());
+  drain_events();
+  ASSERT_TRUE(request(*pd1_, hwtask::TaskLibrary::kFft512).ok());
+  drain_events();
+  // Start a job on each large PRR directly through the controller regs.
+  for (u32 p = 0; p < 2; ++p) {
+    auto& ctl = platform_.prr_controller();
+    const paddr_t data = pd0_->hw_data_pa;
+    platform_.bus().write32(ctl.reg_group_pa(p) + pl::kRegSrcAddr, data);
+    platform_.bus().write32(ctl.reg_group_pa(p) + pl::kRegSrcLen, 64);
+    platform_.bus().write32(ctl.reg_group_pa(p) + pl::kRegDstAddr,
+                            data + 0x8000);
+    // hwMMU windows were loaded for the last grant owner of each region;
+    // reload to pd0's section so the start is accepted.
+    platform_.bus().write32(mem::kPrrGlobalRegsBase + pl::kGlobPrrSelect, p);
+    platform_.bus().write32(mem::kPrrGlobalRegsBase + pl::kGlobHwmmuBase, data);
+    platform_.bus().write32(mem::kPrrGlobalRegsBase + pl::kGlobHwmmuSize,
+                            pd0_->hw_data_size);
+    platform_.bus().write32(ctl.reg_group_pa(p) + pl::kRegCtrl,
+                            pl::kCtrlStart);
+    ASSERT_TRUE(platform_.prr_controller().prr(p).busy);
+  }
+  EXPECT_EQ(request(*pd0_, hwtask::TaskLibrary::kFft1024).status,
+            HcStatus::kBusy);
+  EXPECT_GE(manager_.stats().busy_rejections, 1u);
+}
+
+TEST_F(ManagerTest, ReleaseFreesRegionButKeepsTaskResident) {
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kQam64).ok());
+  drain_events();
+  GuestContext ctx(kernel_, *pd0_, platform_.cpu());
+  ASSERT_TRUE(
+      ctx.hypercall(Hypercall::kHwTaskRelease, hwtask::TaskLibrary::kQam64)
+          .ok());
+  EXPECT_EQ(manager_.stats().releases, 1u);
+  // Region unowned, interface demapped, but the bitstream stays configured
+  // for cheap re-dispatch.
+  bool resident_unowned = false;
+  for (u32 p = 0; p < manager_.num_prrs(); ++p) {
+    if (manager_.prr_entry(p).task == hwtask::TaskLibrary::kQam64)
+      resident_unowned = manager_.prr_entry(p).client == nova::kInvalidPd;
+  }
+  EXPECT_TRUE(resident_unowned);
+  EXPECT_EQ(pd0_->space().translate_raw(nova::kGuestHwIfaceVa), std::nullopt);
+  // Releasing again: nothing to release.
+  EXPECT_EQ(
+      ctx.hypercall(Hypercall::kHwTaskRelease, hwtask::TaskLibrary::kQam64)
+          .status,
+      HcStatus::kNotFound);
+}
+
+TEST_F(ManagerTest, LatenciesRecordedOnServedRequests) {
+  ASSERT_TRUE(request(*pd0_, hwtask::TaskLibrary::kQam4).ok());
+  auto& lat = kernel_.hwmgr_latencies();
+  ASSERT_EQ(lat.entry_us.count(), 1u);
+  EXPECT_GT(lat.entry_us.mean(), 0.0);
+  EXPECT_GT(lat.exec_us.mean(), 0.0);
+  EXPECT_GT(lat.exit_us.mean(), 0.0);
+  EXPECT_NEAR(lat.total_us.mean(),
+              lat.entry_us.mean() + lat.exec_us.mean() + lat.exit_us.mean(),
+              0.01);
+}
+
+TEST_F(ManagerTest, RequestWithoutCapabilityDenied) {
+  // The manager itself has no kCapHwClient; a request from it must bounce.
+  auto* mgr_pd = kernel_.pd_by_id(0);  // manager was created first
+  ASSERT_NE(mgr_pd, nullptr);
+  ASSERT_FALSE(mgr_pd->has_cap(nova::kCapHwClient));
+  GuestContext ctx(kernel_, *mgr_pd, platform_.cpu());
+  EXPECT_EQ(ctx.hypercall(Hypercall::kHwTaskRequest,
+                          hwtask::TaskLibrary::kQam4, nova::kGuestHwIfaceVa,
+                          nova::kGuestHwDataVa)
+                .status,
+            HcStatus::kDenied);
+}
+
+}  // namespace
+}  // namespace minova::hwmgr

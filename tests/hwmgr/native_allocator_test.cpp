@@ -1,0 +1,96 @@
+#include "hwmgr/native_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nova/kmem.hpp"
+#include "pl/pcap.hpp"
+#include "pl/prr_controller.hpp"
+
+namespace minova::hwmgr {
+namespace {
+
+using workloads::HwReqStatus;
+
+class NativeAllocTest : public ::testing::Test {
+ protected:
+  NativeAllocTest()
+      : code_(nova::vm_phys_base(0) + 0x10000, 128 * kKiB),
+        alloc_(platform_, code_) {}
+
+  void drain() {
+    cycles_t dl;
+    while (platform_.events().next_deadline(dl)) {
+      platform_.clock().advance_to(dl);
+      platform_.pump();
+    }
+  }
+
+  static constexpr paddr_t kData = nova::vm_phys_base(0) + 0x80000;
+
+  Platform platform_;
+  cpu::CodeLayout code_;
+  NativeAllocator alloc_;
+};
+
+TEST_F(NativeAllocTest, FirstRequestLaunchesPcap) {
+  const auto g = alloc_.request(hwtask::TaskLibrary::kQam4, kData, 64 * kKiB);
+  EXPECT_EQ(g.status, HwReqStatus::kGrantedReconfig);
+  EXPECT_TRUE(platform_.pcap().busy());
+  EXPECT_EQ(alloc_.pcap_launches(), 1u);
+  // hwMMU loaded.
+  EXPECT_EQ(platform_.prr_controller().prr(g.prr).hwmmu_base, kData);
+}
+
+TEST_F(NativeAllocTest, ResidentTaskNeedsNoReconfig) {
+  alloc_.request(hwtask::TaskLibrary::kQam4, kData, 64 * kKiB);
+  drain();
+  const auto g = alloc_.request(hwtask::TaskLibrary::kQam4, kData, 64 * kKiB);
+  EXPECT_EQ(g.status, HwReqStatus::kGranted);
+  EXPECT_EQ(alloc_.pcap_launches(), 1u);
+}
+
+TEST_F(NativeAllocTest, FftLimitedToLargeRegions) {
+  const auto a = alloc_.request(hwtask::TaskLibrary::kFft256, kData, 64 * kKiB);
+  drain();
+  const auto b = alloc_.request(hwtask::TaskLibrary::kFft512, kData, 64 * kKiB);
+  drain();
+  EXPECT_LT(a.prr, 2u);
+  EXPECT_LT(b.prr, 2u);
+  EXPECT_NE(a.prr, b.prr);
+}
+
+TEST_F(NativeAllocTest, BusyWhilePcapStreams) {
+  alloc_.request(hwtask::TaskLibrary::kFft256, kData, 64 * kKiB);
+  const auto g = alloc_.request(hwtask::TaskLibrary::kFft512, kData, 64 * kKiB);
+  EXPECT_EQ(g.status, HwReqStatus::kBusy);
+}
+
+TEST_F(NativeAllocTest, ExecutionLatencyRecorded) {
+  alloc_.request(hwtask::TaskLibrary::kQam4, kData, 64 * kKiB);
+  ASSERT_EQ(alloc_.exec_us().count(), 1u);
+  // The paper's native execution is ~15 us; the model must land in range.
+  EXPECT_GT(alloc_.exec_us().mean(), 5.0);
+  EXPECT_LT(alloc_.exec_us().mean(), 40.0);
+}
+
+TEST_F(NativeAllocTest, PlIrqAllocatedAndEnabled) {
+  const auto g = alloc_.request(hwtask::TaskLibrary::kQam16, kData, 64 * kKiB);
+  EXPECT_NE(g.pl_irq, 0u);
+  EXPECT_TRUE(platform_.gic().is_enabled(g.pl_irq));
+}
+
+TEST_F(NativeAllocTest, ReleaseMakesRegionReusable) {
+  const auto g = alloc_.request(hwtask::TaskLibrary::kQam4, kData, 64 * kKiB);
+  drain();
+  EXPECT_TRUE(alloc_.release(hwtask::TaskLibrary::kQam4));
+  EXPECT_FALSE(alloc_.release(hwtask::TaskLibrary::kQam4));  // already free
+  (void)g;
+}
+
+TEST_F(NativeAllocTest, UnknownTaskFails) {
+  const auto g = alloc_.request(12345, kData, 64 * kKiB);
+  EXPECT_EQ(g.status, HwReqStatus::kError);
+}
+
+}  // namespace
+}  // namespace minova::hwmgr

@@ -1,0 +1,124 @@
+#include "hwtask/fft_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace minova::hwtask {
+namespace {
+
+using cplx = std::complex<float>;
+
+// Naive O(N^2) DFT reference.
+std::vector<cplx> dft(const std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0, 0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * double(k) * double(t) /
+                         double(n);
+      acc += std::complex<double>(x[t]) *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = cplx(acc);
+  }
+  return out;
+}
+
+TEST(FftCore, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(256, {0, 0});
+  x[0] = {1.0f, 0.0f};
+  FftCore::fft_inplace(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-4f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-4f);
+  }
+}
+
+TEST(FftCore, SingleToneConcentratesEnergy) {
+  const std::size_t n = 512, bin = 37;
+  std::vector<cplx> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * std::numbers::pi * double(bin) * double(t) /
+                       double(n);
+    x[t] = cplx(float(std::cos(ang)), float(std::sin(ang)));
+  }
+  FftCore::fft_inplace(x);
+  EXPECT_NEAR(std::abs(x[bin]), float(n), float(n) * 1e-3f);
+  // All other bins near zero.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin) continue;
+    EXPECT_LT(std::abs(x[k]), 1e-2f * float(n));
+  }
+}
+
+// Property: FFT matches the naive DFT on random inputs.
+class FftVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsDft, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  util::Xoshiro256 rng(n);
+  std::vector<cplx> x(n);
+  for (auto& v : x)
+    v = cplx(float(rng.next_double() - 0.5), float(rng.next_double() - 0.5));
+  auto ref = dft(x);
+  FftCore::fft_inplace(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-2f) << "bin " << k;
+    EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-2f) << "bin " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDft, ::testing::Values(256u, 512u));
+
+TEST(FftCore, ProcessRoundTripsThroughBytes) {
+  FftCore core(256);
+  std::vector<u8> in(256 * 8);
+  const float one = 1.0f, zero = 0.0f;
+  std::memcpy(in.data(), &one, 4);
+  std::memcpy(in.data() + 4, &zero, 4);
+  const auto out = core.process(in);
+  ASSERT_EQ(out.size(), 256u * 8);
+  for (u32 i = 0; i < 256; ++i) {
+    float re;
+    std::memcpy(&re, out.data() + i * 8, 4);
+    EXPECT_NEAR(re, 1.0f, 1e-4f);
+  }
+}
+
+TEST(FftCore, ShortInputZeroPadded) {
+  FftCore core(256);
+  std::vector<u8> in(8);  // one sample only
+  const float v = 2.0f;
+  std::memcpy(in.data(), &v, 4);
+  const auto out = core.process(in);
+  ASSERT_EQ(out.size(), 256u * 8);  // full frame out
+  float re;
+  std::memcpy(&re, out.data(), 4);
+  EXPECT_NEAR(re, 2.0f, 1e-4f);  // impulse of amplitude 2
+}
+
+TEST(FftCore, LatencyGrowsWithSize) {
+  FftCore small(256), big(8192);
+  EXPECT_LT(small.latency_cycles(256 * 8), big.latency_cycles(8192 * 8));
+}
+
+TEST(FftCore, NameAndPoints) {
+  FftCore core(1024);
+  EXPECT_EQ(core.name(), "FFT-1024");
+  EXPECT_EQ(core.points(), 1024u);
+}
+
+TEST(FftCoreDeath, RejectsBadSizes) {
+  EXPECT_DEATH(FftCore(100), "");    // not a power of two
+  EXPECT_DEATH(FftCore(16384), "");  // out of range
+  EXPECT_DEATH(FftCore(128), "");    // below range
+}
+
+}  // namespace
+}  // namespace minova::hwtask

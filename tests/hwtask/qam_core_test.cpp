@@ -1,0 +1,103 @@
+#include "hwtask/qam_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+namespace minova::hwtask {
+namespace {
+
+TEST(QamCore, BitsPerSymbol) {
+  EXPECT_EQ(QamCore(4).bits_per_symbol(), 2u);
+  EXPECT_EQ(QamCore(16).bits_per_symbol(), 4u);
+  EXPECT_EQ(QamCore(64).bits_per_symbol(), 6u);
+}
+
+class QamProperties : public ::testing::TestWithParam<u32> {};
+
+TEST_P(QamProperties, ConstellationHasMDistinctUnitEnergyPoints) {
+  const u32 order = GetParam();
+  std::set<std::pair<int, int>> points;
+  double energy = 0;
+  for (u32 bits = 0; bits < order; ++bits) {
+    float i, q;
+    QamCore::map_symbol(bits, order, i, q);
+    points.insert({int(std::lround(i * 10000)), int(std::lround(q * 10000))});
+    energy += double(i) * i + double(q) * q;
+  }
+  EXPECT_EQ(points.size(), order);               // distinct symbols
+  EXPECT_NEAR(energy / order, 1.0, 1e-5);        // unit average energy
+}
+
+TEST_P(QamProperties, GrayMappingAdjacentBitsDifferByOneStep) {
+  // Flipping one I-axis bit must move the point along exactly one axis by
+  // one PAM step (the Gray property that bounds demap bit errors).
+  const u32 order = GetParam();
+  const u32 bps = QamCore(order).bits_per_symbol();
+  const u32 half = bps / 2;
+  const u32 side = 1u << half;
+  const float step = 2.0f / std::sqrt(2.0f * (float(order) - 1.0f) / 3.0f);
+  for (u32 bits = 0; bits < order; ++bits) {
+    for (u32 b = 0; b < half; ++b) {  // flip one I bit
+      const u32 other = bits ^ (1u << b);
+      float i1, q1, i2, q2;
+      QamCore::map_symbol(bits, order, i1, q1);
+      QamCore::map_symbol(other, order, i2, q2);
+      EXPECT_FLOAT_EQ(q1, q2);  // Q unchanged
+      const float di = std::abs(i1 - i2) / step;
+      // Gray adjacency: a single-bit flip moves by an odd number of steps,
+      // and flipping the LSB always moves exactly one step.
+      if (b == 0) {
+        EXPECT_NEAR(di, 1.0f, 1e-4f);
+      }
+      EXPECT_LE(di, float(side - 1) + 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QamProperties,
+                         ::testing::Values(4u, 16u, 64u));
+
+TEST(QamCore, ProcessProducesExpectedSymbolCount) {
+  QamCore core(16);
+  std::vector<u8> in(100);  // 800 bits -> 200 QAM-16 symbols
+  const auto out = core.process(in);
+  EXPECT_EQ(out.size(), 200u * 8);
+}
+
+TEST(QamCore, ZeroBitsMapToCorner) {
+  QamCore core(4);
+  std::vector<u8> in(1, 0x00);  // 4 symbols of bits 00
+  const auto out = core.process(in);
+  ASSERT_EQ(out.size(), 4u * 8);
+  float i, q, ri, rq;
+  QamCore::map_symbol(0, 4, i, q);
+  std::memcpy(&ri, out.data(), 4);
+  std::memcpy(&rq, out.data() + 4, 4);
+  EXPECT_FLOAT_EQ(ri, i);
+  EXPECT_FLOAT_EQ(rq, q);
+}
+
+TEST(QamCore, Qam4PointsAreDiagonal) {
+  for (u32 bits = 0; bits < 4; ++bits) {
+    float i, q;
+    QamCore::map_symbol(bits, 4, i, q);
+    EXPECT_NEAR(std::abs(i), std::sqrt(0.5f), 1e-5f);
+    EXPECT_NEAR(std::abs(q), std::sqrt(0.5f), 1e-5f);
+  }
+}
+
+TEST(QamCore, LatencyScalesWithInput) {
+  QamCore core(64);
+  EXPECT_LT(core.latency_cycles(64), core.latency_cycles(6400));
+}
+
+TEST(QamCoreDeath, RejectsUnsupportedOrder) {
+  EXPECT_DEATH(QamCore(8), "");
+  EXPECT_DEATH(QamCore(256), "");
+}
+
+}  // namespace
+}  // namespace minova::hwtask

@@ -1,0 +1,70 @@
+#include "mem/phys_mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+namespace minova::mem {
+namespace {
+
+TEST(PhysMem, ZeroInitialized) {
+  PhysMem m(0, 64 * kKiB);
+  EXPECT_EQ(m.read32(0x1000), 0u);
+  EXPECT_EQ(m.read8(0xFFFF), 0u);
+}
+
+TEST(PhysMem, ScalarRoundTrips) {
+  PhysMem m(0, 64 * kKiB);
+  m.write8(5, 0xAB);
+  m.write16(10, 0xBEEF);
+  m.write32(100, 0xDEADBEEF);
+  m.write64(200, 0x0123456789ABCDEFull);
+  EXPECT_EQ(m.read8(5), 0xAB);
+  EXPECT_EQ(m.read16(10), 0xBEEF);
+  EXPECT_EQ(m.read32(100), 0xDEADBEEFu);
+  EXPECT_EQ(m.read64(200), 0x0123456789ABCDEFull);
+}
+
+TEST(PhysMem, NonZeroBaseWindow) {
+  PhysMem m(0xFFFC'0000u, 256 * kKiB);  // OCM-style high window
+  m.write32(0xFFFC'0010u, 42);
+  EXPECT_EQ(m.read32(0xFFFC'0010u), 42u);
+  EXPECT_TRUE(m.contains(0xFFFC'0000u));
+  EXPECT_FALSE(m.contains(0x0));
+}
+
+TEST(PhysMem, BlockCopyCrossesFrames) {
+  PhysMem m(0, 64 * kKiB);
+  std::array<u8, 8192> src{};
+  std::iota(src.begin(), src.end(), 0);
+  // Start 100 bytes before a frame boundary.
+  m.write_block(PhysMem::kFrameSize - 100, src);
+  std::array<u8, 8192> dst{};
+  m.read_block(PhysMem::kFrameSize - 100, dst);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(PhysMem, ResidentFramesGrowOnDemand) {
+  PhysMem m(0, 1 * kMiB);
+  EXPECT_EQ(m.resident_frames(), 0u);
+  m.write8(0, 1);
+  m.write8(512 * kKiB, 1);
+  EXPECT_EQ(m.resident_frames(), 2u);
+  m.read8(0);  // same frame, no growth
+  EXPECT_EQ(m.resident_frames(), 2u);
+}
+
+TEST(PhysMemDeath, OutOfWindowAborts) {
+  PhysMem m(0, 64 * kKiB);
+  EXPECT_DEATH(m.read32(64 * kKiB), "outside RAM window");
+}
+
+TEST(PhysMemDeath, MisalignedScalarAborts) {
+  PhysMem m(0, 64 * kKiB);
+  EXPECT_DEATH(m.read32(2), "");
+  EXPECT_DEATH(m.write64(4, 0), "");
+}
+
+}  // namespace
+}  // namespace minova::mem

@@ -1,0 +1,135 @@
+#include "mmu/descriptors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minova::mmu {
+namespace {
+
+TEST(ApPermits, FullMatrix) {
+  // (ap, privileged, write) -> allowed
+  struct Case { Ap ap; bool priv; bool write; bool allowed; };
+  const Case cases[] = {
+      {Ap::kNoAccess, false, false, false},
+      {Ap::kNoAccess, true, true, false},
+      {Ap::kPrivOnly, true, true, true},
+      {Ap::kPrivOnly, true, false, true},
+      {Ap::kPrivOnly, false, false, false},
+      {Ap::kPrivRwUserRo, false, false, true},
+      {Ap::kPrivRwUserRo, false, true, false},
+      {Ap::kPrivRwUserRo, true, true, true},
+      {Ap::kFullAccess, false, true, true},
+      {Ap::kFullAccess, false, false, true},
+      {Ap::kPrivRo, true, false, true},
+      {Ap::kPrivRo, true, true, false},
+      {Ap::kPrivRo, false, false, false},
+      {Ap::kReadOnly, false, false, true},
+      {Ap::kReadOnly, true, true, false},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(ap_permits(c.ap, c.priv, c.write), c.allowed)
+        << "ap=" << int(c.ap) << " priv=" << c.priv << " write=" << c.write;
+  }
+}
+
+TEST(Dacr, SetGetRoundTrip) {
+  u32 dacr = 0;
+  dacr = dacr_set(dacr, 0, DomainMode::kClient);
+  dacr = dacr_set(dacr, 1, DomainMode::kManager);
+  dacr = dacr_set(dacr, 15, DomainMode::kClient);
+  EXPECT_EQ(dacr_get(dacr, 0), DomainMode::kClient);
+  EXPECT_EQ(dacr_get(dacr, 1), DomainMode::kManager);
+  EXPECT_EQ(dacr_get(dacr, 2), DomainMode::kNoAccess);
+  EXPECT_EQ(dacr_get(dacr, 15), DomainMode::kClient);
+  // Overwrite keeps neighbours intact.
+  dacr = dacr_set(dacr, 1, DomainMode::kNoAccess);
+  EXPECT_EQ(dacr_get(dacr, 1), DomainMode::kNoAccess);
+  EXPECT_EQ(dacr_get(dacr, 0), DomainMode::kClient);
+}
+
+class L1SectionRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Ap, bool, bool, u32>> {};
+
+TEST_P(L1SectionRoundTrip, EncodeDecode) {
+  const auto [ap, ng, xn, domain] = GetParam();
+  L1Desc d;
+  d.type = L1Type::kSection;
+  d.section_base = 0x1230'0000u;
+  d.ap = ap;
+  d.ng = ng;
+  d.xn = xn;
+  d.domain = domain;
+  const L1Desc back = L1Desc::decode(d.encode());
+  EXPECT_EQ(back.type, L1Type::kSection);
+  EXPECT_EQ(back.section_base, 0x1230'0000u);
+  EXPECT_EQ(back.ap, ap);
+  EXPECT_EQ(back.ng, ng);
+  EXPECT_EQ(back.xn, xn);
+  EXPECT_EQ(back.domain, domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttrCombos, L1SectionRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(Ap::kNoAccess, Ap::kPrivOnly, Ap::kPrivRwUserRo,
+                          Ap::kFullAccess, Ap::kPrivRo, Ap::kReadOnly),
+        ::testing::Bool(), ::testing::Bool(),
+        ::testing::Values(0u, 1u, 7u, 15u)));
+
+class L2PageRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Ap, bool, bool>> {};
+
+TEST_P(L2PageRoundTrip, EncodeDecode) {
+  const auto [ap, ng, xn] = GetParam();
+  L2Desc d;
+  d.valid = true;
+  d.page_base = 0x0ABC'D000u;
+  d.ap = ap;
+  d.ng = ng;
+  d.xn = xn;
+  const L2Desc back = L2Desc::decode(d.encode());
+  EXPECT_TRUE(back.valid);
+  EXPECT_EQ(back.page_base, 0x0ABC'D000u);
+  EXPECT_EQ(back.ap, ap);
+  EXPECT_EQ(back.ng, ng);
+  EXPECT_EQ(back.xn, xn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttrCombos, L2PageRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(Ap::kNoAccess, Ap::kPrivOnly, Ap::kPrivRwUserRo,
+                          Ap::kFullAccess, Ap::kPrivRo, Ap::kReadOnly),
+        ::testing::Bool(), ::testing::Bool()));
+
+TEST(L1Desc, PageTableRoundTrip) {
+  L1Desc d;
+  d.type = L1Type::kPageTable;
+  d.l2_base = 0x0010'2400u;  // 1 KB aligned
+  d.domain = 5;
+  const L1Desc back = L1Desc::decode(d.encode());
+  EXPECT_EQ(back.type, L1Type::kPageTable);
+  EXPECT_EQ(back.l2_base, 0x0010'2400u);
+  EXPECT_EQ(back.domain, 5u);
+}
+
+TEST(L1Desc, FaultEncodesAsZero) {
+  EXPECT_EQ(L1Desc{}.encode(), 0u);
+  EXPECT_EQ(L1Desc::decode(0).type, L1Type::kFault);
+}
+
+TEST(L2Desc, InvalidEncodesAsZero) {
+  EXPECT_EQ(L2Desc{}.encode(), 0u);
+  EXPECT_FALSE(L2Desc::decode(0).valid);
+}
+
+TEST(Indices, VaDecomposition) {
+  EXPECT_EQ(l1_index(0x0000'0000u), 0u);
+  EXPECT_EQ(l1_index(0x0010'0000u), 1u);
+  EXPECT_EQ(l1_index(0xFFF0'0000u), 4095u);
+  EXPECT_EQ(l2_index(0x0000'0000u), 0u);
+  EXPECT_EQ(l2_index(0x0000'1000u), 1u);
+  EXPECT_EQ(l2_index(0x000F'F000u), 255u);
+}
+
+}  // namespace
+}  // namespace minova::mmu

@@ -1,0 +1,177 @@
+#include "mmu/mmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmu/page_table.hpp"
+#include "util/rng.hpp"
+
+namespace minova::mmu {
+namespace {
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest()
+      : ram_(0, 16 * kMiB),
+        tlb_(32),
+        mmu_(ram_, hierarchy_, tlb_),
+        alloc_(ram_, 1 * kMiB, 4 * kMiB),
+        as_(ram_, alloc_) {
+    mmu_.set_ttbr0(as_.root());
+    mmu_.set_dacr(dacr_set(0, 0, DomainMode::kClient));
+    mmu_.set_asid(1);
+    mmu_.set_enabled(true);
+  }
+
+  mem::PhysMem ram_;
+  cache::MemHierarchy hierarchy_;
+  cache::Tlb tlb_;
+  Mmu mmu_;
+  PageTableAllocator alloc_;
+  AddressSpace as_;
+};
+
+TEST_F(MmuTest, DisabledMmuIsIdentity) {
+  mmu_.set_enabled(false);
+  const auto r = mmu_.translate(0xDEAD'BEEAu, AccessKind::kRead, false);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.pa, 0xDEAD'BEEAu);
+  EXPECT_EQ(r.cost, 0u);
+}
+
+TEST_F(MmuTest, PageTranslationAndTlbFill) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  auto r = mmu_.translate(0x0040'0123u, AccessKind::kRead, false);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.pa, 0x0080'0123u);
+  EXPECT_FALSE(r.tlb_hit);
+  EXPECT_GT(r.cost, 0u);  // two descriptor fetches
+
+  r = mmu_.translate(0x0040'0FFCu, AccessKind::kRead, false);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.tlb_hit);
+  EXPECT_EQ(r.cost, 0u);
+}
+
+TEST_F(MmuTest, SectionTranslation) {
+  as_.map_section(0x0030'0000u, 0x0050'0000u, MapAttrs{});
+  const auto r = mmu_.translate(0x0038'1234u, AccessKind::kRead, false);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.pa, 0x0058'1234u);
+  // Section TLB entry covers the whole megabyte.
+  const auto r2 = mmu_.translate(0x003F'0000u, AccessKind::kRead, false);
+  EXPECT_TRUE(r2.tlb_hit);
+}
+
+TEST_F(MmuTest, TranslationFaults) {
+  const auto r1 = mmu_.translate(0x0999'0000u, AccessKind::kRead, false);
+  EXPECT_EQ(r1.fault.type, FaultType::kTranslationL1);
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  const auto r2 = mmu_.translate(0x0040'2000u, AccessKind::kRead, false);
+  EXPECT_EQ(r2.fault.type, FaultType::kTranslationL2);
+  EXPECT_EQ(r2.fault.address, 0x0040'2000u);
+}
+
+TEST_F(MmuTest, PermissionFaultOnUserAccessToPrivPage) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{.ap = Ap::kPrivOnly});
+  const auto user = mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  EXPECT_EQ(user.fault.type, FaultType::kPermission);
+  const auto priv = mmu_.translate(0x0040'0000u, AccessKind::kRead, true);
+  EXPECT_TRUE(priv.ok());
+}
+
+TEST_F(MmuTest, WriteDeniedOnReadOnlyPage) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{.ap = Ap::kReadOnly});
+  EXPECT_TRUE(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).ok());
+  const auto w = mmu_.translate(0x0040'0000u, AccessKind::kWrite, false);
+  EXPECT_EQ(w.fault.type, FaultType::kPermission);
+  EXPECT_TRUE(w.fault.write);
+}
+
+TEST_F(MmuTest, ExecuteNeverFaultsOnlyExecution) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{.xn = true});
+  EXPECT_TRUE(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).ok());
+  const auto x = mmu_.translate(0x0040'0000u, AccessKind::kExecute, false);
+  EXPECT_EQ(x.fault.type, FaultType::kExecuteNever);
+}
+
+TEST_F(MmuTest, DomainNoAccessFaultsEvenWithFullAp) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u,
+               MapAttrs{.ap = Ap::kFullAccess, .domain = 3});
+  // Domain 3 not granted in DACR (defaults to NoAccess).
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kRead, true);
+  EXPECT_EQ(r.fault.type, FaultType::kDomain);
+  EXPECT_EQ(r.fault.domain, 3u);
+}
+
+TEST_F(MmuTest, ManagerDomainBypassesApChecks) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u,
+               MapAttrs{.ap = Ap::kNoAccess, .domain = 2});
+  mmu_.set_dacr(dacr_set(mmu_.dacr(), 2, DomainMode::kManager));
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kWrite, false);
+  EXPECT_TRUE(r.ok());
+}
+
+// The paper's Table II mechanism: flipping a DACR field between Client and
+// NoAccess changes access rights *without* TLB maintenance.
+TEST_F(MmuTest, DacrSwitchTakesEffectOnTlbHits) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u,
+               MapAttrs{.ap = Ap::kFullAccess, .domain = 1});
+  mmu_.set_dacr(dacr_set(mmu_.dacr(), 1, DomainMode::kClient));
+  EXPECT_TRUE(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).ok());
+  // Now deny domain 1 — entry is already in the TLB.
+  mmu_.set_dacr(dacr_set(mmu_.dacr(), 1, DomainMode::kNoAccess));
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  EXPECT_EQ(r.fault.type, FaultType::kDomain);
+  EXPECT_TRUE(r.tlb_hit);
+}
+
+TEST_F(MmuTest, AsidSeparatesAddressSpaces) {
+  AddressSpace other(ram_, alloc_);
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  other.map_page(0x0040'0000u, 0x00C0'0000u, MapAttrs{});
+
+  EXPECT_EQ(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).pa,
+            0x0080'0000u);
+  // Switch address space: TTBR + ASID, no TLB flush.
+  mmu_.set_ttbr0(other.root());
+  mmu_.set_asid(2);
+  EXPECT_EQ(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).pa,
+            0x00C0'0000u);
+  // Switch back: the first VM's entry still hits in the TLB.
+  mmu_.set_ttbr0(as_.root());
+  mmu_.set_asid(1);
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  EXPECT_EQ(r.pa, 0x0080'0000u);
+  EXPECT_TRUE(r.tlb_hit);
+}
+
+TEST_F(MmuTest, StaleTlbEntryServedUntilFlushVa) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);  // fill TLB
+  as_.unmap_page(0x0040'0000u);
+  // Hardware behaviour: stale entry still hits until maintenance.
+  EXPECT_TRUE(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).ok());
+  mmu_.tlb_flush_va(0x0040'0000u);
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  EXPECT_EQ(r.fault.type, FaultType::kTranslationL2);
+}
+
+// Property: for random mappings, the walker agrees with translate_raw.
+TEST_F(MmuTest, WalkerMatchesRawTranslation) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const vaddr_t va = vaddr_t((u64(i) * 0x2B'3000u) & 0x0FFF'F000u);
+    const paddr_t pa = paddr_t(rng.next_below(0x1000) * kPageSize);
+    as_.map_page(va, pa, MapAttrs{});
+  }
+  for (int i = 0; i < 100; ++i) {
+    const vaddr_t va = vaddr_t((u64(i) * 0x2B'3000u) & 0x0FFF'F000u);
+    const u32 off = u32(rng.next_below(kPageSize));
+    const auto r = mmu_.translate(va + off, AccessKind::kRead, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.pa, as_.translate_raw(va + off).value());
+  }
+}
+
+}  // namespace
+}  // namespace minova::mmu

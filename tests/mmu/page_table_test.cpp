@@ -1,0 +1,114 @@
+#include "mmu/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace minova::mmu {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PageTableTest() : ram_(0, 8 * kMiB), alloc_(ram_, 1 * kMiB, 2 * kMiB) {}
+  mem::PhysMem ram_;
+  PageTableAllocator alloc_;
+};
+
+TEST_F(PageTableTest, AllocatorAlignsTables) {
+  const paddr_t l1 = alloc_.alloc_l1();
+  EXPECT_TRUE(is_aligned(l1, 16 * kKiB));
+  const paddr_t l2 = alloc_.alloc_l2();
+  EXPECT_TRUE(is_aligned(l2, kKiB));
+  EXPECT_GE(alloc_.bytes_used(), kL1TableBytes + kL2TableBytes);
+}
+
+TEST_F(PageTableTest, SectionMapTranslates) {
+  AddressSpace as(ram_, alloc_);
+  as.map_section(0x0010'0000u, 0x0050'0000u, MapAttrs{});
+  EXPECT_EQ(as.translate_raw(0x0010'0000u), 0x0050'0000u);
+  EXPECT_EQ(as.translate_raw(0x0010'1234u), 0x0050'1234u);
+  EXPECT_EQ(as.translate_raw(0x001F'FFFFu), 0x005F'FFFFu);
+  EXPECT_EQ(as.translate_raw(0x0020'0000u), std::nullopt);
+}
+
+TEST_F(PageTableTest, PageMapTranslates) {
+  AddressSpace as(ram_, alloc_);
+  as.map_page(0x0040'1000u, 0x0071'0000u, MapAttrs{});
+  EXPECT_EQ(as.translate_raw(0x0040'1000u), 0x0071'0000u);
+  EXPECT_EQ(as.translate_raw(0x0040'1FFFu), 0x0071'0FFFu);
+  EXPECT_EQ(as.translate_raw(0x0040'0000u), std::nullopt);
+  EXPECT_EQ(as.translate_raw(0x0040'2000u), std::nullopt);
+}
+
+TEST_F(PageTableTest, MapRangeCoversRoundedPages) {
+  AddressSpace as(ram_, alloc_);
+  as.map_range(0x0100'0000u, 0x0200'0000u, 3 * kPageSize + 100, MapAttrs{});
+  EXPECT_TRUE(as.translate_raw(0x0100'0000u).has_value());
+  EXPECT_TRUE(as.translate_raw(0x0100'3000u).has_value());  // 4th page
+  EXPECT_FALSE(as.translate_raw(0x0100'4000u).has_value());
+}
+
+TEST_F(PageTableTest, UnmapPage) {
+  AddressSpace as(ram_, alloc_);
+  as.map_page(0x0040'1000u, 0x0071'0000u, MapAttrs{});
+  EXPECT_TRUE(as.unmap_page(0x0040'1000u));
+  EXPECT_EQ(as.translate_raw(0x0040'1000u), std::nullopt);
+  EXPECT_FALSE(as.unmap_page(0x0040'1000u));  // already gone
+}
+
+TEST_F(PageTableTest, UnmapSection) {
+  AddressSpace as(ram_, alloc_);
+  as.map_section(0x0010'0000u, 0x0050'0000u, MapAttrs{});
+  EXPECT_TRUE(as.unmap_page(0x0010'0000u));
+  EXPECT_EQ(as.translate_raw(0x0010'0000u), std::nullopt);
+}
+
+TEST_F(PageTableTest, ProtectPageChangesAp) {
+  AddressSpace as(ram_, alloc_);
+  as.map_page(0x0040'1000u, 0x0071'0000u,
+              MapAttrs{.ap = Ap::kFullAccess, .domain = 1});
+  EXPECT_TRUE(as.protect_page(0x0040'1000u, Ap::kPrivOnly));
+  // Check via raw descriptor decoding.
+  const L1Desc l1 = L1Desc::decode(ram_.read32(as.root() + l1_index(0x0040'1000u) * 4));
+  const L2Desc l2 = L2Desc::decode(ram_.read32(l1.l2_base + l2_index(0x0040'1000u) * 4));
+  EXPECT_EQ(l2.ap, Ap::kPrivOnly);
+  EXPECT_FALSE(as.protect_page(0x0999'9000u, Ap::kPrivOnly));  // unmapped
+}
+
+TEST_F(PageTableTest, TwoSpacesAreIsolated) {
+  AddressSpace a(ram_, alloc_), b(ram_, alloc_);
+  a.map_page(0x0040'0000u, 0x0100'0000u, MapAttrs{});
+  b.map_page(0x0040'0000u, 0x0200'0000u, MapAttrs{});
+  EXPECT_EQ(a.translate_raw(0x0040'0000u), 0x0100'0000u);
+  EXPECT_EQ(b.translate_raw(0x0040'0000u), 0x0200'0000u);
+}
+
+TEST_F(PageTableTest, MapPageInsideSectionRejected) {
+  AddressSpace as(ram_, alloc_);
+  as.map_section(0x0010'0000u, 0x0050'0000u, MapAttrs{});
+  EXPECT_DEATH(as.map_page(0x0010'1000u, 0x0071'0000u, MapAttrs{}),
+               "existing section");
+}
+
+// Property test: random page mappings all translate correctly.
+TEST_F(PageTableTest, RandomMappingsTranslate) {
+  AddressSpace as(ram_, alloc_);
+  util::Xoshiro256 rng(123);
+  struct M { vaddr_t va; paddr_t pa; };
+  std::vector<M> maps;
+  for (int i = 0; i < 200; ++i) {
+    // Spread VAs over 256 MB to hit many L1 slots; avoid duplicates by
+    // deriving VA from i.
+    const vaddr_t va = vaddr_t((u64(i) * 0x13'7000u) & 0x0FFF'F000u);
+    const paddr_t pa = paddr_t(rng.next_below(0x0800) * kPageSize);
+    as.map_page(va, pa, MapAttrs{});
+    maps.push_back({va, pa});
+  }
+  for (const auto& m : maps) {
+    const u32 off = u32(rng.next_below(kPageSize));
+    EXPECT_EQ(as.translate_raw(m.va + off), m.pa + off);
+  }
+}
+
+}  // namespace
+}  // namespace minova::mmu

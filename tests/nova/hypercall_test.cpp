@@ -1,0 +1,48 @@
+#include "nova/hypercall.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace minova::nova {
+namespace {
+
+TEST(Hypercall, PaperSpecifiesExactly25) {
+  EXPECT_EQ(kNumHypercalls, 25u);
+}
+
+TEST(Hypercall, NamesAreUniqueAndDefined) {
+  std::set<std::string> names;
+  for (u32 h = 0; h < kNumHypercalls; ++h) {
+    const std::string n = hypercall_name(Hypercall(h));
+    EXPECT_NE(n, "?");
+    EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+  }
+}
+
+TEST(Hypercall, CoversAllSixPaperCategories) {
+  // §III.A lists six groups of sensitive operations replaced by hypercalls.
+  // Spot-check one representative of each.
+  EXPECT_STREQ(hypercall_name(Hypercall::kCacheFlushAll), "cache_flush_all");
+  EXPECT_STREQ(hypercall_name(Hypercall::kIrqEnable), "irq_enable");
+  EXPECT_STREQ(hypercall_name(Hypercall::kMapInsert), "map_insert");
+  EXPECT_STREQ(hypercall_name(Hypercall::kRegWrite), "reg_write");
+  EXPECT_STREQ(hypercall_name(Hypercall::kHwTaskRequest), "hwtask_request");
+  EXPECT_STREQ(hypercall_name(Hypercall::kIvcSend), "ivc_send");
+}
+
+TEST(HcStatus, ErrorsAreNegative) {
+  EXPECT_LT(i32(HcStatus::kInvalidArg), 0);
+  EXPECT_LT(i32(HcStatus::kDenied), 0);
+  EXPECT_GE(i32(HcStatus::kSuccess), 0);
+  EXPECT_GE(i32(HcStatus::kReconfig), 0);
+  EXPECT_GE(i32(HcStatus::kBusy), 0);
+  HypercallResult ok{.status = HcStatus::kBusy};
+  EXPECT_TRUE(ok.ok());
+  HypercallResult bad{.status = HcStatus::kDenied};
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace minova::nova

@@ -1,0 +1,89 @@
+#include "nova/ivc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+
+namespace minova::nova {
+namespace {
+
+class IvcTest : public ::testing::Test {
+ protected:
+  IvcTest() : heap_(kKernelHeapBase + 3 * kMiB, 2 * kMiB) {}
+
+  Platform platform_;
+  KernelHeap heap_;
+};
+
+TEST_F(IvcTest, SendRecvRoundTrip) {
+  IvcChannel ch(0, heap_, 1, 2);
+  auto& core = platform_.cpu();
+  ASSERT_TRUE(ch.send(core, 1, {10, 20, 30}));
+  IvcMessage msg;
+  ASSERT_TRUE(ch.recv(core, 2, msg));
+  EXPECT_EQ(msg.sender, 1u);
+  EXPECT_EQ(msg.words, (std::vector<u32>{10, 20, 30}));
+}
+
+TEST_F(IvcTest, BidirectionalIndependentQueues) {
+  IvcChannel ch(0, heap_, 1, 2);
+  auto& core = platform_.cpu();
+  ch.send(core, 1, {100});
+  ch.send(core, 2, {200});
+  IvcMessage m;
+  ASSERT_TRUE(ch.recv(core, 1, m));
+  EXPECT_EQ(m.words[0], 200u);  // 1 receives what 2 sent
+  ASSERT_TRUE(ch.recv(core, 2, m));
+  EXPECT_EQ(m.words[0], 100u);
+}
+
+TEST_F(IvcTest, FifoOrderPreserved) {
+  IvcChannel ch(0, heap_, 1, 2);
+  auto& core = platform_.cpu();
+  for (u32 i = 0; i < 5; ++i) ch.send(core, 1, {i});
+  IvcMessage m;
+  for (u32 i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ch.recv(core, 2, m));
+    EXPECT_EQ(m.words[0], i);
+  }
+}
+
+TEST_F(IvcTest, CapacityLimit) {
+  IvcChannel ch(0, heap_, 1, 2, /*capacity=*/2);
+  auto& core = platform_.cpu();
+  EXPECT_TRUE(ch.send(core, 1, {1}));
+  EXPECT_TRUE(ch.send(core, 1, {2}));
+  EXPECT_FALSE(ch.send(core, 1, {3}));  // full
+  IvcMessage m;
+  ch.recv(core, 2, m);
+  EXPECT_TRUE(ch.send(core, 1, {3}));  // drained one slot
+}
+
+TEST_F(IvcTest, RecvFromEmptyFails) {
+  IvcChannel ch(0, heap_, 1, 2);
+  IvcMessage m;
+  EXPECT_FALSE(ch.recv(platform_.cpu(), 1, m));
+}
+
+TEST_F(IvcTest, PeerAndMembership) {
+  IvcChannel ch(3, heap_, 7, 9);
+  EXPECT_TRUE(ch.connects(7));
+  EXPECT_TRUE(ch.connects(9));
+  EXPECT_FALSE(ch.connects(8));
+  EXPECT_EQ(ch.peer_of(7), 9u);
+  EXPECT_EQ(ch.peer_of(9), 7u);
+  EXPECT_EQ(ch.virq(), kIvcIrqBase + 3);
+}
+
+TEST_F(IvcTest, PendingCountPerReceiver) {
+  IvcChannel ch(0, heap_, 1, 2);
+  auto& core = platform_.cpu();
+  ch.send(core, 1, {1});
+  ch.send(core, 1, {2});
+  ch.send(core, 2, {3});
+  EXPECT_EQ(ch.pending_for(2), 2u);
+  EXPECT_EQ(ch.pending_for(1), 1u);
+}
+
+}  // namespace
+}  // namespace minova::nova

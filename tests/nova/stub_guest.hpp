@@ -1,0 +1,49 @@
+// Minimal scriptable guest for kernel-level tests: runs a user-supplied
+// step function and records injected vIRQs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nova/guest_iface.hpp"
+
+namespace minova::nova::testing {
+
+class StubGuest final : public GuestOs {
+ public:
+  using StepFn = std::function<StepExit(GuestContext&, cycles_t)>;
+  using BootFn = std::function<void(GuestContext&)>;
+
+  explicit StubGuest(StepFn step = {}, BootFn boot = {})
+      : step_(std::move(step)), boot_(std::move(boot)) {}
+
+  const char* guest_name() const override { return "stub"; }
+
+  void boot(GuestContext& ctx) override {
+    booted = true;
+    if (boot_) boot_(ctx);
+  }
+
+  StepExit step(GuestContext& ctx, cycles_t budget) override {
+    ++steps;
+    if (step_) return step_(ctx, budget);
+    // Default behaviour: burn a slice of the budget, stay runnable.
+    ctx.spend_insns(budget / 2 + 1);
+    return StepExit::kBudget;
+  }
+
+  void on_virq(GuestContext& ctx, u32 irq) override {
+    (void)ctx;
+    virqs.push_back(irq);
+  }
+
+  bool booted = false;
+  u64 steps = 0;
+  std::vector<u32> virqs;
+
+ private:
+  StepFn step_;
+  BootFn boot_;
+};
+
+}  // namespace minova::nova::testing

@@ -1,0 +1,119 @@
+#include "nova/vgic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "nova/kernel.hpp"
+
+namespace minova::nova {
+namespace {
+
+class VGicTest : public ::testing::Test {
+ protected:
+  VGicTest()
+      : heap_(kKernelHeapBase + 3 * kMiB, 2 * kMiB),
+        vgic_(heap_, platform_.gic()) {}
+
+  Platform platform_;
+  KernelHeap heap_;
+  VGic vgic_;
+};
+
+TEST_F(VGicTest, RegisterAndEnable) {
+  EXPECT_TRUE(vgic_.register_irq(61));
+  EXPECT_TRUE(vgic_.is_registered(61));
+  EXPECT_FALSE(vgic_.is_enabled(61));
+  vgic_.enable(61);
+  EXPECT_TRUE(vgic_.is_enabled(61));
+  vgic_.disable(61);
+  EXPECT_FALSE(vgic_.is_enabled(61));
+}
+
+TEST_F(VGicTest, RegisterIsIdempotent) {
+  EXPECT_TRUE(vgic_.register_irq(61));
+  EXPECT_TRUE(vgic_.register_irq(61));
+  EXPECT_EQ(vgic_.registered_count(), 1u);
+}
+
+TEST_F(VGicTest, RecordListCapacity) {
+  for (u32 i = 1; i <= VGic::kMaxEntries; ++i)
+    EXPECT_TRUE(vgic_.register_irq(60 + i));
+  EXPECT_FALSE(vgic_.register_irq(99));  // list full (Fig. 2: fixed table)
+  vgic_.unregister_irq(61);
+  EXPECT_TRUE(vgic_.register_irq(99));   // slot reusable
+}
+
+TEST_F(VGicTest, PendingDeliveredOnlyWhenEnabled) {
+  vgic_.register_irq(61);
+  vgic_.set_pending(61);
+  u32 irq = 0;
+  EXPECT_FALSE(vgic_.take_pending(irq));  // disabled: stays latched
+  vgic_.enable(61);
+  EXPECT_TRUE(vgic_.take_pending(irq));
+  EXPECT_EQ(irq, 61u);
+  EXPECT_FALSE(vgic_.take_pending(irq));  // consumed
+}
+
+TEST_F(VGicTest, PendingSurvivesWhileVmDescheduled) {
+  // §IV.D: "the IRQ state remains the same until the next time the VM is
+  // scheduled" — pending is level state, not lost by queries.
+  vgic_.register_irq(61);
+  vgic_.enable(61);
+  vgic_.set_pending(61);
+  EXPECT_TRUE(vgic_.any_deliverable());
+  EXPECT_TRUE(vgic_.any_deliverable());  // still there
+}
+
+TEST_F(VGicTest, SetPendingOnUnregisteredIrqIsDropped) {
+  vgic_.set_pending(77);
+  EXPECT_FALSE(vgic_.any_deliverable());
+}
+
+TEST_F(VGicTest, PhysicalMaskUnmaskFollowsRecordList) {
+  auto& gic = platform_.gic();
+  auto& core = platform_.cpu();
+  vgic_.register_irq(61);
+  vgic_.register_irq(62);
+  vgic_.enable(61);  // 62 stays virtually disabled
+  gic.enable_irq(61);
+  gic.enable_irq(62);
+
+  vgic_.mask_all_physical(core);  // VM switched out
+  EXPECT_FALSE(gic.is_enabled(61));
+  EXPECT_FALSE(gic.is_enabled(62));
+
+  vgic_.unmask_enabled_physical(core);  // VM switched in
+  EXPECT_TRUE(gic.is_enabled(61));
+  EXPECT_FALSE(gic.is_enabled(62));  // only *enabled* sources unmask
+}
+
+TEST_F(VGicTest, VirtualOnlyIrqsNeverTouchPhysicalGic) {
+  auto& core = platform_.cpu();
+  vgic_.register_irq(kVtimerVirq);  // 120 >= kNumIrqs(96)
+  vgic_.enable(kVtimerVirq);
+  // Would abort with a bounds CHECK inside the GIC if it were forwarded.
+  vgic_.mask_all_physical(core);
+  vgic_.unmask_enabled_physical(core);
+  vgic_.set_pending(kVtimerVirq);
+  u32 irq = 0;
+  EXPECT_TRUE(vgic_.take_pending(irq));
+  EXPECT_EQ(irq, kVtimerVirq);
+}
+
+TEST_F(VGicTest, EntryAddressStored) {
+  EXPECT_EQ(vgic_.entry(), 0u);
+  vgic_.set_entry(0x8000);
+  EXPECT_EQ(vgic_.entry(), 0x8000u);
+}
+
+TEST_F(VGicTest, MaskingCostsCycles) {
+  auto& core = platform_.cpu();
+  vgic_.register_irq(61);
+  vgic_.enable(61);
+  const cycles_t t0 = platform_.clock().now();
+  vgic_.mask_all_physical(core);
+  EXPECT_GT(platform_.clock().now(), t0);  // device access + list walk
+}
+
+}  // namespace
+}  // namespace minova::nova

@@ -1,0 +1,44 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minova::sim {
+namespace {
+
+TEST(Clock, StartsAtZero) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  EXPECT_DOUBLE_EQ(c.now_us(), 0.0);
+}
+
+TEST(Clock, AdvanceAccumulates) {
+  Clock c;
+  c.advance(100);
+  c.advance(560);
+  EXPECT_EQ(c.now(), 660u);
+}
+
+TEST(Clock, UsConversionAt660MHz) {
+  Clock c;  // default 660 MHz
+  EXPECT_DOUBLE_EQ(c.cycles_to_us(660), 1.0);
+  EXPECT_EQ(c.us_to_cycles(1.0), 660u);
+  EXPECT_EQ(c.ms_to_cycles(33.0), 33u * 660'000u);
+}
+
+TEST(Clock, AdvanceToNeverMovesBackwards) {
+  Clock c;
+  c.advance(1000);
+  c.advance_to(500);
+  EXPECT_EQ(c.now(), 1000u);
+  c.advance_to(2000);
+  EXPECT_EQ(c.now(), 2000u);
+}
+
+TEST(Clock, CustomFrequency) {
+  Clock c(1'000'000);  // 1 MHz: 1 cycle = 1 us
+  c.advance(5);
+  EXPECT_DOUBLE_EQ(c.now_us(), 5.0);
+}
+
+}  // namespace
+}  // namespace minova::sim

@@ -1,0 +1,82 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace minova::sim {
+namespace {
+
+TEST(EventQueue, FiresInDeadlineOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_due(100), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(10, [&] { order.push_back(2); });
+  q.run_due(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, DoesNotFireFutureEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(100, [&] { ++fired; });
+  EXPECT_EQ(q.run_due(99), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.run_due(100), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel reports failure
+  EXPECT_EQ(q.run_due(100), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] {
+    ++fired;
+    q.schedule_at(20, [&] { ++fired; });    // due within same run
+    q.schedule_at(1000, [&] { ++fired; });  // future
+  });
+  EXPECT_EQ(q.run_due(100), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextDeadlineSkipsCancelled) {
+  EventQueue q;
+  const auto a = q.schedule_at(5, [] {});
+  q.schedule_at(9, [] {});
+  cycles_t d = 0;
+  ASSERT_TRUE(q.next_deadline(d));
+  EXPECT_EQ(d, 5u);
+  q.cancel(a);
+  ASSERT_TRUE(q.next_deadline(d));
+  EXPECT_EQ(d, 9u);
+}
+
+TEST(EventQueue, EmptyQueueHasNoDeadline) {
+  EventQueue q;
+  cycles_t d = 0;
+  EXPECT_FALSE(q.next_deadline(d));
+}
+
+}  // namespace
+}  // namespace minova::sim

@@ -1,0 +1,55 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minova::sim {
+namespace {
+
+TEST(LatencyStat, MeanMinMax) {
+  LatencyStat s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(LatencyStat, PercentileInterpolates) {
+  LatencyStat s;
+  for (int i = 1; i <= 5; ++i) s.add(double(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+}
+
+TEST(LatencyStat, AddAfterSortedQueryStillCorrect) {
+  LatencyStat s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(10.0);  // must invalidate cached sort
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(StatsRegistry, CountersDefaultZeroAndIncrement) {
+  StatsRegistry reg;
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+  reg.counter("x") += 3;
+  reg.counter("x") += 2;
+  EXPECT_EQ(reg.counter_value("x"), 5u);
+}
+
+TEST(StatsRegistry, ResetClearsEverything) {
+  StatsRegistry reg;
+  reg.counter("c") = 7;
+  reg.latency("l").add(1.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_EQ(reg.find_latency("l"), nullptr);
+}
+
+}  // namespace
+}  // namespace minova::sim

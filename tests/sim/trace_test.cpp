@@ -1,0 +1,68 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minova::sim {
+namespace {
+
+TEST(TraceBuffer, DisabledByDefaultAndDropsEverything) {
+  TraceBuffer t(8);
+  t.emit(1, TraceKind::kVmSwitch, 0, 1);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceBuffer, RecordsWhenEnabled) {
+  TraceBuffer t(8);
+  t.set_enabled(true);
+  t.emit(100, TraceKind::kHypercall, 20, 1);
+  t.emit(200, TraceKind::kIrq, 29, 0xFFFF'FFFFu);
+  ASSERT_EQ(t.size(), 2u);
+  const auto events = t.snapshot();
+  EXPECT_EQ(events[0].when, 100u);
+  EXPECT_EQ(events[0].kind, TraceKind::kHypercall);
+  EXPECT_EQ(events[1].a, 29u);
+}
+
+TEST(TraceBuffer, RingWrapsKeepingNewest) {
+  TraceBuffer t(4);
+  t.set_enabled(true);
+  for (u32 i = 0; i < 10; ++i) t.emit(i, TraceKind::kVirqInject, i, 0);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.snapshot();
+  // Oldest-first order of the surviving tail.
+  EXPECT_EQ(events.front().when, 6u);
+  EXPECT_EQ(events.back().when, 9u);
+}
+
+TEST(TraceBuffer, CountByKind) {
+  TraceBuffer t(16);
+  t.set_enabled(true);
+  t.emit(1, TraceKind::kVmSwitch, 0, 1);
+  t.emit(2, TraceKind::kVmSwitch, 1, 0);
+  t.emit(3, TraceKind::kHwGrant, 7, 1);
+  EXPECT_EQ(t.count(TraceKind::kVmSwitch), 2u);
+  EXPECT_EQ(t.count(TraceKind::kHwGrant), 1u);
+  EXPECT_EQ(t.count(TraceKind::kPcapDone), 0u);
+}
+
+TEST(TraceBuffer, TextDumpContainsNamesAndMicroseconds) {
+  TraceBuffer t(8);
+  t.set_enabled(true);
+  t.emit(660, TraceKind::kPcapStart, 6, 1);  // 1 us at 660 MHz
+  const std::string s = t.to_string(660'000'000ull);
+  EXPECT_NE(s.find("pcap-start"), std::string::npos);
+  EXPECT_NE(s.find("1.000 us"), std::string::npos);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer t(2);
+  t.set_enabled(true);
+  for (u32 i = 0; i < 5; ++i) t.emit(i, TraceKind::kIrq, i, 0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace minova::sim

@@ -1,0 +1,37 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minova::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"metric", "native", "1 OS"});
+  t.add_row({"entry", "0", "0.87"});
+  t.add_row({"execution", "15.01", "15.46"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| metric    |"), std::string::npos);
+  EXPECT_NE(s.find("| execution | 15.01  | 15.46 |"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FmtDouble) {
+  EXPECT_EQ(TextTable::fmt_double(15.012, 2), "15.01");
+  EXPECT_EQ(TextTable::fmt_double(1.5, 0), "2");
+  EXPECT_EQ(TextTable::fmt_double(0.8666, 3), "0.867");
+}
+
+TEST(TextTableDeath, RowWidthMismatchAborts) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width mismatch");
+}
+
+}  // namespace
+}  // namespace minova::util

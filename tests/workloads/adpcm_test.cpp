@@ -1,0 +1,95 @@
+#include "workloads/adpcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace minova::workloads {
+namespace {
+
+std::vector<i16> sine_wave(std::size_t n, double freq, double amp) {
+  std::vector<i16> pcm(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pcm[i] = i16(amp * std::sin(2.0 * std::numbers::pi * freq * double(i)));
+  return pcm;
+}
+
+double snr_db(std::span<const i16> ref, std::span<const i16> test) {
+  double sig = 0, noise = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    sig += double(ref[i]) * ref[i];
+    const double d = double(ref[i]) - double(test[i]);
+    noise += d * d;
+  }
+  return 10.0 * std::log10(sig / (noise + 1e-9));
+}
+
+TEST(AdpcmCodec, FourToOneCompression) {
+  AdpcmCodec::State st;
+  const auto pcm = sine_wave(1024, 0.01, 10000);
+  const auto enc = AdpcmCodec::encode(pcm, st);
+  EXPECT_EQ(enc.size(), pcm.size() / 2);  // 16-bit -> 4-bit
+}
+
+TEST(AdpcmCodec, RoundTripSnrOnSine) {
+  AdpcmCodec::State enc_st, dec_st;
+  const auto pcm = sine_wave(4096, 0.01, 12000);
+  const auto enc = AdpcmCodec::encode(pcm, enc_st);
+  const auto dec = AdpcmCodec::decode(enc, dec_st, pcm.size());
+  // IMA ADPCM delivers ~20+ dB on smooth tonal content.
+  EXPECT_GT(snr_db(pcm, dec), 18.0);
+}
+
+TEST(AdpcmCodec, RoundTripTracksNoisySpeechLikeSignal) {
+  util::Xoshiro256 rng(5);
+  std::vector<i16> pcm(2048);
+  double phase = 0;
+  for (auto& s : pcm) {
+    phase += 0.05 + 0.01 * rng.next_double();
+    s = i16(8000.0 * std::sin(phase) + double(i64(rng.next_below(2000)) - 1000));
+  }
+  AdpcmCodec::State enc_st, dec_st;
+  const auto dec =
+      AdpcmCodec::decode(AdpcmCodec::encode(pcm, enc_st), dec_st, pcm.size());
+  EXPECT_GT(snr_db(pcm, dec), 8.0);
+}
+
+TEST(AdpcmCodec, DecoderStaysInRangeOnExtremes) {
+  AdpcmCodec::State enc_st, dec_st;
+  std::vector<i16> pcm(256);
+  for (std::size_t i = 0; i < pcm.size(); ++i)
+    pcm[i] = (i % 2) ? i16(32767) : i16(-32768);  // worst-case slew
+  const auto dec =
+      AdpcmCodec::decode(AdpcmCodec::encode(pcm, enc_st), dec_st, pcm.size());
+  EXPECT_EQ(dec.size(), pcm.size());  // no crash, outputs clamped by design
+}
+
+TEST(AdpcmCodec, EncoderDeterministic) {
+  AdpcmCodec::State a, b;
+  const auto pcm = sine_wave(512, 0.02, 9000);
+  EXPECT_EQ(AdpcmCodec::encode(pcm, a), AdpcmCodec::encode(pcm, b));
+}
+
+// Property: encode/decode state machines stay synchronized sample-by-sample.
+class AdpcmStepProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(AdpcmStepProperty, PredictorsMatchBetweenEncodeAndDecode) {
+  util::Xoshiro256 rng(GetParam());
+  AdpcmCodec::State enc_st, dec_st;
+  for (int i = 0; i < 2000; ++i) {
+    const i16 s = i16(i64(rng.next_below(65536)) - 32768);
+    const u8 nib = AdpcmCodec::encode_sample(s, enc_st);
+    (void)AdpcmCodec::decode_sample(nib, dec_st);
+    EXPECT_EQ(enc_st.predictor, dec_st.predictor);
+    EXPECT_EQ(enc_st.step_index, dec_st.step_index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdpcmStepProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u));
+
+}  // namespace
+}  // namespace minova::workloads

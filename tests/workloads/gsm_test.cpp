@@ -1,0 +1,73 @@
+#include "workloads/gsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace minova::workloads {
+namespace {
+
+std::array<i16, GsmEncoder::kFrameSamples> tone_frame(double freq,
+                                                      double amp) {
+  std::array<i16, GsmEncoder::kFrameSamples> f{};
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = i16(amp * std::sin(2.0 * std::numbers::pi * freq * double(i)));
+  return f;
+}
+
+TEST(GsmEncoder, LarsBoundedBySixBitQuantizer) {
+  GsmEncoder enc;
+  const auto frame = tone_frame(0.05, 12000);
+  const auto out = enc.encode_frame(frame);
+  for (i8 lar : out.lar) {
+    EXPECT_GE(lar, -32);
+    EXPECT_LE(lar, 31);
+  }
+}
+
+TEST(GsmEncoder, AutocorrelationLagZeroIsEnergy) {
+  GsmEncoder enc;
+  const auto out = enc.encode_frame(tone_frame(0.05, 12000));
+  EXPECT_GT(out.autocorr[0], 0.0);
+  for (u32 lag = 1; lag <= 8; ++lag)
+    EXPECT_LE(std::abs(out.autocorr[lag]), out.autocorr[0] * 1.01);
+}
+
+TEST(GsmEncoder, SilenceDoesNotCrashOrExplode) {
+  GsmEncoder enc;
+  std::array<i16, GsmEncoder::kFrameSamples> silence{};
+  const auto out = enc.encode_frame(silence);
+  for (i8 lar : out.lar) {
+    EXPECT_GE(lar, -32);
+    EXPECT_LE(lar, 31);
+  }
+}
+
+TEST(GsmEncoder, DeterministicAcrossInstances) {
+  GsmEncoder a, b;
+  const auto frame = tone_frame(0.03, 9000);
+  const auto ra = a.encode_frame(frame);
+  const auto rb = b.encode_frame(frame);
+  EXPECT_EQ(ra.lar, rb.lar);
+}
+
+TEST(GsmEncoder, SpectrallyDifferentInputsGiveDifferentLars) {
+  GsmEncoder a, b;
+  const auto low = a.encode_frame(tone_frame(0.01, 12000));
+  const auto high = b.encode_frame(tone_frame(0.35, 12000));
+  EXPECT_NE(low.lar, high.lar);
+}
+
+TEST(GsmEncoder, PreEmphasisStateCarriesAcrossFrames) {
+  // Two consecutive identical frames give different results because the
+  // offset-compensation / pre-emphasis filters carry state (§4.2.1).
+  GsmEncoder enc;
+  const auto frame = tone_frame(0.04, 10000);
+  const auto first = enc.encode_frame(frame);
+  const auto second = enc.encode_frame(frame);
+  EXPECT_NE(first.autocorr[0], second.autocorr[0]);
+}
+
+}  // namespace
+}  // namespace minova::workloads

@@ -1,0 +1,100 @@
+#include "workloads/softdsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+
+#include "core/platform.hpp"
+#include "hwtask/fft_core.hpp"
+#include "hwtask/qam_core.hpp"
+
+namespace minova::workloads {
+namespace {
+
+/// Flat-memory Services over a bare platform (MMU off).
+class FlatSvc final : public Services {
+ public:
+  explicit FlatSvc(Platform& p) : p_(p) {}
+  void exec(const cpu::CodeRegion& r, double f) override {
+    p_.cpu().exec_code(r, f);
+  }
+  void spend_insns(u64 n) override { p_.cpu().spend_insns(n); }
+  bool read32(vaddr_t va, u32& out) override {
+    auto r = p_.cpu().vread32(va);
+    out = r.value;
+    return r.ok;
+  }
+  bool write32(vaddr_t va, u32 v) override { return p_.cpu().vwrite32(va, v).ok; }
+  bool read_block(vaddr_t va, std::span<u8> o) override {
+    return p_.cpu().vread_block(va, o).ok;
+  }
+  bool write_block(vaddr_t va, std::span<const u8> i) override {
+    return p_.cpu().vwrite_block(va, i).ok;
+  }
+  double now_us() override { return p_.clock().now_us(); }
+  HwReqStatus hw_request(u32, vaddr_t, vaddr_t) override {
+    return HwReqStatus::kError;
+  }
+  bool hw_release(u32) override { return false; }
+  bool hw_reconfig_done() override { return true; }
+  bool hw_take_completion() override { return false; }
+  vaddr_t hw_iface_va() const override { return 0; }
+  vaddr_t hw_data_va() const override { return 0; }
+  paddr_t hw_data_pa() const override { return 0; }
+  u32 hw_data_size() const override { return 0; }
+
+ private:
+  Platform& p_;
+};
+
+TEST(SoftDsp, FftMatchesHardwareCore) {
+  Platform platform;
+  FlatSvc svc(platform);
+  // An impulse frame.
+  std::vector<u8> frame(256 * 8, 0);
+  const float one = 1.0f;
+  std::memcpy(frame.data(), &one, 4);
+  ASSERT_TRUE(svc.write_block(0x10000, frame));
+
+  soft_fft(svc, 0x10000, 256);
+
+  std::vector<u8> out(frame.size());
+  ASSERT_TRUE(svc.read_block(0x10000, out));
+  hwtask::FftCore core(256);
+  EXPECT_EQ(out, core.process(frame));  // bit-identical to the accelerator
+}
+
+TEST(SoftDsp, FftCostScalesSuperlinearly) {
+  Platform platform;
+  FlatSvc svc(platform);
+  std::vector<u8> small(1024 * 8, 1), big(8192 * 8, 1);
+  ASSERT_TRUE(svc.write_block(0x10000, small));
+  const double t0 = platform.clock().now_us();
+  soft_fft(svc, 0x10000, 1024);
+  const double small_us = platform.clock().now_us() - t0;
+
+  ASSERT_TRUE(svc.write_block(0x80000, big));
+  const double t1 = platform.clock().now_us();
+  soft_fft(svc, 0x80000, 8192);
+  const double big_us = platform.clock().now_us() - t1;
+  // 8x points, 13/10 stage ratio -> > 8x cost (N log N).
+  EXPECT_GT(big_us, small_us * 8.0);
+}
+
+TEST(SoftDsp, QamMatchesHardwareCore) {
+  Platform platform;
+  FlatSvc svc(platform);
+  std::vector<u8> bits(96);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = u8(i * 17);
+  ASSERT_TRUE(svc.write_block(0x10000, bits));
+  const u32 symbols = soft_qam(svc, 0x10000, u32(bits.size()), 0x20000, 16);
+  EXPECT_EQ(symbols, 96u * 8 / 4);
+  std::vector<u8> out(symbols * 8);
+  ASSERT_TRUE(svc.read_block(0x20000, out));
+  hwtask::QamCore core(16);
+  EXPECT_EQ(out, core.process(bits));
+}
+
+}  // namespace
+}  // namespace minova::workloads
