@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_asid.dir/bench_ablation_asid.cpp.o"
+  "CMakeFiles/bench_ablation_asid.dir/bench_ablation_asid.cpp.o.d"
+  "bench_ablation_asid"
+  "bench_ablation_asid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_asid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcap.dir/bench_ablation_pcap.cpp.o"
+  "CMakeFiles/bench_ablation_pcap.dir/bench_ablation_pcap.cpp.o.d"
+  "bench_ablation_pcap"
+  "bench_ablation_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

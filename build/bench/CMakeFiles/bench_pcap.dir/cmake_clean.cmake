@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcap.dir/bench_pcap.cpp.o"
+  "CMakeFiles/bench_pcap.dir/bench_pcap.cpp.o.d"
+  "bench_pcap"
+  "bench_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_prr_count.cpp" "bench/CMakeFiles/bench_prr_count.dir/bench_prr_count.cpp.o" "gcc" "bench/CMakeFiles/bench_prr_count.dir/bench_prr_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ucos/CMakeFiles/minova_ucos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmgr/CMakeFiles/minova_hwmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nova/CMakeFiles/minova_nova.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/minova_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/minova_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/minova_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/minova_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/minova_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/minova_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pl/CMakeFiles/minova_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/irq/CMakeFiles/minova_irq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtask/CMakeFiles/minova_hwtask.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minova_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/minova_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

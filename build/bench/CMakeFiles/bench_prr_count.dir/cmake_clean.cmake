@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prr_count.dir/bench_prr_count.cpp.o"
+  "CMakeFiles/bench_prr_count.dir/bench_prr_count.cpp.o.d"
+  "bench_prr_count"
+  "bench_prr_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prr_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

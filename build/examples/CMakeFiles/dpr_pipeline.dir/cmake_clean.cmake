@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_pipeline.dir/dpr_pipeline.cpp.o"
+  "CMakeFiles/dpr_pipeline.dir/dpr_pipeline.cpp.o.d"
+  "dpr_pipeline"
+  "dpr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

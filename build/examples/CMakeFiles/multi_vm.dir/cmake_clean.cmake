@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vm.dir/multi_vm.cpp.o"
+  "CMakeFiles/multi_vm.dir/multi_vm.cpp.o.d"
+  "multi_vm"
+  "multi_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

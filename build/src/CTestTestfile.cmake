@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("mem")
+subdirs("cpu")
+subdirs("cache")
+subdirs("irq")
+subdirs("timer")
+subdirs("mmu")
+subdirs("pl")
+subdirs("hwtask")
+subdirs("nova")
+subdirs("hwmgr")
+subdirs("ucos")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_cache.dir/cache.cpp.o"
+  "CMakeFiles/minova_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/minova_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/minova_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/minova_cache.dir/tlb.cpp.o"
+  "CMakeFiles/minova_cache.dir/tlb.cpp.o.d"
+  "libminova_cache.a"
+  "libminova_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_core.dir/platform.cpp.o"
+  "CMakeFiles/minova_core.dir/platform.cpp.o.d"
+  "CMakeFiles/minova_core.dir/uart.cpp.o"
+  "CMakeFiles/minova_core.dir/uart.cpp.o.d"
+  "libminova_core.a"
+  "libminova_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

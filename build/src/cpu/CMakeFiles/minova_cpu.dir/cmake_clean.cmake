@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_cpu.dir/core.cpp.o"
+  "CMakeFiles/minova_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/minova_cpu.dir/registers.cpp.o"
+  "CMakeFiles/minova_cpu.dir/registers.cpp.o.d"
+  "libminova_cpu.a"
+  "libminova_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

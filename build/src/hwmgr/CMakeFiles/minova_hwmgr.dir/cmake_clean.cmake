@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_hwmgr.dir/manager.cpp.o"
+  "CMakeFiles/minova_hwmgr.dir/manager.cpp.o.d"
+  "CMakeFiles/minova_hwmgr.dir/native_allocator.cpp.o"
+  "CMakeFiles/minova_hwmgr.dir/native_allocator.cpp.o.d"
+  "libminova_hwmgr.a"
+  "libminova_hwmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_hwmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minova_hwmgr.
+# This may be replaced when dependencies are built.

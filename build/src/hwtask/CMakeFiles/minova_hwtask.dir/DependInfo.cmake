@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwtask/fft_core.cpp" "src/hwtask/CMakeFiles/minova_hwtask.dir/fft_core.cpp.o" "gcc" "src/hwtask/CMakeFiles/minova_hwtask.dir/fft_core.cpp.o.d"
+  "/root/repo/src/hwtask/library.cpp" "src/hwtask/CMakeFiles/minova_hwtask.dir/library.cpp.o" "gcc" "src/hwtask/CMakeFiles/minova_hwtask.dir/library.cpp.o.d"
+  "/root/repo/src/hwtask/qam_core.cpp" "src/hwtask/CMakeFiles/minova_hwtask.dir/qam_core.cpp.o" "gcc" "src/hwtask/CMakeFiles/minova_hwtask.dir/qam_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_hwtask.dir/fft_core.cpp.o"
+  "CMakeFiles/minova_hwtask.dir/fft_core.cpp.o.d"
+  "CMakeFiles/minova_hwtask.dir/library.cpp.o"
+  "CMakeFiles/minova_hwtask.dir/library.cpp.o.d"
+  "CMakeFiles/minova_hwtask.dir/qam_core.cpp.o"
+  "CMakeFiles/minova_hwtask.dir/qam_core.cpp.o.d"
+  "libminova_hwtask.a"
+  "libminova_hwtask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_hwtask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minova_hwtask.
+# This may be replaced when dependencies are built.

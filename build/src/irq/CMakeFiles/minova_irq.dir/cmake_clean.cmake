@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_irq.dir/gic.cpp.o"
+  "CMakeFiles/minova_irq.dir/gic.cpp.o.d"
+  "libminova_irq.a"
+  "libminova_irq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_irq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

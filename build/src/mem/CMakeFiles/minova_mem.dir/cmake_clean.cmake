@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_mem.dir/bus.cpp.o"
+  "CMakeFiles/minova_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/minova_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/minova_mem.dir/phys_mem.cpp.o.d"
+  "libminova_mem.a"
+  "libminova_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminova_mem.a"
+)

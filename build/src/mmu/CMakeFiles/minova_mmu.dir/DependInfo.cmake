@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmu/descriptors.cpp" "src/mmu/CMakeFiles/minova_mmu.dir/descriptors.cpp.o" "gcc" "src/mmu/CMakeFiles/minova_mmu.dir/descriptors.cpp.o.d"
+  "/root/repo/src/mmu/mmu.cpp" "src/mmu/CMakeFiles/minova_mmu.dir/mmu.cpp.o" "gcc" "src/mmu/CMakeFiles/minova_mmu.dir/mmu.cpp.o.d"
+  "/root/repo/src/mmu/page_table.cpp" "src/mmu/CMakeFiles/minova_mmu.dir/page_table.cpp.o" "gcc" "src/mmu/CMakeFiles/minova_mmu.dir/page_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/minova_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/minova_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_mmu.dir/descriptors.cpp.o"
+  "CMakeFiles/minova_mmu.dir/descriptors.cpp.o.d"
+  "CMakeFiles/minova_mmu.dir/mmu.cpp.o"
+  "CMakeFiles/minova_mmu.dir/mmu.cpp.o.d"
+  "CMakeFiles/minova_mmu.dir/page_table.cpp.o"
+  "CMakeFiles/minova_mmu.dir/page_table.cpp.o.d"
+  "libminova_mmu.a"
+  "libminova_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

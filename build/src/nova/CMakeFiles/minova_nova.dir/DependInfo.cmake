@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nova/ivc.cpp" "src/nova/CMakeFiles/minova_nova.dir/ivc.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/ivc.cpp.o.d"
+  "/root/repo/src/nova/kernel.cpp" "src/nova/CMakeFiles/minova_nova.dir/kernel.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/kernel.cpp.o.d"
+  "/root/repo/src/nova/kmem.cpp" "src/nova/CMakeFiles/minova_nova.dir/kmem.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/kmem.cpp.o.d"
+  "/root/repo/src/nova/pd.cpp" "src/nova/CMakeFiles/minova_nova.dir/pd.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/pd.cpp.o.d"
+  "/root/repo/src/nova/sched.cpp" "src/nova/CMakeFiles/minova_nova.dir/sched.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/sched.cpp.o.d"
+  "/root/repo/src/nova/vcpu.cpp" "src/nova/CMakeFiles/minova_nova.dir/vcpu.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/vcpu.cpp.o.d"
+  "/root/repo/src/nova/vgic.cpp" "src/nova/CMakeFiles/minova_nova.dir/vgic.cpp.o" "gcc" "src/nova/CMakeFiles/minova_nova.dir/vgic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minova_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/minova_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/minova_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/irq/CMakeFiles/minova_irq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtask/CMakeFiles/minova_hwtask.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minova_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/minova_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pl/CMakeFiles/minova_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/minova_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/minova_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_nova.dir/ivc.cpp.o"
+  "CMakeFiles/minova_nova.dir/ivc.cpp.o.d"
+  "CMakeFiles/minova_nova.dir/kernel.cpp.o"
+  "CMakeFiles/minova_nova.dir/kernel.cpp.o.d"
+  "CMakeFiles/minova_nova.dir/kmem.cpp.o"
+  "CMakeFiles/minova_nova.dir/kmem.cpp.o.d"
+  "CMakeFiles/minova_nova.dir/pd.cpp.o"
+  "CMakeFiles/minova_nova.dir/pd.cpp.o.d"
+  "CMakeFiles/minova_nova.dir/sched.cpp.o"
+  "CMakeFiles/minova_nova.dir/sched.cpp.o.d"
+  "CMakeFiles/minova_nova.dir/vcpu.cpp.o"
+  "CMakeFiles/minova_nova.dir/vcpu.cpp.o.d"
+  "CMakeFiles/minova_nova.dir/vgic.cpp.o"
+  "CMakeFiles/minova_nova.dir/vgic.cpp.o.d"
+  "libminova_nova.a"
+  "libminova_nova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_pl.dir/pcap.cpp.o"
+  "CMakeFiles/minova_pl.dir/pcap.cpp.o.d"
+  "CMakeFiles/minova_pl.dir/prr_controller.cpp.o"
+  "CMakeFiles/minova_pl.dir/prr_controller.cpp.o.d"
+  "libminova_pl.a"
+  "libminova_pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/minova_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/minova_sim.dir/stats.cpp.o"
+  "CMakeFiles/minova_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/minova_sim.dir/trace.cpp.o"
+  "CMakeFiles/minova_sim.dir/trace.cpp.o.d"
+  "libminova_sim.a"
+  "libminova_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

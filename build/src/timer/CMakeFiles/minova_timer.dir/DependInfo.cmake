@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timer/private_timer.cpp" "src/timer/CMakeFiles/minova_timer.dir/private_timer.cpp.o" "gcc" "src/timer/CMakeFiles/minova_timer.dir/private_timer.cpp.o.d"
+  "/root/repo/src/timer/ttc.cpp" "src/timer/CMakeFiles/minova_timer.dir/ttc.cpp.o" "gcc" "src/timer/CMakeFiles/minova_timer.dir/ttc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irq/CMakeFiles/minova_irq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minova_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/minova_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_timer.dir/private_timer.cpp.o"
+  "CMakeFiles/minova_timer.dir/private_timer.cpp.o.d"
+  "CMakeFiles/minova_timer.dir/ttc.cpp.o"
+  "CMakeFiles/minova_timer.dir/ttc.cpp.o.d"
+  "libminova_timer.a"
+  "libminova_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

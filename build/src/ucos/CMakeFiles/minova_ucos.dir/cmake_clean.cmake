@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_ucos.dir/guest.cpp.o"
+  "CMakeFiles/minova_ucos.dir/guest.cpp.o.d"
+  "CMakeFiles/minova_ucos.dir/kernel.cpp.o"
+  "CMakeFiles/minova_ucos.dir/kernel.cpp.o.d"
+  "CMakeFiles/minova_ucos.dir/native.cpp.o"
+  "CMakeFiles/minova_ucos.dir/native.cpp.o.d"
+  "CMakeFiles/minova_ucos.dir/system.cpp.o"
+  "CMakeFiles/minova_ucos.dir/system.cpp.o.d"
+  "libminova_ucos.a"
+  "libminova_ucos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_ucos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

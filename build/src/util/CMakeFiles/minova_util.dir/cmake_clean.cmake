@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_util.dir/log.cpp.o"
+  "CMakeFiles/minova_util.dir/log.cpp.o.d"
+  "CMakeFiles/minova_util.dir/table.cpp.o"
+  "CMakeFiles/minova_util.dir/table.cpp.o.d"
+  "libminova_util.a"
+  "libminova_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minova_workloads.dir/adpcm.cpp.o"
+  "CMakeFiles/minova_workloads.dir/adpcm.cpp.o.d"
+  "CMakeFiles/minova_workloads.dir/gsm.cpp.o"
+  "CMakeFiles/minova_workloads.dir/gsm.cpp.o.d"
+  "CMakeFiles/minova_workloads.dir/softdsp.cpp.o"
+  "CMakeFiles/minova_workloads.dir/softdsp.cpp.o.d"
+  "CMakeFiles/minova_workloads.dir/thw.cpp.o"
+  "CMakeFiles/minova_workloads.dir/thw.cpp.o.d"
+  "libminova_workloads.a"
+  "libminova_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minova_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwmgr_test.dir/hwmgr/manager_fuzz_test.cpp.o"
+  "CMakeFiles/hwmgr_test.dir/hwmgr/manager_fuzz_test.cpp.o.d"
+  "CMakeFiles/hwmgr_test.dir/hwmgr/manager_test.cpp.o"
+  "CMakeFiles/hwmgr_test.dir/hwmgr/manager_test.cpp.o.d"
+  "CMakeFiles/hwmgr_test.dir/hwmgr/native_allocator_test.cpp.o"
+  "CMakeFiles/hwmgr_test.dir/hwmgr/native_allocator_test.cpp.o.d"
+  "hwmgr_test"
+  "hwmgr_test.pdb"
+  "hwmgr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

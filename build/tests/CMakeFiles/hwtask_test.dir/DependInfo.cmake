@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hwtask/fft_core_test.cpp" "tests/CMakeFiles/hwtask_test.dir/hwtask/fft_core_test.cpp.o" "gcc" "tests/CMakeFiles/hwtask_test.dir/hwtask/fft_core_test.cpp.o.d"
+  "/root/repo/tests/hwtask/library_test.cpp" "tests/CMakeFiles/hwtask_test.dir/hwtask/library_test.cpp.o" "gcc" "tests/CMakeFiles/hwtask_test.dir/hwtask/library_test.cpp.o.d"
+  "/root/repo/tests/hwtask/qam_core_test.cpp" "tests/CMakeFiles/hwtask_test.dir/hwtask/qam_core_test.cpp.o" "gcc" "tests/CMakeFiles/hwtask_test.dir/hwtask/qam_core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwtask/CMakeFiles/minova_hwtask.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwtask_test.dir/hwtask/fft_core_test.cpp.o"
+  "CMakeFiles/hwtask_test.dir/hwtask/fft_core_test.cpp.o.d"
+  "CMakeFiles/hwtask_test.dir/hwtask/library_test.cpp.o"
+  "CMakeFiles/hwtask_test.dir/hwtask/library_test.cpp.o.d"
+  "CMakeFiles/hwtask_test.dir/hwtask/qam_core_test.cpp.o"
+  "CMakeFiles/hwtask_test.dir/hwtask/qam_core_test.cpp.o.d"
+  "hwtask_test"
+  "hwtask_test.pdb"
+  "hwtask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwtask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mmu/descriptors_test.cpp" "tests/CMakeFiles/mmu_test.dir/mmu/descriptors_test.cpp.o" "gcc" "tests/CMakeFiles/mmu_test.dir/mmu/descriptors_test.cpp.o.d"
+  "/root/repo/tests/mmu/mmu_test.cpp" "tests/CMakeFiles/mmu_test.dir/mmu/mmu_test.cpp.o" "gcc" "tests/CMakeFiles/mmu_test.dir/mmu/mmu_test.cpp.o.d"
+  "/root/repo/tests/mmu/page_table_test.cpp" "tests/CMakeFiles/mmu_test.dir/mmu/page_table_test.cpp.o" "gcc" "tests/CMakeFiles/mmu_test.dir/mmu/page_table_test.cpp.o.d"
+  "/root/repo/tests/mmu/permission_matrix_test.cpp" "tests/CMakeFiles/mmu_test.dir/mmu/permission_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/mmu_test.dir/mmu/permission_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mmu/CMakeFiles/minova_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/minova_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/minova_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minova_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

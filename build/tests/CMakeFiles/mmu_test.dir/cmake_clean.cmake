@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmu_test.dir/mmu/descriptors_test.cpp.o"
+  "CMakeFiles/mmu_test.dir/mmu/descriptors_test.cpp.o.d"
+  "CMakeFiles/mmu_test.dir/mmu/mmu_test.cpp.o"
+  "CMakeFiles/mmu_test.dir/mmu/mmu_test.cpp.o.d"
+  "CMakeFiles/mmu_test.dir/mmu/page_table_test.cpp.o"
+  "CMakeFiles/mmu_test.dir/mmu/page_table_test.cpp.o.d"
+  "CMakeFiles/mmu_test.dir/mmu/permission_matrix_test.cpp.o"
+  "CMakeFiles/mmu_test.dir/mmu/permission_matrix_test.cpp.o.d"
+  "mmu_test"
+  "mmu_test.pdb"
+  "mmu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

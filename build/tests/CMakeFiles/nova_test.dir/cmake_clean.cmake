@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_test.dir/nova/handlers_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/handlers_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/hypercall_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/hypercall_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/ivc_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/ivc_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/kernel_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/kernel_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/kmem_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/kmem_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/sched_model_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/sched_model_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/sched_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/sched_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/vcpu_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/vcpu_test.cpp.o.d"
+  "CMakeFiles/nova_test.dir/nova/vgic_test.cpp.o"
+  "CMakeFiles/nova_test.dir/nova/vgic_test.cpp.o.d"
+  "nova_test"
+  "nova_test.pdb"
+  "nova_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

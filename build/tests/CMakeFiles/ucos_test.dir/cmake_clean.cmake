@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucos_test.dir/ucos/guest_test.cpp.o"
+  "CMakeFiles/ucos_test.dir/ucos/guest_test.cpp.o.d"
+  "CMakeFiles/ucos_test.dir/ucos/kernel_test.cpp.o"
+  "CMakeFiles/ucos_test.dir/ucos/kernel_test.cpp.o.d"
+  "ucos_test"
+  "ucos_test.pdb"
+  "ucos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/mmu_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/irq_test[1]_include.cmake")
+include("/root/repo/build/tests/timer_test[1]_include.cmake")
+include("/root/repo/build/tests/hwtask_test[1]_include.cmake")
+include("/root/repo/build/tests/pl_test[1]_include.cmake")
+include("/root/repo/build/tests/nova_test[1]_include.cmake")
+include("/root/repo/build/tests/hwmgr_test[1]_include.cmake")
+include("/root/repo/build/tests/ucos_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
