@@ -2,12 +2,19 @@
 // digital-communication chain where a guest OS dispatches reconfigurable
 // accelerators on demand.
 //
-// One uC/OS-II guest runs a transmit pipeline: a bitstream of data is
-// QAM-64 modulated on a hardware task, then an FFT (as an OFDM modulator
-// stage) runs over the symbols — with the two accelerators time-sharing
-// the same reconfigurable region via the Hardware Task Manager. The demo
-// prints each stage, the reconfigurations it triggered, and validates the
-// hardware results against software references.
+// Scenario 1 (clean): one bare-metal guest runs a transmit pipeline — a
+// bitstream of data is QAM-64 modulated on a hardware task, then an FFT
+// (as an OFDM modulator stage) runs over the symbols — with the two
+// accelerators time-sharing the same reconfigurable region via the
+// Hardware Task Manager. The demo prints each stage, the reconfigurations
+// it triggered, and validates the hardware results against software
+// references.
+//
+// Scenario 2 (faulty): three uC/OS-II guests hammer the DPR path while the
+// fault injector corrupts 10% of PCAP transfers (plus occasional stalls,
+// reconfiguration timeouts and transient hypercall failures). Every job
+// must still complete — by manager-driven retry or by degradation to the
+// software-equivalent task — with zero validation failures.
 #include <cstdio>
 #include <cstring>
 
@@ -88,9 +95,18 @@ class PipelineGuest final : public nova::GuestOs {
   bool done() const { return done_; }
   bool all_valid() const { return ok_qam_ && ok_fft_; }
   u32 reconfigs = 0;
+  u32 sw_fallbacks = 0;
 
  private:
   enum class HwStep : u8 { kProgress, kWaiting, kDone };
+
+  /// Compute the task on the CPU — the degraded path when the manager
+  /// reports the hardware grant fell back to software.
+  static std::vector<u8> soft_compute(hwtask::TaskId task,
+                                      const std::vector<u8>& in) {
+    if (task == hwtask::TaskLibrary::kQam64) return hwtask::QamCore(64).process(in);
+    return hwtask::FftCore(256).process(in);
+  }
 
   /// Dispatch `task`, stream `in` through it, collect the output. kWaiting
   /// means "blocked until an interrupt"; kProgress means "call again now".
@@ -103,18 +119,39 @@ class PipelineGuest final : public nova::GuestOs {
       case 0: {
         const auto res =
             ctx.hypercall(Hypercall::kHwTaskRequest, task, iface, data);
-        if (!res.ok()) return HwStep::kWaiting;
-        if (res.r1 != 0) {
+        // kBusy/kAgain are positive statuses (res.ok() is true): the region
+        // or the kernel path is transiently unavailable — retry next step.
+        if (!res.ok() || res.status == nova::HcStatus::kBusy ||
+            res.status == nova::HcStatus::kAgain)
+          return HwStep::kWaiting;
+        if (res.r1 == nova::kHwGrantSoftware) {
+          ++sw_fallbacks;
+          out = soft_compute(task, in);
+          std::printf("[pipeline] task %u degraded to software fallback\n",
+                      task);
+          return HwStep::kDone;
+        }
+        if (res.r1 == nova::kHwGrantReconfig) {
           ++reconfigs;
           std::printf("[pipeline] reconfiguring region for task %u...\n",
                       task);
         }
-        hw_phase_ = res.r1 != 0 ? 1 : 2;
+        hw_phase_ = res.r1 == nova::kHwGrantReconfig ? 1 : 2;
         return HwStep::kProgress;
       }
       case 1: {  // wait for PCAP (polling method of §IV.E)
         const auto q = ctx.hypercall(Hypercall::kHwTaskQuery, 0);
-        if (!(q.ok() && q.r1 == 1)) return HwStep::kWaiting;
+        if (!q.ok()) return HwStep::kWaiting;
+        if (q.r1 == nova::kReconfigFallback) {
+          // Bitstream download exhausted its retries: finish on the CPU.
+          ++sw_fallbacks;
+          out = soft_compute(task, in);
+          std::printf("[pipeline] task %u degraded to software fallback\n",
+                      task);
+          hw_phase_ = 0;
+          return HwStep::kDone;
+        }
+        if (q.r1 != nova::kReconfigReady) return HwStep::kWaiting;
         hw_phase_ = 2;
         return HwStep::kProgress;
       }
@@ -150,9 +187,10 @@ class PipelineGuest final : public nova::GuestOs {
   std::vector<u8> payload_, symbols_, spectrum_;
 };
 
-}  // namespace
+// ---- scenario 1: the clean single-guest pipeline ----------------------------
 
-int main() {
+bool run_clean_pipeline() {
+  std::printf("=== scenario 1: clean OFDM transmit pipeline ===\n");
   Platform platform;
   nova::Kernel kernel(platform);
   hwmgr::ManagerService manager(kernel);
@@ -171,5 +209,98 @@ int main() {
               pipeline->reconfigs,
               (unsigned long long)platform.pcap().transfers_completed(),
               kernel.now_us() / 1000.0);
-  return pipeline->done() && pipeline->all_valid() ? 0 : 1;
+  return pipeline->done() && pipeline->all_valid();
+}
+
+// ---- scenario 2: multi-VM DPR under fault injection -------------------------
+
+bool run_faulty_multi_vm() {
+  std::printf("\n=== scenario 2: 3 VMs under 10%% PCAP fault injection ===\n");
+  ucos::SystemConfig cfg;
+  cfg.num_guests = 3;
+  cfg.guest_template.thw_period_ticks = 10;  // aggressive request cadence
+
+  // The fault model: one in ten PCAP transfers ends in a CRC error, with a
+  // sprinkling of stalls, reconfiguration timeouts and transient (EAGAIN)
+  // hypercall failures on top.
+  auto& fault = cfg.platform.fault;
+  fault.enabled = true;
+  fault.seed = 0xD1'5EA5Eull;
+  fault.sites[std::size_t(sim::FaultSite::kPcapCrc)].probability = 0.10;
+  fault.sites[std::size_t(sim::FaultSite::kPcapStall)].probability = 0.05;
+  fault.sites[std::size_t(sim::FaultSite::kPrrReconfigTimeout)].probability =
+      0.05;
+  fault.sites[std::size_t(sim::FaultSite::kHypercallTransient)].probability =
+      0.02;
+
+  ucos::VirtualizedSystem sys(cfg);
+  // Tight policy so the degraded paths are visible in one run: one retry,
+  // then fallback; two consecutive failures quarantine the region briefly.
+  sys.manager().set_retry_policy({.max_attempts = 2,
+                                  .backoff_base_us = 100.0,
+                                  .backoff_factor = 2.0,
+                                  .quarantine_threshold = 2,
+                                  .quarantine_us = 10'000.0});
+  sys.run_for_us(300'000);
+
+  bool ok = true;
+  for (u32 i = 0; i < sys.num_guests(); ++i) {
+    const workloads::ThwStats* st = sys.guest(i).thw_stats();
+    if (st == nullptr) continue;
+    std::printf("[faulty] %s: requests=%llu jobs_completed=%llu "
+                "sw_fallbacks=%llu validation_failures=%llu\n",
+                sys.guest(i).guest_name(), (unsigned long long)st->requests,
+                (unsigned long long)st->jobs_completed,
+                (unsigned long long)st->sw_fallbacks,
+                (unsigned long long)st->validation_failures);
+    // Every guest must make progress, and no job may produce a wrong
+    // answer — retried or degraded jobs are still bit-exact.
+    if (st->jobs_completed == 0 || st->validation_failures != 0 ||
+        st->fail_content != 0)
+      ok = false;
+  }
+
+  const auto& mgr = sys.manager().stats();
+  const auto& stats = sys.platform().stats();
+  std::printf("[faulty] manager: pcap_failures=%llu retries=%llu "
+              "quarantines=%llu unquarantines=%llu fallbacks=%llu "
+              "sw_grants=%llu\n",
+              (unsigned long long)mgr.pcap_failures,
+              (unsigned long long)mgr.retries,
+              (unsigned long long)mgr.quarantines,
+              (unsigned long long)mgr.unquarantines,
+              (unsigned long long)mgr.fallbacks,
+              (unsigned long long)mgr.sw_grants);
+  std::printf("[faulty] injector: attempts=%llu injected=%llu "
+              "(crc=%llu xfer=%llu stall=%llu timeout=%llu busy=%llu "
+              "eagain=%llu)\n",
+              (unsigned long long)sys.platform().fault().attempts(),
+              (unsigned long long)sys.platform().fault().injected(),
+              (unsigned long long)stats.counter_value("fault.pcap_crc.injected"),
+              (unsigned long long)
+                  stats.counter_value("fault.pcap_transfer.injected"),
+              (unsigned long long)
+                  stats.counter_value("fault.pcap_stall.injected"),
+              (unsigned long long)
+                  stats.counter_value("fault.prr_reconfig_timeout.injected"),
+              (unsigned long long)
+                  stats.counter_value("fault.prr_region_busy.injected"),
+              (unsigned long long)
+                  stats.counter_value("fault.hypercall_transient.injected"));
+
+  // The injector must actually have fired for the scenario to mean
+  // anything, and the manager must have visibly recovered.
+  if (sys.platform().fault().injected() == 0) ok = false;
+  if (mgr.pcap_failures > 0 && mgr.retries + mgr.fallbacks == 0) ok = false;
+  std::printf("[faulty] all jobs completed via retry or fallback: %s\n",
+              ok ? "yes" : "NO");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const bool clean_ok = run_clean_pipeline();
+  const bool faulty_ok = run_faulty_multi_vm();
+  return clean_ok && faulty_ok ? 0 : 1;
 }

@@ -14,6 +14,7 @@ Platform::Platform(const PlatformConfig& cfg)
       ttc_(clock_, events_, gic_),
       library_(hwtask::TaskLibrary::evaluation_set(cfg.large_prrs,
                                                    cfg.small_prrs)),
+      fault_(clock_, stats_, cfg.fault),
       prrctl_(clock_, events_, gic_, bus_, library_,
               pl::make_floorplan(cfg.large_prrs, cfg.small_prrs),
               cfg.prr_ctl),
@@ -27,6 +28,8 @@ Platform::Platform(const PlatformConfig& cfg)
   bus_.add_device(mem::kDevcfgBase, mem::kDevcfgSize, &pcap_);
   bus_.add_device(mem::kUart0Base, mem::kUartSize, &uart0_);
   gic_.set_irq_line([this](bool asserted) { cpu_.set_irq_line(asserted); });
+  prrctl_.attach_fault_injector(&fault_);
+  pcap_.attach_fault_injector(&fault_);
 }
 
 void Platform::pump() {

@@ -21,6 +21,7 @@
 #include "pl/prr_controller.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "timer/private_timer.hpp"
@@ -34,6 +35,7 @@ struct PlatformConfig {
   cpu::CoreConfig core{};
   pl::PrrControllerConfig prr_ctl{};
   pl::PcapConfig pcap{};
+  sim::FaultConfig fault{};  // disabled by default: bit-identical baseline
   // Floorplan: paper default is 2 large (FFT-capable) + 2 small regions.
   // The task library's PRR-compatibility lists are derived from the same
   // numbers.
@@ -68,6 +70,7 @@ class Platform {
   timer::GlobalTimer& global_timer() { return gtimer_; }
   timer::Ttc& ttc() { return ttc_; }
   hwtask::TaskLibrary& task_library() { return library_; }
+  sim::FaultInjector& fault() { return fault_; }
   pl::PrrController& prr_controller() { return prrctl_; }
   pl::Pcap& pcap() { return pcap_; }
   dev::Uart& uart() { return uart0_; }
@@ -89,6 +92,7 @@ class Platform {
   timer::GlobalTimer gtimer_;
   timer::Ttc ttc_;
   hwtask::TaskLibrary library_;
+  sim::FaultInjector fault_;
   pl::PrrController prrctl_;
   pl::Pcap pcap_;
   dev::Uart uart0_;

@@ -24,8 +24,16 @@ ManagerService::ManagerService(nova::Kernel& kernel,
   rg_release_ = code_.place(384);
 }
 
+ManagerService::~ManagerService() {
+  // The PCAP outlives this service (platform-owned): drop the observer so
+  // completions after our death don't call into freed memory.
+  if (pd_ != nullptr) kernel_.platform().pcap().set_completion_observer({});
+}
+
 nova::ProtectionDomain& ManagerService::install(u32 priority) {
   pd_ = &kernel_.create_manager("hw-task-manager", priority, *this);
+  kernel_.platform().pcap().set_completion_observer(
+      [this](u32 prr, u32 task, bool ok) { on_pcap_complete(prr, task, ok); });
   return *pd_;
 }
 
@@ -48,7 +56,8 @@ void ManagerService::touch_prr_table(GuestContext& ctx, u32 prr_idx,
 
 int ManagerService::select_prr(GuestContext& ctx,
                                const hwtask::TaskInfo& info, PdId requester,
-                               bool& needs_reconfig) {
+                               bool& needs_reconfig,
+                               bool& quarantine_blocked) {
   ctx.exec(rg_select_);
   const auto& prrctl = kernel_.platform().prr_controller();
 
@@ -71,6 +80,7 @@ int ManagerService::select_prr(GuestContext& ctx,
     ctx.spend_insns(costs_.insns_select_per_prr);
     const auto& hw = prrctl.prr(prr);
     if (hw.busy || hw.reconfiguring) continue;
+    if (prr_table_[prr].health == PrrHealth::kQuarantined) continue;
     if (policy_ == AllocPolicy::kResidentFirst &&
         prr_table_[prr].task == info.id && hw.loaded_task == info.id) {
       needs_reconfig = false;
@@ -89,6 +99,10 @@ int ManagerService::select_prr(GuestContext& ctx,
   for (u32 prr : info.compatible_prrs) {
     const auto& hw = prrctl.prr(prr);
     if (hw.busy || hw.reconfiguring) continue;
+    if (prr_table_[prr].health == PrrHealth::kQuarantined) {
+      quarantine_blocked = true;
+      continue;
+    }
     const bool cheap = prr_table_[prr].client == nova::kInvalidPd ||
                        prr_table_[prr].client == requester;
     if (cheap && hw.loaded_task == hwtask::kInvalidTask && dark < 0)
@@ -212,8 +226,20 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
 
   // Stage 2: PRR selection.
   bool needs_reconfig = false;
-  const int prr = select_prr(ctx, *info, req.client, needs_reconfig);
+  bool quarantine_blocked = false;
+  const int prr =
+      select_prr(ctx, *info, req.client, needs_reconfig, quarantine_blocked);
   if (prr < 0) {
+    if (quarantine_blocked) {
+      // Every idle compatible region is quarantined: rather than stalling
+      // the client behind the cooldown, grant the task in software.
+      ++stats_.sw_grants;
+      ++kernel_.platform().stats().counter("hwmgr.sw_grants");
+      pending_[req.client] = PendingReconfig{req.task, 0xFFFF'FFFFu, 0,
+                                             ReconfigOutcome::kFallback};
+      result_flags = nova::kHwGrantSoftware;
+      return HcStatus::kSuccess;
+    }
     ++stats_.busy_rejections;
     return HcStatus::kBusy;  // no idle PRR: applicant retries (§IV.E)
   }
@@ -254,26 +280,36 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
     kernel_.svc_assign_pl_irq(*pd_, req.client, mem::pl_irq_to_gic(irq_idx));
 
   // Stage 5: reconfigure if the task is not already in the region.
-  result_flags = 0;
+  result_flags = nova::kHwGrantReady;
+  pending_.erase(req.client);  // a fresh grant supersedes any old outcome
   if (entry.task != req.task || needs_reconfig_forces_pcap(u32(prr), req.task)) {
     kernel_.svc_set_pcap_owner(*pd_, req.client);
     if (!launch_pcap(ctx, u32(prr), req.task)) {
       ++stats_.busy_rejections;
       return HcStatus::kBusy;
     }
-    result_flags = 1;  // reconfig in progress
+    result_flags = nova::kHwGrantReconfig;
     ++stats_.grants_with_reconfig;
+    pending_[req.client] = PendingReconfig{req.task, u32(prr), 1,
+                                           ReconfigOutcome::kInFlight};
+    inflight_client_ = req.client;
     if (blocking_reconfig_) {
       // Ablation: poll the PCAP to completion inside the service. The
       // paper's design explicitly avoids this ("the manager service does
       // not check the completion of the PCAP transfer").
       auto& plat = kernel_.platform();
-      while (plat.pcap().busy()) {
+      while (query_reconfig(req.client) == nova::kReconfigInFlight) {
         (void)ctx.read32(nova::manager_pcap_va() + pl::kPcapStatus);
         plat.idle_until_next_event(plat.clock().now() +
                                    plat.clock().us_to_cycles(50));
       }
-      result_flags = 0;  // configured before returning
+      // Configured (or degraded to software) before returning.
+      if (query_reconfig(req.client) == nova::kReconfigFallback) {
+        // declare_fallback already unbound the region; skip stage 6.
+        result_flags = nova::kHwGrantSoftware;
+        return HcStatus::kSuccess;
+      }
+      result_flags = nova::kHwGrantReady;
     }
   } else {
     ++stats_.grants_no_reconfig;
@@ -304,6 +340,171 @@ bool ManagerService::needs_reconfig_forces_pcap(u32 prr_idx,
   return hw.loaded_task != task;
 }
 
+// ---- retry / quarantine / fallback (DESIGN.md §8) ---------------------------
+
+u32 ManagerService::query_reconfig(PdId client) {
+  auto it = pending_.find(client);
+  if (it == pending_.end()) return nova::kReconfigReady;
+  switch (it->second.outcome) {
+    case ReconfigOutcome::kInFlight: return nova::kReconfigInFlight;
+    case ReconfigOutcome::kReady: return nova::kReconfigReady;
+    case ReconfigOutcome::kFallback: return nova::kReconfigFallback;
+  }
+  return nova::kReconfigReady;
+}
+
+cycles_t ManagerService::backoff_cycles(u32 attempts_made) const {
+  double us = retry_.backoff_base_us;
+  for (u32 i = 1; i < attempts_made; ++i) us *= retry_.backoff_factor;
+  return kernel_.platform().clock().us_to_cycles(us);
+}
+
+void ManagerService::on_pcap_complete(u32 prr, u32 task, bool ok) {
+  (void)task;
+  const PdId client = inflight_client_;
+  inflight_client_ = nova::kInvalidPd;
+  if (client == nova::kInvalidPd) return;
+  auto it = pending_.find(client);
+  if (it == pending_.end()) return;
+  PendingReconfig& p = it->second;
+  if (p.outcome != ReconfigOutcome::kInFlight || p.prr != prr) return;
+  PrrTableEntry& entry = prr_table_[prr];
+  entry.reconfiguring = false;
+
+  if (ok) {
+    entry.health = PrrHealth::kHealthy;
+    entry.fail_streak = 0;
+    p.outcome = ReconfigOutcome::kReady;
+    ++kernel_.platform().stats().counter("hwmgr.reconfig_success");
+    return;
+  }
+
+  ++stats_.pcap_failures;
+  ++kernel_.platform().stats().counter("hwmgr.pcap_failures");
+  ++entry.fail_streak;
+  log_.debug("PCAP failure %u/%u for client %u on PRR%u (streak %u)",
+             p.attempts, retry_.max_attempts, client, prr, entry.fail_streak);
+  if (entry.fail_streak >= retry_.quarantine_threshold) quarantine(prr);
+  if (entry.health == PrrHealth::kQuarantined ||
+      p.attempts >= retry_.max_attempts) {
+    declare_fallback(client);
+    return;
+  }
+  auto& plat = kernel_.platform();
+  plat.events().schedule_at(plat.clock().now() + backoff_cycles(p.attempts),
+                            [this, client] { retry_reconfig(client); });
+}
+
+void ManagerService::retry_reconfig(PdId client) {
+  auto it = pending_.find(client);
+  if (it == pending_.end() || it->second.outcome != ReconfigOutcome::kInFlight)
+    return;  // released, superseded, or already decided meanwhile
+  PendingReconfig& p = it->second;
+  auto& plat = kernel_.platform();
+  PrrTableEntry& entry = prr_table_[p.prr];
+  const auto& hw = plat.prr_controller().prr(p.prr);
+  if (entry.health == PrrHealth::kQuarantined || hw.busy ||
+      hw.reconfiguring) {
+    // The region became unusable while we backed off; retries stay on the
+    // originally granted region (the interface page points at it).
+    declare_fallback(client);
+    return;
+  }
+  if (plat.pcap().busy()) {
+    // Another client's bitstream is streaming: push the retry out one more
+    // backoff step rather than spinning.
+    plat.events().schedule_at(plat.clock().now() + backoff_cycles(p.attempts),
+                              [this, client] { retry_reconfig(client); });
+    return;
+  }
+  if (kernel_.pd_by_id(client) == nullptr) {
+    pending_.erase(it);
+    return;
+  }
+  kernel_.svc_set_pcap_owner(*pd_, client);
+  if (!launch_pcap_phys(p.prr, p.task)) {
+    declare_fallback(client);
+    return;
+  }
+  ++p.attempts;
+  ++stats_.retries;
+  ++plat.stats().counter("hwmgr.retries");
+  entry.reconfiguring = true;
+  inflight_client_ = client;
+}
+
+bool ManagerService::launch_pcap_phys(u32 prr_idx, hwtask::TaskId task) {
+  // Retries fire from the event queue, where no protection domain runs, so
+  // the devcfg registers are programmed through the physical bus instead of
+  // the manager's virtual window. The DMA re-program itself is charged as
+  // zero CPU time — the paper's overlap argument (§IV.E) applies doubly.
+  auto& bus = kernel_.platform().bus();
+  u32 status = 0;
+  (void)bus.read32(mem::kDevcfgBase + pl::kPcapStatus, status);
+  if (status & pl::kPcapStatusBusy) return false;
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapSrcAddr,
+                    u32(kernel_.bitstream_pa(task)));
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapLen,
+                    kernel_.bitstream_len(task));
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapTarget, prr_idx);
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapTaskId, task);
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapCtrl, 1);
+  kernel_.platform().trace().emit(kernel_.platform().clock().now(),
+                                  sim::TraceKind::kPcapStart, task, prr_idx);
+  return true;
+}
+
+void ManagerService::declare_fallback(PdId client) {
+  auto it = pending_.find(client);
+  if (it == pending_.end()) return;
+  PendingReconfig& p = it->second;
+  p.outcome = ReconfigOutcome::kFallback;
+  ++stats_.fallbacks;
+  ++kernel_.platform().stats().counter("hwmgr.fallbacks");
+  log_.debug("client %u degraded to software for task %u", client, p.task);
+  if (p.prr >= prr_table_.size()) return;
+  // Unbind the dark region so other grants can use it after recovery; the
+  // client's interface page goes away with it (it points at dead logic).
+  PrrTableEntry& entry = prr_table_[p.prr];
+  if (entry.client != client) return;
+  if (entry.client_iface_va != 0) {
+    const auto key = std::make_pair(client, entry.client_iface_va);
+    auto mit = iface_map_.find(key);
+    if (mit != iface_map_.end() && mit->second == p.prr) {
+      kernel_.svc_unmap_from(*pd_, client, entry.client_iface_va);
+      iface_map_.erase(mit);
+    }
+  }
+  entry.client = nova::kInvalidPd;
+  entry.task = hwtask::kInvalidTask;
+  entry.client_iface_va = 0;
+  entry.reconfiguring = false;
+}
+
+void ManagerService::quarantine(u32 prr_idx) {
+  PrrTableEntry& entry = prr_table_[prr_idx];
+  if (entry.health == PrrHealth::kQuarantined) return;
+  entry.health = PrrHealth::kQuarantined;
+  ++stats_.quarantines;
+  ++kernel_.platform().stats().counter("hwmgr.quarantines");
+  log_.info("PRR%u quarantined after %u consecutive PCAP failures", prr_idx,
+            entry.fail_streak);
+  auto& plat = kernel_.platform();
+  plat.events().schedule_at(
+      plat.clock().now() + plat.clock().us_to_cycles(retry_.quarantine_us),
+      [this, prr_idx] { unquarantine(prr_idx); });
+}
+
+void ManagerService::unquarantine(u32 prr_idx) {
+  PrrTableEntry& entry = prr_table_[prr_idx];
+  if (entry.health != PrrHealth::kQuarantined) return;
+  entry.health = PrrHealth::kSuspect;
+  entry.fail_streak = 0;
+  ++stats_.unquarantines;
+  ++kernel_.platform().stats().counter("hwmgr.unquarantines");
+  log_.info("PRR%u back from quarantine (suspect)", prr_idx);
+}
+
 HcStatus ManagerService::handle_release(GuestContext& ctx, PdId client,
                                         hwtask::TaskId task) {
   ctx.exec(rg_release_);
@@ -327,6 +528,7 @@ HcStatus ManagerService::handle_release(GuestContext& ctx, PdId client,
     // The configured task stays resident for cheap re-dispatch.
     touch_prr_table(ctx, prr, /*write=*/true);
     ++stats_.releases;
+    pending_.erase(client);  // nothing left to report for this client
     return HcStatus::kSuccess;
   }
   return HcStatus::kNotFound;

@@ -65,6 +65,31 @@ struct ManagerCostModel {
   u32 insns_release = 700;
 };
 
+/// Retry-with-exponential-backoff policy for failed bitstream downloads,
+/// plus per-PRR quarantine: a region whose downloads keep failing is pulled
+/// from allocation for a cooldown instead of burning PCAP bandwidth.
+struct RetryPolicy {
+  u32 max_attempts = 4;            // total transfer attempts per grant
+  double backoff_base_us = 100.0;  // delay before the first retry
+  double backoff_factor = 2.0;     // delay multiplier per further retry
+  u32 quarantine_threshold = 3;    // consecutive failures that quarantine
+  double quarantine_us = 50'000.0; // cooldown before the region is retried
+};
+
+/// Per-PRR health, driven by PCAP transfer outcomes.
+enum class PrrHealth : u8 {
+  kHealthy = 0,
+  kSuspect,      // just left quarantine; one more failure re-quarantines
+  kQuarantined,  // excluded from allocation until the cooldown expires
+};
+
+/// Reconfiguration state of a client's latest grant (kHwTaskQuery answer).
+enum class ReconfigOutcome : u8 {
+  kInFlight = 0,  // a transfer (or a scheduled retry) is pending
+  kReady,         // the task is configured in the region
+  kFallback,      // retries exhausted: client should run in software
+};
+
 struct PrrTableEntry {
   nova::PdId client = nova::kInvalidPd;
   hwtask::TaskId task = hwtask::kInvalidTask;      // configured (or loading)
@@ -72,6 +97,8 @@ struct PrrTableEntry {
   vaddr_t client_iface_va = 0;
   u32 irq_index = 0xFFFF'FFFFu;  // allocated PL IRQ source
   u64 last_grant_seq = 0;        // recency stamp for the LRU policy
+  PrrHealth health = PrrHealth::kHealthy;
+  u32 fail_streak = 0;  // consecutive failed downloads into this region
 };
 
 struct ManagerStats {
@@ -81,12 +108,19 @@ struct ManagerStats {
   u64 busy_rejections = 0;
   u64 reclaims = 0;  // region taken from another client
   u64 releases = 0;
+  u64 pcap_failures = 0;   // failed transfer attempts observed
+  u64 retries = 0;         // re-launched transfers after a failure
+  u64 quarantines = 0;     // healthy/suspect -> quarantined transitions
+  u64 unquarantines = 0;   // cooldown expirations
+  u64 fallbacks = 0;       // grants degraded to software after failures
+  u64 sw_grants = 0;       // requests granted as software up front
 };
 
 class ManagerService final : public nova::HwService {
  public:
   explicit ManagerService(nova::Kernel& kernel,
                           const ManagerCostModel& costs = {});
+  ~ManagerService() override;
 
   /// Create the manager's protection domain and register this service.
   /// Priority defaults to one above the guests' (paper §IV.E).
@@ -98,9 +132,13 @@ class ManagerService final : public nova::HwService {
                                 u32& result_flags) override;
   nova::HcStatus handle_release(nova::GuestContext& ctx, nova::PdId client,
                                 hwtask::TaskId task) override;
+  u32 query_reconfig(nova::PdId client) override;
 
   void set_policy(AllocPolicy p) { policy_ = p; }
   AllocPolicy policy() const { return policy_; }
+  void set_retry_policy(const RetryPolicy& p) { retry_ = p; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  PrrHealth prr_health(u32 idx) const { return prr_table_[idx].health; }
 
   /// Ablation (§IV.E stage 6): when set, the service waits for PCAP
   /// completion before returning instead of overlapping the transfer with
@@ -112,9 +150,29 @@ class ManagerService final : public nova::HwService {
   const ManagerStats& stats() const { return stats_; }
 
  private:
+  /// One in-flight (or decided) reconfiguration per client.
+  struct PendingReconfig {
+    hwtask::TaskId task = hwtask::kInvalidTask;
+    u32 prr = 0xFFFF'FFFFu;
+    u32 attempts = 0;  // transfer attempts launched so far
+    ReconfigOutcome outcome = ReconfigOutcome::kInFlight;
+  };
+
   // Stage 2: pick a PRR for `task`; returns index or -1 when all busy.
+  // `quarantine_blocked` reports that at least one idle compatible region
+  // existed but was quarantined (caller grants software instead of Busy).
   int select_prr(nova::GuestContext& ctx, const hwtask::TaskInfo& info,
-                 nova::PdId requester, bool& needs_reconfig);
+                 nova::PdId requester, bool& needs_reconfig,
+                 bool& quarantine_blocked);
+  // Retry/backoff/fallback machinery (observer-driven; see DESIGN.md §8).
+  void on_pcap_complete(u32 prr, u32 task, bool ok);
+  void retry_reconfig(nova::PdId client);
+  void declare_fallback(nova::PdId client);
+  void quarantine(u32 prr_idx);
+  void unquarantine(u32 prr_idx);
+  cycles_t backoff_cycles(u32 attempts_made) const;
+  // Re-program the PCAP from an event context (no manager VA translation).
+  bool launch_pcap_phys(u32 prr_idx, hwtask::TaskId task);
   // §IV.C consistency protocol when reclaiming from `old_client`.
   void reclaim_from(nova::GuestContext& ctx, u32 prr_idx);
   // Device programming helpers (PL global control page via the manager's
@@ -132,7 +190,12 @@ class ManagerService final : public nova::HwService {
   ManagerCostModel costs_;
   bool blocking_reconfig_ = false;
   AllocPolicy policy_ = AllocPolicy::kResidentFirst;
+  RetryPolicy retry_;
   u64 grant_seq_ = 0;
+  // Client whose transfer currently streams through the (single) PCAP port;
+  // attributes completion-observer callbacks to the right grant.
+  nova::PdId inflight_client_ = nova::kInvalidPd;
+  std::map<nova::PdId, PendingReconfig> pending_;
   nova::ProtectionDomain* pd_ = nullptr;
   std::vector<PrrTableEntry> prr_table_;
   // Where each client's interface VA currently points. A VA can be remapped

@@ -93,6 +93,9 @@ enum class HcStatus : i32 {
   kReconfig = 1,
   /// No idle compatible PRR: try again later (§IV.E stage 2).
   kBusy = 2,
+  /// Transient kernel-path failure (EAGAIN): nothing was dispatched; the
+  /// caller may simply reissue the same hypercall.
+  kAgain = 3,
 
   kInvalidArg = -1,
   kDenied = -2,
@@ -100,6 +103,16 @@ enum class HcStatus : i32 {
   kNoMemory = -4,
   kNotSupported = -5,
 };
+
+// kHwTaskQuery(0) reconfiguration-state results (returned in r1).
+inline constexpr u32 kReconfigInFlight = 0;  // PCAP transfer/retries pending
+inline constexpr u32 kReconfigReady = 1;     // task configured, region usable
+inline constexpr u32 kReconfigFallback = 2;  // retries exhausted: run in SW
+
+// kHwTaskRequest grant flags (returned in r1 on kSuccess).
+inline constexpr u32 kHwGrantReady = 0;      // task already resident
+inline constexpr u32 kHwGrantReconfig = 1;   // PCAP reconfiguration launched
+inline constexpr u32 kHwGrantSoftware = 2;   // no usable PRR: run in SW
 
 struct HypercallArgs {
   Hypercall number = Hypercall::kCount;

@@ -420,11 +420,22 @@ void Kernel::vfp_access(ProtectionDomain& pd) {
 
 HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
                                        const HypercallArgs& args) {
-  MINOVA_CHECK(args.number < Hypercall::kCount);
   ++hypercalls_;
   platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kHypercall,
                          u32(args.number), caller.id());
   auto& core = platform_.cpu();
+  if (args.number >= Hypercall::kCount) {
+    // Unknown hypercall number: a buggy or malicious guest must not bring
+    // the kernel down. Charge the trap, reject, resume the caller.
+    core.exception_enter(cpu::Exception::kSupervisorCall);
+    core.exec_code(rg_vector_);
+    core.exec_code(rg_hc_entry_);
+    core.exec_code(rg_hc_exit_);
+    core.exception_return(cpu::Mode::kUsr);
+    HypercallResult res;
+    res.status = HcStatus::kNotSupported;
+    return res;
+  }
   const cycles_t t0 = core.clock().now();
   hw_req_t0_ = 0;
 
@@ -613,6 +624,12 @@ HypercallResult Kernel::dispatch(ProtectionDomain& caller,
     }
     case Hypercall::kDmaRequest: {
       // PS DMA: guest-virtual to guest-virtual copy within the caller.
+      // The handler runs under the host-kernel DACR, so a bare probe would
+      // happily translate kernel VAs: reject them before probing.
+      if (r1 >= kKernelVa || r2 >= kKernelVa) {
+        res.status = HcStatus::kInvalidArg;
+        break;
+      }
       const auto dst = core.probe(r1, mmu::AccessKind::kWrite);
       const auto src = core.probe(r2, mmu::AccessKind::kRead);
       if (!dst.ok() || !src.ok() || r3 == 0 || r3 > kGuestUserSize) {
@@ -627,19 +644,29 @@ HypercallResult Kernel::dispatch(ProtectionDomain& caller,
     }
 
     case Hypercall::kHwTaskRequest:
+      if (platform_.fault().should_fail(sim::FaultSite::kHypercallTransient)) {
+        res.status = HcStatus::kAgain;  // nothing dispatched; just reissue
+        break;
+      }
       res = hc_hwtask_request(caller, args);
       break;
     case Hypercall::kHwTaskRelease:
+      if (platform_.fault().should_fail(sim::FaultSite::kHypercallTransient)) {
+        res.status = HcStatus::kAgain;
+        break;
+      }
       res = hc_hwtask_release(caller, args);
       break;
     case Hypercall::kHwTaskQuery: {
       if (r0 == 0) {
-        // PCAP completion poll (only meaningful for the transfer owner).
-        if (pcap_owner_ != caller.id()) {
+        // Reconfiguration-state poll: the manager answers per client, so a
+        // VM whose transfer the manager is retrying (and which therefore no
+        // longer owns the PCAP port) still learns its outcome.
+        if (!caller.has_cap(kCapHwClient) || hw_service_ == nullptr) {
           res.status = HcStatus::kDenied;
           break;
         }
-        res.r1 = (platform_.pcap().busy() ? 0 : 1);
+        res.r1 = hw_service_->query_reconfig(caller.id());
         core.spend(core.caches().access_device());
       } else {
         res.status = HcStatus::kInvalidArg;

@@ -47,6 +47,9 @@ class HwService {
   /// Client voluntarily releases its hardware task.
   virtual HcStatus handle_release(GuestContext& ctx, PdId client,
                                   hwtask::TaskId task) = 0;
+  /// Reconfiguration state of `client`'s latest grant, as a kReconfig*
+  /// value. Clients with nothing pending report kReconfigReady.
+  virtual u32 query_reconfig(PdId client) = 0;
 };
 
 struct KernelConfig {

@@ -1,6 +1,7 @@
 #include "pl/pcap.hpp"
 
 #include "mem/address_map.hpp"
+#include "sim/fault.hpp"
 
 namespace minova::pl {
 
@@ -59,19 +60,63 @@ void Pcap::start() {
   busy_ = true;
   done_ = false;
   error_ = false;
+  if (fault_ != nullptr &&
+      fault_->should_fail(sim::FaultSite::kPrrRegionBusy)) {
+    // Static logic spuriously NAKs the handshake: the abort surfaces after
+    // the DevC setup time, before any frame reaches the region.
+    ++region_busy_errors_;
+    events_.schedule_at(clock_.now() + cfg_.setup_cycles,
+                        [this] { fail(/*begun=*/false, "region-busy NAK"); });
+    return;
+  }
   controller_.begin_reconfigure(target_);
   log_.debug("PCAP transfer start: task %u -> PRR%u (%u bytes)", task_id_,
              target_, len_);
-  events_.schedule_at(clock_.now() + transfer_cycles(len_),
-                      [this] { complete(); });
+  cycles_t latency = transfer_cycles(len_);
+  if (fault_ != nullptr && fault_->should_fail(sim::FaultSite::kPcapStall)) {
+    ++stalls_;
+    latency += fault_->stall_cycles();
+  }
+  events_.schedule_at(clock_.now() + latency, [this] { complete(); });
 }
 
 void Pcap::complete() {
+  if (fault_ != nullptr) {
+    // Both sites are probed in a fixed order every transfer so each stream
+    // position stays a pure function of that site's own attempt index.
+    const bool crc = fault_->should_fail(sim::FaultSite::kPcapCrc);
+    const bool xfer = fault_->should_fail(sim::FaultSite::kPcapTransfer);
+    if (crc || xfer) {
+      if (crc) ++crc_errors_;
+      if (xfer && !crc) ++transfer_errors_;
+      fail(/*begun=*/true, crc ? "bitstream CRC mismatch" : "DMA abort");
+      return;
+    }
+  }
+  if (!controller_.load_task(target_, task_id_)) {
+    // Reconfiguration timeout: the region stayed dark. No devcfg IRQ — the
+    // manager's completion observer is the failure path.
+    busy_ = false;
+    done_ = false;
+    error_ = true;
+    if (observer_) observer_(target_, task_id_, false);
+    return;
+  }
   busy_ = false;
   done_ = true;
   ++transfers_completed_;
-  controller_.load_task(target_, task_id_);
   gic_.raise(mem::kIrqDevcfg);
+  if (observer_) observer_(target_, task_id_, true);
+}
+
+void Pcap::fail(bool begun, const char* why) {
+  busy_ = false;
+  done_ = false;
+  error_ = true;
+  log_.debug("PCAP transfer failed: task %u -> PRR%u (%s)", task_id_, target_,
+             why);
+  if (begun) controller_.abort_reconfigure(target_);
+  if (observer_) observer_(target_, task_id_, false);
 }
 
 }  // namespace minova::pl

@@ -18,6 +18,8 @@
 //   0x14 TASK_ID  rw  task carried by the bitstream (models the header)
 #pragma once
 
+#include <functional>
+
 #include "irq/gic.hpp"
 #include "mem/bus.hpp"
 #include "pl/prr_controller.hpp"
@@ -46,6 +48,12 @@ struct PcapConfig {
 
 class Pcap final : public mem::MmioDevice {
  public:
+  /// Notified at the end of every transfer attempt — success or failure —
+  /// so the hardware task manager can drive its retry policy without
+  /// polling. Failed transfers do NOT raise the devcfg IRQ (the region is
+  /// not configured); the observer is the only failure signal.
+  using CompletionObserver = std::function<void(u32 prr, u32 task, bool ok)>;
+
   Pcap(sim::Clock& clock, sim::EventQueue& events, irq::Gic& gic,
        PrrController& controller, const PcapConfig& cfg = {});
 
@@ -56,6 +64,17 @@ class Pcap final : public mem::MmioDevice {
   bool busy() const { return busy_; }
   u64 transfers_completed() const { return transfers_completed_; }
 
+  /// Optional fault injector (owned by the platform); null disables.
+  void attach_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+  void set_completion_observer(CompletionObserver obs) {
+    observer_ = std::move(obs);
+  }
+
+  u64 crc_errors() const { return crc_errors_; }
+  u64 transfer_errors() const { return transfer_errors_; }
+  u64 stalls() const { return stalls_; }
+  u64 region_busy_errors() const { return region_busy_errors_; }
+
   /// Latency a transfer of `bytes` will take (for tests/benches).
   cycles_t transfer_cycles(u32 bytes) const {
     return cfg_.setup_cycles + cycles_t(double(bytes) * cfg_.cycles_per_byte);
@@ -64,6 +83,7 @@ class Pcap final : public mem::MmioDevice {
  private:
   void start();
   void complete();
+  void fail(bool begun, const char* why);
 
   sim::Clock& clock_;
   sim::EventQueue& events_;
@@ -79,6 +99,12 @@ class Pcap final : public mem::MmioDevice {
   u32 target_ = 0;
   u32 task_id_ = 0;
   u64 transfers_completed_ = 0;
+  sim::FaultInjector* fault_ = nullptr;
+  CompletionObserver observer_;
+  u64 crc_errors_ = 0;
+  u64 transfer_errors_ = 0;
+  u64 stalls_ = 0;
+  u64 region_busy_errors_ = 0;
   util::Logger log_{"pl.pcap"};
 };
 

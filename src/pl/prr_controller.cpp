@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/address_map.hpp"
+#include "sim/fault.hpp"
 #include "util/assert.hpp"
 
 namespace minova::pl {
@@ -233,7 +234,17 @@ void PrrController::begin_reconfigure(u32 prr_idx) {
   p.core.reset();
 }
 
-void PrrController::load_task(u32 prr_idx, hwtask::TaskId task) {
+void PrrController::abort_reconfigure(u32 prr_idx) {
+  MINOVA_CHECK(prr_idx < prrs_.size());
+  PrrState& p = prrs_[prr_idx];
+  p.reconfiguring = false;
+  p.loaded_task = hwtask::kInvalidTask;
+  p.core.reset();
+  p.error = true;
+  log_.debug("PRR%u reconfiguration aborted; region dark", prr_idx);
+}
+
+bool PrrController::load_task(u32 prr_idx, hwtask::TaskId task) {
   MINOVA_CHECK(prr_idx < prrs_.size());
   PrrState& p = prrs_[prr_idx];
   const hwtask::TaskInfo* info = library_.find(task);
@@ -242,11 +253,25 @@ void PrrController::load_task(u32 prr_idx, hwtask::TaskId task) {
   MINOVA_CHECK_MSG(
       std::find(compat.begin(), compat.end(), prr_idx) != compat.end(),
       "bitstream does not fit this PRR");
+  if (fault_ != nullptr &&
+      fault_->should_fail(sim::FaultSite::kPrrReconfigTimeout)) {
+    // The region never signals reconfiguration-done within its deadline:
+    // its contents are undefined, so it goes dark instead of half-loaded.
+    ++reconfig_timeouts_;
+    p.reconfiguring = false;
+    p.loaded_task = hwtask::kInvalidTask;
+    p.core.reset();
+    p.error = true;
+    log_.debug("PRR%u reconfiguration timeout loading %s", prr_idx,
+               info->name.c_str());
+    return false;
+  }
   p.loaded_task = task;
   p.core = library_.instantiate(task);
   p.reconfiguring = false;
   p.done = p.error = false;
   log_.debug("PRR%u configured with %s", prr_idx, info->name.c_str());
+  return true;
 }
 
 u64 PrrController::total_jobs() const {

@@ -42,6 +42,10 @@
 #include "sim/event_queue.hpp"
 #include "util/log.hpp"
 
+namespace minova::sim {
+class FaultInjector;
+}
+
 namespace minova::pl {
 
 // Register offsets (byte) within a PRR register group page.
@@ -100,10 +104,20 @@ class PrrController final : public mem::MmioDevice {
   /// Physical base address of PRR `idx`'s register group page.
   paddr_t reg_group_pa(u32 idx) const;
 
-  /// Called by the PCAP engine when a bitstream download completes.
-  void load_task(u32 prr_idx, hwtask::TaskId task);
+  /// Called by the PCAP engine when a bitstream download completes. Returns
+  /// false when the region misses its reconfiguration deadline (injected
+  /// kPrrReconfigTimeout): the PRR is left dark with STATUS.ERROR set.
+  bool load_task(u32 prr_idx, hwtask::TaskId task);
   /// Called by the PCAP engine when a transfer starts targeting this PRR.
   void begin_reconfigure(u32 prr_idx);
+  /// Called by the PCAP engine when a started transfer aborts: the region's
+  /// partial contents are undefined, so it goes dark with STATUS.ERROR.
+  void abort_reconfigure(u32 prr_idx);
+
+  /// Optional fault injector (owned by the platform); null disables.
+  void attach_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+
+  u64 reconfig_timeouts() const { return reconfig_timeouts_; }
 
   /// GIC SPI number for a PL IRQ index.
   static u32 gic_irq_for(u32 pl_index) { return mem::pl_irq_to_gic(pl_index); }
@@ -132,6 +146,8 @@ class PrrController final : public mem::MmioDevice {
   u32 prr_select_ = 0;
   u32 irq_alloc_result_ = PrrState::kNoIrq;
   std::vector<bool> irq_in_use_;
+  sim::FaultInjector* fault_ = nullptr;
+  u64 reconfig_timeouts_ = 0;
   util::Logger log_{"pl.prrctl"};
 };
 

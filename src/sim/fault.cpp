@@ -1,0 +1,54 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace minova::sim {
+
+FaultInjector::FaultInjector(Clock& clock, StatsRegistry& stats,
+                             const FaultConfig& cfg)
+    : clock_(clock), stats_(stats), cfg_(cfg) {
+  seed_streams();
+}
+
+void FaultInjector::seed_streams() {
+  // Derive one independent stream per site from the experiment seed via the
+  // splitmix64 expansion (the same scheme Xoshiro256 uses internally).
+  u64 sm = cfg_.seed;
+  for (auto& site : sites_) site.rng = util::Xoshiro256(util::splitmix64(sm));
+}
+
+void FaultInjector::reset() {
+  for (auto& site : sites_) {
+    site.attempts = 0;
+    site.injected = 0;
+  }
+  records_.clear();
+  seed_streams();
+}
+
+bool FaultInjector::should_fail(FaultSite site) {
+  if (!cfg_.enabled) return false;
+  SiteState& st = sites_[u32(site)];
+  const FaultSiteConfig& sc = cfg_.sites[u32(site)];
+  const u64 attempt = st.attempts++;
+  const std::string name = fault_site_name(site);
+  ++stats_.counter("fault." + name + ".attempts");
+
+  // Draw unconditionally so the stream position is a pure function of the
+  // attempt index (a schedule hit must not shift later random decisions).
+  const double draw = st.rng.next_double();
+  bool fail = sc.probability > 0.0 && draw < sc.probability;
+  if (!fail && !sc.schedule.empty())
+    fail = std::find(sc.schedule.begin(), sc.schedule.end(), attempt) !=
+           sc.schedule.end();
+
+  if (fail) {
+    ++st.injected;
+    ++stats_.counter("fault." + name + ".injected");
+    records_.push_back({site, attempt, clock_.now()});
+  }
+  return fail;
+}
+
+}  // namespace minova::sim

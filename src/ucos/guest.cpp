@@ -47,17 +47,32 @@ class UcosGuest::GuestSvc final : public workloads::Services {
         ctx_.hypercall(Hypercall::kHwTaskRequest, task, iface_va, data_va);
     if (!res.ok()) return HwReqStatus::kError;
     if (res.status == nova::HcStatus::kBusy) return HwReqStatus::kBusy;
+    // Transient kernel-path failure: nothing was dispatched; retrying next
+    // tick is exactly the Busy protocol.
+    if (res.status == nova::HcStatus::kAgain) return HwReqStatus::kBusy;
+    if (res.r1 == nova::kHwGrantSoftware) return HwReqStatus::kSoftwareFallback;
     return res.r1 != 0 ? HwReqStatus::kGrantedReconfig : HwReqStatus::kGranted;
   }
   bool hw_release(u32 task) override {
-    return ctx_.hypercall(Hypercall::kHwTaskRelease, task).ok();
+    // kAgain/kBusy are positive statuses; only kSuccess means released.
+    return ctx_.hypercall(Hypercall::kHwTaskRelease, task).status ==
+           nova::HcStatus::kSuccess;
   }
   bool hw_reconfig_done() override {
+    return hw_reconfig_status() == workloads::ReconfigStatus::kReady;
+  }
+  workloads::ReconfigStatus hw_reconfig_status() override {
     // Two acknowledgement methods (§IV.E stage 6): the PCAP completion IRQ
-    // latched by the handler, or explicit polling via hypercall.
-    if (owner_.pcap_done_seen_) return true;
+    // latched by the handler, or explicit polling via hypercall. Only the
+    // poll can observe a manager-declared fallback.
+    if (owner_.pcap_done_seen_) return workloads::ReconfigStatus::kReady;
     const auto res = ctx_.hypercall(Hypercall::kHwTaskQuery, 0);
-    return res.ok() && res.r1 == 1;
+    if (!res.ok()) return workloads::ReconfigStatus::kInFlight;
+    if (res.r1 == nova::kReconfigFallback)
+      return workloads::ReconfigStatus::kFailed;
+    return res.r1 == nova::kReconfigReady
+               ? workloads::ReconfigStatus::kReady
+               : workloads::ReconfigStatus::kInFlight;
   }
   bool hw_take_completion() override {
     if (!owner_.hw_completion_) return false;

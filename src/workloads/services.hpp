@@ -21,6 +21,14 @@ enum class HwReqStatus : u8 {
   kGrantedReconfig,    // interface mapped, PCAP transfer in flight
   kBusy,               // no PRR available: retry later
   kError,
+  kSoftwareFallback,   // manager granted the task as a software run
+};
+
+/// Outcome of a pending reconfiguration, as the client sees it.
+enum class ReconfigStatus : u8 {
+  kInFlight = 0,  // transfer (or manager-side retries) still pending
+  kReady,         // task configured; start the job
+  kFailed,        // retries exhausted; run the software equivalent
 };
 
 class Services {
@@ -44,6 +52,13 @@ class Services {
   virtual bool hw_release(u32 task_id) = 0;
   /// True when a previously reported reconfiguration has completed.
   virtual bool hw_reconfig_done() = 0;
+  /// Three-way reconfiguration outcome. The default keeps legacy
+  /// environments (which cannot fail) working: done maps to kReady,
+  /// not-done to kInFlight.
+  virtual ReconfigStatus hw_reconfig_status() {
+    return hw_reconfig_done() ? ReconfigStatus::kReady
+                              : ReconfigStatus::kInFlight;
+  }
   /// Consume a hardware-task completion notification (IRQ-driven): true
   /// once the accelerator's completion interrupt has been delivered since
   /// the last call.

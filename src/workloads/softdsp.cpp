@@ -46,4 +46,33 @@ u32 soft_qam(Services& svc, vaddr_t in_va, u32 bits_bytes, vaddr_t out_va,
   return u32(out.size() / 8);
 }
 
+u32 soft_task_equivalent(Services& svc, const hwtask::TaskLibrary& library,
+                         hwtask::TaskId task, vaddr_t in_va, u32 in_bytes,
+                         vaddr_t out_va, const SoftDspCosts& costs) {
+  const hwtask::TaskInfo* info = library.find(task);
+  if (info == nullptr || in_bytes == 0) return 0;
+
+  std::vector<u8> in(in_bytes);
+  if (!svc.read_block(in_va, in)) return 0;
+
+  // Same behavioral core as the accelerator: the output is bit-identical
+  // to the hardware path by construction; only the charged CPU time
+  // differs.
+  auto core = library.instantiate(task);
+  const std::vector<u8> out = core->process(in);
+
+  svc.use_vfp();
+  if (info->name.rfind("FFT-", 0) == 0) {
+    const u32 points = in_bytes / 8;
+    u32 stages = 0;
+    while ((1u << (stages + 1)) <= points) ++stages;
+    svc.spend_insns(u64(points / 2) * stages * costs.insns_per_butterfly);
+  } else {
+    svc.spend_insns(u64(out.size() / 8) * costs.insns_per_symbol);
+  }
+
+  if (!svc.write_block(out_va, out)) return 0;
+  return u32(out.size());
+}
+
 }  // namespace minova::workloads

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "hwtask/library.hpp"
 #include "workloads/services.hpp"
 
 namespace minova::workloads {
@@ -33,5 +34,15 @@ cycles_t soft_fft(Services& svc, vaddr_t buffer_va, u32 points,
 /// software. Returns the symbol count produced.
 u32 soft_qam(Services& svc, vaddr_t in_va, u32 bits_bytes, vaddr_t out_va,
              u32 order, const SoftDspCosts& costs = {});
+
+/// Run the software equivalent of hardware task `task`: read `in_bytes` of
+/// input at `in_va`, process with the task's behavioral core (bit-identical
+/// to the accelerator), charge the FFT/QAM CPU cost model, write the result
+/// to `out_va`. Returns the output byte count (0 on unknown task or memory
+/// failure). This is the graceful-degradation path the Hardware Task
+/// Manager falls back to when a bitstream download exhausts its retries.
+u32 soft_task_equivalent(Services& svc, const hwtask::TaskLibrary& library,
+                         hwtask::TaskId task, vaddr_t in_va, u32 in_bytes,
+                         vaddr_t out_va, const SoftDspCosts& costs = {});
 
 }  // namespace minova::workloads

@@ -5,6 +5,7 @@
 
 #include "pl/prr_controller.hpp"
 #include "util/assert.hpp"
+#include "workloads/softdsp.hpp"
 
 namespace minova::workloads {
 
@@ -89,6 +90,21 @@ bool ThwWorkload::validate_output(Services& svc) {
   return true;
 }
 
+bool ThwWorkload::run_soft_fallback(Services& svc) {
+  // Graceful degradation: compute the same task in software against the
+  // same data-section layout the accelerator would have used. The result is
+  // bit-identical by construction (shared behavioral cores).
+  if (!svc.write_block(svc.hw_data_va(), input_)) return false;
+  const u32 produced = soft_task_equivalent(
+      svc, library_, current_, svc.hw_data_va(), u32(input_.size()),
+      svc.hw_data_va() + kOutputOffset);
+  if (produced != expected_.size()) return false;
+  const u32 check = std::min<u32>(produced, 16 * kKiB);
+  std::vector<u8> out(check);
+  if (!svc.read_block(svc.hw_data_va() + kOutputOffset, out)) return false;
+  return std::equal(out.begin(), out.end(), expected_.begin());
+}
+
 ThwWorkload::UnitResult ThwWorkload::run_unit(Services& svc) {
   svc.exec(code_);
   switch (state_) {
@@ -113,6 +129,13 @@ ThwWorkload::UnitResult ThwWorkload::run_unit(Services& svc) {
         case HwReqStatus::kBusy:
           ++stats_.busy_retries;
           return UnitResult::kWaiting;  // back off a tick, then retry
+        case HwReqStatus::kSoftwareFallback:
+          ++stats_.sw_fallbacks;
+          if (run_soft_fallback(svc))
+            ++stats_.jobs_completed;
+          else
+            ++stats_.validation_failures;
+          return UnitResult::kProgress;
         case HwReqStatus::kError:
           return UnitResult::kWaiting;
       }
@@ -120,9 +143,24 @@ ThwWorkload::UnitResult ThwWorkload::run_unit(Services& svc) {
     }
 
     case State::kWaitReconfig:
-      if (!svc.hw_reconfig_done()) return UnitResult::kWaiting;
-      state_ = State::kStartJob;
-      return UnitResult::kProgress;
+      switch (svc.hw_reconfig_status()) {
+        case ReconfigStatus::kInFlight:
+          return UnitResult::kWaiting;
+        case ReconfigStatus::kReady:
+          state_ = State::kStartJob;
+          return UnitResult::kProgress;
+        case ReconfigStatus::kFailed:
+          // Bitstream download exhausted its retries: the manager degraded
+          // the grant; finish the job on the CPU instead of giving up.
+          ++stats_.sw_fallbacks;
+          if (run_soft_fallback(svc))
+            ++stats_.jobs_completed;
+          else
+            ++stats_.validation_failures;
+          state_ = State::kPickTask;
+          return UnitResult::kProgress;
+      }
+      return UnitResult::kWaiting;
 
     case State::kStartJob:
       if (!program_and_start(svc)) {

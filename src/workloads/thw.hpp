@@ -32,6 +32,7 @@ struct ThwStats {
   u64 releases = 0;
   u64 validation_failures = 0;
   u64 inconsistencies_detected = 0;
+  u64 sw_fallbacks = 0;  // jobs degraded to the software equivalent
   // Failure discrimination (debugging/test aid).
   u64 fail_status = 0;    // DONE missing or ERROR set
   u64 fail_length = 0;    // DST_LEN mismatch
@@ -63,6 +64,8 @@ class ThwWorkload {
   void prepare_input(const hwtask::TaskInfo& info);
   bool program_and_start(Services& svc);
   bool validate_output(Services& svc);
+  // Run the software equivalent of the current task and validate it.
+  bool run_soft_fallback(Services& svc);
 
   cpu::CodeRegion code_;
   const hwtask::TaskLibrary& library_;

@@ -93,5 +93,131 @@ TEST_P(SchedModelTest, AgreesWithReferenceOverRandomOps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedModelTest,
                          ::testing::Values(3u, 17u, 2024u, 424242u));
 
+// ---- §III.D scheduling properties -------------------------------------------
+
+/// Six equal-priority PDs under a 1000-cycle quantum.
+class SchedPropertyTest : public ::testing::Test {
+ protected:
+  static constexpr cycles_t kQuantum = 1000;
+
+  SchedPropertyTest()
+      : heap_(kKernelHeapBase + 3 * kMiB, 2 * kMiB),
+        alloc_(platform_.dram(), kKernelHeapBase, 3 * kMiB),
+        builder_(platform_.dram(), alloc_),
+        sched_(kQuantum) {
+    for (u32 i = 0; i < 6; ++i) {
+      pds_.push_back(std::make_unique<ProtectionDomain>(
+          PdId(i), "pd" + std::to_string(i), /*priority=*/2, heap_,
+          platform_.gic(), i + 1, builder_.build_kernel_space(), kCapNone));
+    }
+  }
+
+  Platform platform_;
+  KernelHeap heap_;
+  mmu::PageTableAllocator alloc_;
+  VmSpaceBuilder builder_;
+  Scheduler sched_;
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+};
+
+TEST_F(SchedPropertyTest, QuantumPreservedAcrossPreemption) {
+  // §III.D: a preempted PD keeps its remaining quantum so its total slice
+  // stays constant; only quantum *expiry* re-arms the full slice.
+  ProtectionDomain* pd = pds_[0].get();
+  sched_.enqueue(pd);
+  ASSERT_EQ(pd->quantum_left, kQuantum);  // fresh arm on first enqueue
+
+  // The kernel burns part of the slice, then the PD is preempted
+  // (suspended) and later resumed: the remainder must survive both hops.
+  pd->quantum_left = 400;
+  sched_.suspend(pd);
+  EXPECT_EQ(pd->quantum_left, 400u);
+  sched_.enqueue(pd);
+  EXPECT_EQ(pd->quantum_left, 400u);  // NOT re-armed: slice preserved
+
+  // Several preemption round-trips never manufacture extra budget.
+  for (int i = 0; i < 10; ++i) {
+    sched_.suspend(pd);
+    sched_.enqueue(pd);
+  }
+  EXPECT_EQ(pd->quantum_left, 400u);
+
+  // Expiry is the only re-arm point.
+  pd->quantum_left = 0;
+  sched_.rotate(pd);
+  EXPECT_EQ(pd->quantum_left, kQuantum);
+}
+
+TEST_F(SchedPropertyTest, PreemptionByHigherPriorityKeepsVictimSlice) {
+  ProtectionDomain* low = pds_[0].get();
+  auto high_space = builder_.build_kernel_space();
+  ProtectionDomain high(PdId(99), "high", /*priority=*/5, heap_,
+                        platform_.gic(), 42, std::move(high_space), kCapNone);
+  sched_.enqueue(low);
+  low->quantum_left = 250;  // mid-slice
+
+  sched_.enqueue(&high);
+  ASSERT_EQ(sched_.pick(), &high);  // low is preempted, stays runnable
+  EXPECT_TRUE(sched_.higher_priority_ready(low));
+  EXPECT_EQ(low->quantum_left, 250u);
+
+  sched_.remove(&high);
+  ASSERT_EQ(sched_.pick(), low);
+  EXPECT_EQ(low->quantum_left, 250u);  // resumes exactly where it left off
+}
+
+TEST_F(SchedPropertyTest, NoStarvationWithinNQuantaAtOneLevel) {
+  // Round-robin fairness: with N runnable equal-priority PDs, every PD must
+  // be dispatched at least once within any window of N quantum expiries.
+  const u32 n = u32(pds_.size());
+  for (auto& pd : pds_) sched_.enqueue(pd.get());
+
+  std::vector<u32> last_seen(n, 0);
+  std::vector<u32> dispatches(n, 0);
+  for (u32 round = 1; round <= 10 * n; ++round) {
+    ProtectionDomain* pd = sched_.pick();
+    ASSERT_NE(pd, nullptr);
+    const u32 idx = u32(pd->id());
+    EXPECT_LE(round - last_seen[idx], n) << "pd" << idx << " starved";
+    last_seen[idx] = round;
+    ++dispatches[idx];
+    pd->quantum_left = 0;  // quantum expired
+    sched_.rotate(pd);
+  }
+  // Perfect rotation: each PD got exactly its 1/N share.
+  for (u32 i = 0; i < n; ++i) EXPECT_EQ(dispatches[i], 10u) << "pd" << i;
+}
+
+TEST_F(SchedPropertyTest, NoStarvationUnderRandomSuspendResumeChurn) {
+  // Stronger property: even with random suspend/resume churn, a PD that
+  // stays continuously runnable is dispatched within N quanta of becoming
+  // head-eligible (N = number of runnable PDs, bounded above by all PDs).
+  util::Xoshiro256 rng(0xC0FFEEu);
+  const u32 n = u32(pds_.size());
+  for (auto& pd : pds_) sched_.enqueue(pd.get());
+
+  // pds_[0] is the watched PD: never suspended by the churn.
+  u32 since_dispatch = 0;
+  for (u32 round = 0; round < 600; ++round) {
+    // Random churn on the other PDs.
+    ProtectionDomain* victim = pds_[1 + rng.next_below(n - 1)].get();
+    if (rng.next_bool(0.5))
+      sched_.suspend(victim);
+    else
+      sched_.enqueue(victim);
+
+    ProtectionDomain* pd = sched_.pick();
+    ASSERT_NE(pd, nullptr);  // pds_[0] is always runnable
+    if (pd == pds_[0].get()) {
+      since_dispatch = 0;
+    } else {
+      ++since_dispatch;
+      EXPECT_LE(since_dispatch, n) << "watched PD starved at round " << round;
+    }
+    pd->quantum_left = 0;
+    sched_.rotate(pd);
+  }
+}
+
 }  // namespace
 }  // namespace minova::nova

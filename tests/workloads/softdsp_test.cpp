@@ -96,5 +96,48 @@ TEST(SoftDsp, QamMatchesHardwareCore) {
   EXPECT_EQ(out, core.process(bits));
 }
 
+TEST(SoftDsp, SoftTaskEquivalentBitIdenticalForEveryLibraryTask) {
+  // The graceful-degradation path (DESIGN.md §8): whatever the accelerator
+  // would have produced, the software equivalent must produce byte for
+  // byte, for every task in the library.
+  Platform platform;
+  FlatSvc svc(platform);
+  auto& lib = platform.task_library();
+  for (hwtask::TaskId id : lib.ids()) {
+    const hwtask::TaskInfo* info = lib.find(id);
+    ASSERT_NE(info, nullptr);
+    // Input sized like T_hw's: an FFT frame of bounded floats, or a bit
+    // block for the QAM mappers.
+    u32 bytes = 512;
+    if (info->name.rfind("FFT-", 0) == 0)
+      bytes = std::min(u32(std::stoul(info->name.substr(4))), 2048u) * 8;
+    std::vector<u8> in(bytes);
+    for (u32 i = 0; i < bytes; ++i) in[i] = u8(i * 37 + id);
+    if (info->name.rfind("FFT-", 0) == 0) {
+      for (u32 i = 0; i < bytes / 4; ++i) {
+        const float v = float(int(i % 2000) - 1000) / 1000.0f;
+        std::memcpy(in.data() + i * 4, &v, 4);
+      }
+    }
+    ASSERT_TRUE(svc.write_block(0x10000, in));
+
+    const std::vector<u8> expected = lib.instantiate(id)->process(in);
+    const u32 produced = soft_task_equivalent(svc, lib, id, 0x10000,
+                                              u32(in.size()), 0x100000);
+    ASSERT_EQ(produced, u32(expected.size())) << info->name;
+    std::vector<u8> out(produced);
+    ASSERT_TRUE(svc.read_block(0x100000, out));
+    EXPECT_EQ(out, expected) << info->name;
+  }
+}
+
+TEST(SoftDsp, SoftTaskEquivalentRejectsUnknownTask) {
+  Platform platform;
+  FlatSvc svc(platform);
+  EXPECT_EQ(soft_task_equivalent(svc, platform.task_library(), 999, 0x10000,
+                                 64, 0x20000),
+            0u);
+}
+
 }  // namespace
 }  // namespace minova::workloads
