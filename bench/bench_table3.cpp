@@ -57,6 +57,16 @@ int main(int argc, char** argv) {
     for (const auto& r : rows) cells.push_back(std::to_string(r.samples));
     t.add_row(std::move(cells));
   }
+  {
+    // Trap volume behind the averages: SVC-gate entries and physical IRQ
+    // takes, from the kernel's centralized trap counters.
+    std::vector<std::string> cells{"(hypercall traps)"};
+    for (const auto& r : rows) cells.push_back(std::to_string(r.hypercalls));
+    t.add_row(std::move(cells));
+    std::vector<std::string> cells2{"(irq traps)"};
+    for (const auto& r : rows) cells2.push_back(std::to_string(r.irq_traps));
+    t.add_row(std::move(cells2));
+  }
   std::fputs((csv ? t.to_csv() : t.to_string()).c_str(), stdout);
 
   std::printf("\nPaper (Table III) for comparison:\n");

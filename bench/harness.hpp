@@ -13,6 +13,9 @@ namespace minova::bench {
 struct Measurement {
   double entry = 0, exit = 0, irq_entry = 0, exec = 0, total = 0;
   std::size_t samples = 0;
+  // Trap accounting (virtualized runs only): how many kernel entries the
+  // latencies above amortize over. Native runs take no traps.
+  u64 hypercalls = 0, irq_traps = 0;
 };
 
 inline Measurement run_native(double sim_ms, u64 seed,
@@ -46,6 +49,9 @@ inline Measurement run_virtualized(u32 guests, double sim_ms, u64 seed,
   }
   if (lat.pl_irq_entry_us.count() > 0)
     m.irq_entry = lat.pl_irq_entry_us.mean();
+  auto& stats = sys.kernel().platform().stats();
+  m.hypercalls = stats.counter("kernel.trap.hypercall");
+  m.irq_traps = stats.counter("kernel.trap.irq");
   return m;
 }
 

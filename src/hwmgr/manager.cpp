@@ -197,8 +197,9 @@ bool ManagerService::launch_pcap(GuestContext& ctx, u32 prr_idx,
   const vaddr_t pcap = nova::manager_pcap_va();
   const auto status = ctx.read32(pcap + pl::kPcapStatus);
   if (status.value & pl::kPcapStatusBusy) return false;
-  (void)ctx.write32(pcap + pl::kPcapSrcAddr, kernel_.bitstream_pa(task));
-  (void)ctx.write32(pcap + pl::kPcapLen, kernel_.bitstream_len(task));
+  const auto bits = kernel_.find_bitstream(task);
+  (void)ctx.write32(pcap + pl::kPcapSrcAddr, bits.pa);
+  (void)ctx.write32(pcap + pl::kPcapLen, bits.len);
   (void)ctx.write32(pcap + pl::kPcapTarget, prr_idx);
   (void)ctx.write32(pcap + pl::kPcapTaskId, task);
   (void)ctx.write32(pcap + pl::kPcapCtrl, 1);
@@ -442,10 +443,9 @@ bool ManagerService::launch_pcap_phys(u32 prr_idx, hwtask::TaskId task) {
   u32 status = 0;
   (void)bus.read32(mem::kDevcfgBase + pl::kPcapStatus, status);
   if (status & pl::kPcapStatusBusy) return false;
-  (void)bus.write32(mem::kDevcfgBase + pl::kPcapSrcAddr,
-                    u32(kernel_.bitstream_pa(task)));
-  (void)bus.write32(mem::kDevcfgBase + pl::kPcapLen,
-                    kernel_.bitstream_len(task));
+  const auto bits = kernel_.find_bitstream(task);
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapSrcAddr, u32(bits.pa));
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapLen, bits.len);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapTarget, prr_idx);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapTaskId, task);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapCtrl, 1);

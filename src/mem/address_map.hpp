@@ -75,4 +75,13 @@ constexpr u32 pl_irq_to_gic(u32 pl_index) {
   return pl_index < 8 ? kIrqPl0Base + pl_index : kIrqPl1Base + (pl_index - 8);
 }
 
+/// True when `irq` is one of the 16 PL-to-PS SPIs (IRQF2P banks). The one
+/// definition shared by the kernel's IRQ router and the manager-facing
+/// PL IRQ assignment service — routing of non-PL sources (private timer,
+/// devcfg, UARTs) can never be claimed through the PL path.
+constexpr bool is_pl_irq(u32 irq) {
+  return (irq >= kIrqPl0Base && irq < kIrqPl0Base + 8) ||
+         (irq >= kIrqPl1Base && irq < kIrqPl1Base + 8);
+}
+
 }  // namespace minova::mem

@@ -1,0 +1,78 @@
+// Internal: hypercall handler functions installed in the portal tables.
+//
+// One function per hypercall, grouped into cohesive translation units:
+//   hc_mem.cpp    — cache/TLB maintenance, mapping, page tables, protection,
+//                   guest privilege mode, emulated privileged registers
+//   hc_irq.cpp    — vGIC operations and the virtual timer
+//   hc_io.cpp     — UART, SD, DMA, inter-VM communication
+//   hc_hwtask.cpp — the DPR hardware-task path (§IV.E)
+// Handlers see the kernel only through `KernelOps`. Capability checks that
+// are uniform per hypercall live in the portal table (not here); handlers
+// keep only argument validation and finer-grained authority decisions
+// (e.g. map_insert's target-vs-self distinction).
+#pragma once
+
+#include "nova/kernel_ops.hpp"
+#include "nova/portal.hpp"
+
+namespace minova::nova::hc {
+
+// hc_mem.cpp
+HypercallResult cache_flush_all(KernelOps&, ProtectionDomain&,
+                                const HypercallArgs&);
+HypercallResult cache_clean_range(KernelOps&, ProtectionDomain&,
+                                  const HypercallArgs&);
+HypercallResult icache_invalidate(KernelOps&, ProtectionDomain&,
+                                  const HypercallArgs&);
+HypercallResult tlb_flush_all(KernelOps&, ProtectionDomain&,
+                              const HypercallArgs&);
+HypercallResult tlb_flush_va(KernelOps&, ProtectionDomain&,
+                             const HypercallArgs&);
+HypercallResult map_insert(KernelOps&, ProtectionDomain&,
+                           const HypercallArgs&);
+HypercallResult map_remove(KernelOps&, ProtectionDomain&,
+                           const HypercallArgs&);
+HypercallResult pt_create(KernelOps&, ProtectionDomain&,
+                          const HypercallArgs&);
+HypercallResult mem_protect(KernelOps&, ProtectionDomain&,
+                            const HypercallArgs&);
+HypercallResult set_guest_mode(KernelOps&, ProtectionDomain&,
+                               const HypercallArgs&);
+HypercallResult reg_read(KernelOps&, ProtectionDomain&,
+                         const HypercallArgs&);
+HypercallResult reg_write(KernelOps&, ProtectionDomain&,
+                          const HypercallArgs&);
+
+// hc_irq.cpp
+HypercallResult irq_enable(KernelOps&, ProtectionDomain&,
+                           const HypercallArgs&);
+HypercallResult irq_disable(KernelOps&, ProtectionDomain&,
+                            const HypercallArgs&);
+HypercallResult irq_complete(KernelOps&, ProtectionDomain&,
+                             const HypercallArgs&);
+HypercallResult irq_set_entry(KernelOps&, ProtectionDomain&,
+                              const HypercallArgs&);
+HypercallResult vtimer_config(KernelOps&, ProtectionDomain&,
+                              const HypercallArgs&);
+
+// hc_io.cpp
+HypercallResult uart_write(KernelOps&, ProtectionDomain&,
+                           const HypercallArgs&);
+HypercallResult sd_transfer(KernelOps&, ProtectionDomain&,
+                            const HypercallArgs&);
+HypercallResult dma_request(KernelOps&, ProtectionDomain&,
+                            const HypercallArgs&);
+HypercallResult ivc_send(KernelOps&, ProtectionDomain&,
+                         const HypercallArgs&);
+HypercallResult ivc_recv(KernelOps&, ProtectionDomain&,
+                         const HypercallArgs&);
+
+// hc_hwtask.cpp
+HypercallResult hwtask_request(KernelOps&, ProtectionDomain&,
+                               const HypercallArgs&);
+HypercallResult hwtask_release(KernelOps&, ProtectionDomain&,
+                               const HypercallArgs&);
+HypercallResult hwtask_query(KernelOps&, ProtectionDomain&,
+                             const HypercallArgs&);
+
+}  // namespace minova::nova::hc

@@ -1,0 +1,98 @@
+// IRQ-side hypercall handlers: vGIC enable/disable/complete/entry and the
+// per-VM virtual timer — plus the manager-facing PL IRQ assignment service
+// (§IV.D), which shares the kernel's one `is_pl_irq` definition with the
+// physical IRQ router.
+#include "core/platform.hpp"
+#include "nova/handlers.hpp"
+#include "nova/kernel.hpp"
+
+namespace minova::nova::hc {
+
+namespace {
+HypercallResult irq_set_enabled(KernelOps& ops, ProtectionDomain& caller,
+                                u32 irq, bool enable) {
+  HypercallResult res;
+  if (!caller.vgic().is_registered(irq)) {
+    res.status = HcStatus::kNotFound;
+    return res;
+  }
+  if (enable)
+    caller.vgic().enable(irq);
+  else
+    caller.vgic().disable(irq);
+  auto& gic = ops.platform().gic();
+  if (&caller == ops.current() && irq < gic.num_irqs()) {
+    if (enable)
+      gic.enable_irq(irq);
+    else
+      gic.disable_irq(irq);
+    auto& core = ops.core();
+    core.spend(core.caches().access_device());
+  }
+  return res;
+}
+}  // namespace
+
+HypercallResult irq_enable(KernelOps& ops, ProtectionDomain& caller,
+                           const HypercallArgs& args) {
+  return irq_set_enabled(ops, caller, args.r[0], /*enable=*/true);
+}
+
+HypercallResult irq_disable(KernelOps& ops, ProtectionDomain& caller,
+                            const HypercallArgs& args) {
+  return irq_set_enabled(ops, caller, args.r[0], /*enable=*/false);
+}
+
+HypercallResult irq_complete(KernelOps& ops, ProtectionDomain&,
+                             const HypercallArgs&) {
+  ops.core().spend(6);  // guest-local state maintenance acknowledged
+  return {};
+}
+
+HypercallResult irq_set_entry(KernelOps&, ProtectionDomain& caller,
+                              const HypercallArgs& args) {
+  caller.vgic().set_entry(args.r[1]);
+  return {};
+}
+
+HypercallResult vtimer_config(KernelOps& ops, ProtectionDomain& caller,
+                              const HypercallArgs& args) {
+  VtimerState& vt = caller.vcpu().vtimer();
+  if (args.r[1] == 0) {
+    vt.enabled = false;
+    return {};
+  }
+  vt.enabled = true;
+  vt.period_us = args.r[1];
+  vt.next_deadline = ops.core().clock().now() +
+                     ops.platform().clock().us_to_cycles(args.r[1]);
+  caller.vgic().enable(kVtimerVirq);
+  return {};
+}
+
+}  // namespace minova::nova::hc
+
+namespace minova::nova {
+
+// ---- manager-facing PL IRQ routing service ----------------------------------
+
+HcStatus Kernel::svc_assign_pl_irq(ProtectionDomain& caller, PdId client,
+                                   u32 gic_irq) {
+  if (!caller.has_cap(kCapPlControl)) return HcStatus::kDenied;
+  ProtectionDomain* pd = pd_by_id(client);
+  // Only the 16 PL-to-PS sources are assignable: a manager must not be able
+  // to claim routing of kernel-owned IRQs (private timer, devcfg, UARTs)
+  // for a client.
+  if (pd == nullptr || gic_irq >= mem::kNumIrqs || !mem::is_pl_irq(gic_irq))
+    return HcStatus::kInvalidArg;
+  charge_service_call();
+  if (!pd->vgic().register_irq(gic_irq)) return HcStatus::kNoMemory;
+  pd->vgic().enable(gic_irq);
+  irq_owner_[gic_irq] = client;
+  // Physically unmasked when the client VM runs (vGIC switch protocol);
+  // unmask now if it is the interrupted VM about to resume.
+  platform_.gic().set_priority(gic_irq, 0x90);
+  return HcStatus::kSuccess;
+}
+
+}  // namespace minova::nova

@@ -1,0 +1,210 @@
+// Memory-side hypercall handlers: cache/TLB maintenance, guest mapping,
+// page-table creation, page protection, guest privilege mode and the
+// emulated privileged registers — plus the manager-facing map/unmap
+// services (§IV.E stage 3), which share the same authority model.
+#include <algorithm>
+
+#include "core/platform.hpp"
+#include "nova/handlers.hpp"
+#include "nova/kernel.hpp"
+
+namespace minova::nova::hc {
+
+HypercallResult cache_flush_all(KernelOps& ops, ProtectionDomain&,
+                                const HypercallArgs&) {
+  auto& core = ops.core();
+  core.spend(core.caches().flush_all());
+  return {};
+}
+
+HypercallResult cache_clean_range(KernelOps& ops, ProtectionDomain&,
+                                  const HypercallArgs& args) {
+  const u32 lines = args.r[2] / 32 + 1;
+  ops.core().spend(std::min<u32>(lines, 16384) * 6);
+  return {};
+}
+
+HypercallResult icache_invalidate(KernelOps& ops, ProtectionDomain&,
+                                  const HypercallArgs&) {
+  auto& core = ops.core();
+  core.spend(core.caches().invalidate_icache());
+  return {};
+}
+
+HypercallResult tlb_flush_all(KernelOps& ops, ProtectionDomain& caller,
+                              const HypercallArgs&) {
+  auto& core = ops.core();
+  core.mmu().tlb_flush_asid(caller.vcpu().asid());
+  core.spend(34);
+  return {};
+}
+
+HypercallResult tlb_flush_va(KernelOps& ops, ProtectionDomain&,
+                             const HypercallArgs& args) {
+  auto& core = ops.core();
+  core.mmu().tlb_flush_va(args.r[1]);
+  core.spend(12);
+  return {};
+}
+
+HypercallResult map_insert(KernelOps& ops, ProtectionDomain& caller,
+                           const HypercallArgs& args) {
+  HypercallResult res;
+  const PdId target_id = args.r[0] == 0xFFFF'FFFFu ? caller.id() : args.r[0];
+  const vaddr_t va = args.r[1];
+  ProtectionDomain* target = ops.pd_by_id(target_id);
+  if (target == nullptr || !is_aligned(va, mmu::kPageSize) ||
+      va >= kKernelVa) {
+    res.status = HcStatus::kInvalidArg;
+    return res;
+  }
+  if (target_id != caller.id() && !caller.has_cap(kCapMapOther)) {
+    res.status = HcStatus::kDenied;
+    return res;
+  }
+  paddr_t pa;
+  mmu::MapAttrs attrs;
+  if (caller.has_cap(kCapMapOther) && (args.r[3] & 1u)) {
+    // Absolute device mapping (PRR interface page).
+    pa = args.r[2];
+    attrs = mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                          .domain = kDomDevice,
+                          .ng = true,
+                          .xn = true};
+  } else {
+    // Self-service mapping of the caller's own physical slab.
+    const u32 offset = args.r[2];
+    if (!is_aligned(offset, mmu::kPageSize) || offset >= kVmPhysSize ||
+        target_id != caller.id()) {
+      res.status = HcStatus::kDenied;
+      return res;
+    }
+    pa = vm_phys_base(caller.vm_index) + offset;
+    attrs = mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                          .domain = kDomGuestUser,
+                          .ng = true,
+                          .xn = false};
+  }
+  target->space().map_page(va, pa, attrs);
+  ops.core().mmu().tlb_flush_va(va);
+  ops.core().spend(160);  // descriptor writes + DSB/ISB
+  return res;
+}
+
+HypercallResult map_remove(KernelOps& ops, ProtectionDomain& caller,
+                           const HypercallArgs& args) {
+  HypercallResult res;
+  const PdId target_id = args.r[0] == 0xFFFF'FFFFu ? caller.id() : args.r[0];
+  const vaddr_t va = args.r[1];
+  ProtectionDomain* target = ops.pd_by_id(target_id);
+  if (target == nullptr || va >= kKernelVa) {
+    res.status = HcStatus::kInvalidArg;
+    return res;
+  }
+  if (target_id != caller.id() && !caller.has_cap(kCapMapOther)) {
+    res.status = HcStatus::kDenied;
+    return res;
+  }
+  if (!target->space().unmap_page(va)) {
+    res.status = HcStatus::kNotFound;
+    return res;
+  }
+  ops.core().mmu().tlb_flush_va(va);
+  ops.core().spend(120);
+  return res;
+}
+
+HypercallResult pt_create(KernelOps& ops, ProtectionDomain& caller,
+                          const HypercallArgs& args) {
+  HypercallResult res;
+  if (!caller.space().ensure_l2(args.r[1], kDomGuestUser))
+    res.status = HcStatus::kInvalidArg;
+  ops.core().spend(150);  // L2 table zeroing
+  return res;
+}
+
+HypercallResult mem_protect(KernelOps& ops, ProtectionDomain& caller,
+                            const HypercallArgs& args) {
+  HypercallResult res;
+  const vaddr_t va = args.r[1];
+  mmu::Ap ap = mmu::Ap::kFullAccess;
+  if (args.r[2] == 1) ap = mmu::Ap::kReadOnly;
+  if (args.r[2] == 2) ap = mmu::Ap::kNoAccess;
+  if (va >= kKernelVa || !caller.space().protect_page(va, ap)) {
+    res.status = HcStatus::kInvalidArg;
+    return res;
+  }
+  ops.core().mmu().tlb_flush_va(va);
+  ops.core().spend(60);
+  return res;
+}
+
+HypercallResult set_guest_mode(KernelOps& ops, ProtectionDomain& caller,
+                               const HypercallArgs& args) {
+  caller.guest_in_kernel = (args.r[0] != 0);
+  const u32 dacr =
+      caller.guest_in_kernel ? dacr_guest_kernel() : dacr_guest_user();
+  caller.vcpu().set_dacr(dacr);
+  // The gate restores the caller's DACR on exit; update the saved copy.
+  ops.core().spend(4);
+  return {};
+}
+
+HypercallResult reg_read(KernelOps&, ProtectionDomain& caller,
+                         const HypercallArgs& args) {
+  HypercallResult res;
+  if (args.r[1] >= caller.sysregs.size()) {
+    res.status = HcStatus::kInvalidArg;
+    return res;
+  }
+  res.r1 = caller.sysregs[args.r[1]];
+  return res;
+}
+
+HypercallResult reg_write(KernelOps&, ProtectionDomain& caller,
+                          const HypercallArgs& args) {
+  HypercallResult res;
+  if (args.r[1] >= caller.sysregs.size()) {
+    res.status = HcStatus::kInvalidArg;
+    return res;
+  }
+  caller.sysregs[args.r[1]] = args.r[2];
+  return res;
+}
+
+}  // namespace minova::nova::hc
+
+namespace minova::nova {
+
+// ---- manager-facing mapping services (capability-checked) -------------------
+
+HcStatus Kernel::svc_map_into(ProtectionDomain& caller, PdId target,
+                              vaddr_t va, paddr_t pa, bool executable_never) {
+  if (!caller.has_cap(kCapMapOther)) return HcStatus::kDenied;
+  ProtectionDomain* pd = pd_by_id(target);
+  if (pd == nullptr || !is_aligned(va, mmu::kPageSize) || va >= kKernelVa)
+    return HcStatus::kInvalidArg;
+  charge_service_call();
+  pd->space().map_page(va, pa,
+                       mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
+                                     .domain = kDomDevice,
+                                     .ng = true,
+                                     .xn = executable_never});
+  platform_.cpu().mmu().tlb_flush_va(va);
+  platform_.cpu().spend(160);
+  return HcStatus::kSuccess;
+}
+
+HcStatus Kernel::svc_unmap_from(ProtectionDomain& caller, PdId target,
+                                vaddr_t va) {
+  if (!caller.has_cap(kCapMapOther)) return HcStatus::kDenied;
+  ProtectionDomain* pd = pd_by_id(target);
+  if (pd == nullptr) return HcStatus::kInvalidArg;
+  charge_service_call();
+  if (!pd->space().unmap_page(va)) return HcStatus::kNotFound;
+  platform_.cpu().mmu().tlb_flush_va(va);
+  platform_.cpu().spend(120);
+  return HcStatus::kSuccess;
+}
+
+}  // namespace minova::nova

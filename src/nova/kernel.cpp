@@ -1,7 +1,13 @@
+// Kernel core: construction, the run loop, VM switching, IRQ routing and
+// the trap entries (hypercall gate, IRQ, guest fault, lazy VFP, service
+// call). Hypercall handler bodies live in hc_mem.cpp / hc_irq.cpp /
+// hc_io.cpp / hc_hwtask.cpp and reach kernel state only through KernelOps.
 #include "nova/kernel.hpp"
 
 #include <algorithm>
 
+#include "nova/portal.hpp"
+#include "nova/trap.hpp"
 #include "util/assert.hpp"
 
 namespace minova::nova {
@@ -10,15 +16,6 @@ namespace {
 // Heap carve-up: the first chunk of the kernel heap window backs the
 // page-table pool, the rest is the general object heap.
 constexpr u32 kPtPoolBytes = 3 * kMiB;
-
-// Manager mailbox location inside the manager image (kernel writes the
-// request words here; the service reads them from its own space).
-constexpr u32 kMailboxOffset = 0x1000;
-
-constexpr bool is_pl_irq(u32 irq) {
-  return (irq >= mem::kIrqPl0Base && irq < mem::kIrqPl0Base + 8) ||
-         (irq >= mem::kIrqPl1Base && irq < mem::kIrqPl1Base + 8);
-}
 }  // namespace
 
 // ---- GuestContext out-of-line members --------------------------------------
@@ -36,6 +33,34 @@ void GuestContext::use_vfp() { kernel_.vfp_access(pd_); }
 void GuestContext::take_fault(const mmu::Fault& fault) {
   kernel_.forward_guest_fault(pd_, fault);
 }
+
+// ---- KernelOps: the handler units' window onto kernel state -----------------
+
+Platform& KernelOps::platform() { return kernel_.platform_; }
+cpu::Core& KernelOps::core() { return kernel_.platform_.cpu(); }
+GuestContext KernelOps::make_ctx(ProtectionDomain& pd) {
+  return kernel_.make_ctx(pd);
+}
+ProtectionDomain* KernelOps::pd_by_id(PdId id) { return kernel_.pd_by_id(id); }
+ProtectionDomain* KernelOps::current() { return kernel_.current_; }
+void KernelOps::vm_switch_to(ProtectionDomain* to) { kernel_.vm_switch(to); }
+std::string& KernelOps::console_buffer() { return kernel_.console_; }
+std::vector<u8>& KernelOps::sd_image() { return kernel_.sd_image_; }
+IvcChannel* KernelOps::channel(u32 id) {
+  return id < kernel_.channels_.size() ? kernel_.channels_[id].get() : nullptr;
+}
+ProtectionDomain* KernelOps::manager_pd() { return kernel_.manager_pd_; }
+HwService* KernelOps::hw_service() { return kernel_.hw_service_; }
+void KernelOps::hw_mark_request_start() {
+  kernel_.hw_req_t0_ = kernel_.platform_.clock().now();
+}
+void KernelOps::hw_mark_entry_end() {
+  kernel_.hw_entry_end_ = kernel_.platform_.clock().now();
+}
+void KernelOps::hw_mark_exec_end() {
+  kernel_.hw_exec_end_ = kernel_.platform_.clock().now();
+}
+void KernelOps::hw_cancel_sample() { kernel_.hw_req_t0_ = 0; }
 
 // ---- construction -----------------------------------------------------------
 
@@ -62,20 +87,17 @@ void Kernel::boot() {
   rg_inject_ = code_.place(cfg_.sz_inject);
   rg_service_call_ = code_.place(cfg_.sz_service_call);
   rg_abt_ = code_.place(cfg_.sz_abt_handler);
+  // One text region per portal, sized by the portal's cost class.
   for (u32 h = 0; h < kNumHypercalls; ++h) {
     u32 sz = cfg_.sz_handler_small;
-    switch (Hypercall(h)) {
-      case Hypercall::kMapInsert:
-      case Hypercall::kMapRemove:
-      case Hypercall::kPtCreate:
-      case Hypercall::kMemProtect:
+    switch (portal_cost_class(Hypercall(h))) {
+      case PortalCost::kMm:
         sz = cfg_.sz_handler_mm;
         break;
-      case Hypercall::kHwTaskRequest:
-      case Hypercall::kHwTaskRelease:
+      case PortalCost::kHw:
         sz = cfg_.sz_handler_hw;
         break;
-      default:
+      case PortalCost::kSmall:
         break;
     }
     rg_handlers_[h] = code_.place(sz);
@@ -121,16 +143,10 @@ void Kernel::stage_bitstreams() {
   }
 }
 
-paddr_t Kernel::bitstream_pa(hwtask::TaskId task) const {
+Kernel::BitstreamLoc Kernel::find_bitstream(hwtask::TaskId task) const {
   for (const auto& [id, loc] : bitstreams_)
-    if (id == task) return loc.first;
-  return 0;
-}
-
-u32 Kernel::bitstream_len(hwtask::TaskId task) const {
-  for (const auto& [id, loc] : bitstreams_)
-    if (id == task) return loc.second;
-  return 0;
+    if (id == task) return loc;
+  return {};
 }
 
 ProtectionDomain& Kernel::create_vm(std::string name, u32 priority,
@@ -184,213 +200,28 @@ ProtectionDomain* Kernel::pd_by_id(PdId id) {
   return id < pds_.size() ? pds_[id].get() : nullptr;
 }
 
-// ---- run loop ----------------------------------------------------------------
-
-void Kernel::run_until(cycles_t deadline) {
-  auto& clock = platform_.clock();
-  while (clock.now() < deadline) {
-    platform_.pump();
-    handle_pending_irqs();
-
-    // Wake parked PDs that now have deliverable virtual interrupts.
-    for (auto& p : pds_)
-      if (p->parked && p->vgic().any_deliverable()) p->parked = false;
-
-    ProtectionDomain* pd = sched_.pick_eligible(
-        [](const ProtectionDomain* p) { return !p->parked; });
-    if (pd == nullptr) {
-      idle(deadline);
-      continue;
-    }
-    if (pd != current_) vm_switch(pd);
-
-    GuestContext ctx = make_ctx(*pd);
-    if (!pd->booted) {
-      pd->guest()->boot(ctx);
-      pd->booted = true;
-    }
-    deliver_virqs(*pd);
-
-    cycles_t budget = deadline - clock.now();
-    budget = std::min(budget, pd->quantum_left);
-    cycles_t ev = 0;
-    if (platform_.events().next_deadline(ev) && ev > clock.now())
-      budget = std::min(budget, ev - clock.now());
-    if (budget == 0) {
-      sched_.rotate(pd);
-      continue;
-    }
-
-    const cycles_t t0 = clock.now();
-    const StepExit exit = pd->guest()->step(ctx, budget);
-    const cycles_t used = clock.now() - t0;
-    pd->quantum_left -= std::min(used, pd->quantum_left);
-
-    if (exit == StepExit::kHalt) {
-      sched_.remove(pd);
-      if (current_ == pd) current_ = nullptr;
-      continue;
-    }
-    if (pd->quantum_left == 0) {
-      sched_.rotate(pd);
-    } else if (exit == StepExit::kYield) {
-      // Nothing to do until an event: park so lower-priority PDs (or the
-      // idle loop) get the CPU. A deliverable vIRQ unparks it above.
-      pd->parked = true;
-    }
-  }
-}
-
-void Kernel::idle(cycles_t limit) { platform_.idle_until_next_event(limit); }
-
-void Kernel::handle_pending_irqs() {
-  auto& core = platform_.cpu();
-  auto& gic = platform_.gic();
-  int guard = 0;
-  while (gic.irq_asserted() && guard++ < 64) {
-    const cycles_t t_vector = core.clock().now();
-    core.exception_enter(cpu::Exception::kIrq);
-    core.exec_code(rg_vector_);
-    core.exec_code(rg_irq_entry_);
-    const u32 irq = gic.acknowledge();
-    core.spend(core.caches().access_device());  // IAR read
-    if (irq == irq::kSpuriousIrq) {
-      core.exception_return(cpu::Mode::kUsr);
-      break;
-    }
-    // Mini-NOVA writes EOI before injecting the virtual IRQ (§III.B).
-    gic.eoi(irq);
-    core.spend(core.caches().access_device());
-    platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kIrq,
-                           irq,
-                           irq < mem::kNumIrqs && is_pl_irq(irq)
-                               ? irq_owner_[irq]
-                               : 0xFFFF'FFFFu);
-    route_irq(irq);
-    if (is_pl_irq(irq) && irq_owner_[irq] != kInvalidPd)
-      pl_irq_route_cycles_[irq] = core.clock().now() - t_vector;
-    core.exception_return(cpu::Mode::kUsr);
-    platform_.pump();
-  }
-}
-
-void Kernel::route_irq(u32 irq) {
-  auto& core = platform_.cpu();
-  if (irq == mem::kIrqPrivateTimer) {
-    kernel_tick();
-    return;
-  }
-  if (irq == mem::kIrqDevcfg) {
-    platform_.trace().emit(platform_.clock().now(),
-                           sim::TraceKind::kPcapDone, 0, pcap_owner_);
-    if (ProtectionDomain* owner = pd_by_id(pcap_owner_))
-      owner->vgic().set_pending_charged(core, mem::kIrqDevcfg);
-    return;
-  }
-  if (is_pl_irq(irq)) {
-    // Distribution (Fig. 6): find the vGIC holding a registration for this
-    // source by walking the VMs' record lists. Tables of descheduled VMs
-    // are cold — the cache effect behind the PL IRQ entry row of Table III.
-    ProtectionDomain* owner = nullptr;
-    for (auto& pd : pds_) {
-      if (pd->guest() == nullptr) continue;  // services own no vIRQs
-      pd->vgic().charge_lookup(core);
-      if (pd->id() == irq_owner_[irq]) {
-        owner = pd.get();
-        break;
-      }
-    }
-    if (owner != nullptr) owner->vgic().set_pending_charged(core, irq);
-    return;
-  }
-  // Unrouted interrupt: count it; the kernel simply drops it.
-  platform_.stats().counter("kernel.unrouted_irq") += 1;
-  (void)core;
-}
-
-void Kernel::kernel_tick() {
-  auto& core = platform_.cpu();
-  core.exec_code(rg_tick_);
-  platform_.private_timer().clear_event_flag();
-  core.spend(core.caches().access_device());  // timer status ack
-  const cycles_t now = core.clock().now();
-  for (auto& pd : pds_) {
-    VtimerState& vt = pd->vcpu().vtimer();
-    if (!vt.enabled) continue;
-    if (now >= vt.next_deadline) {
-      pd->vgic().set_pending(kVtimerVirq);
-      const cycles_t period = platform_.clock().us_to_cycles(vt.period_us);
-      while (vt.next_deadline <= now) vt.next_deadline += period;
-    }
-  }
-}
-
-void Kernel::deliver_virqs(ProtectionDomain& pd) {
-  if (pd.vgic().entry() == 0 || pd.guest() == nullptr) return;
-  auto& core = platform_.cpu();
-  GuestContext ctx = make_ctx(pd);
-  u32 irq = 0;
-  int guard = 0;
-  while (guard++ < 32) {
-    const cycles_t t_inject = core.clock().now();
-    if (!pd.vgic().take_pending_charged(core, irq)) break;
-    platform_.trace().emit(t_inject, sim::TraceKind::kVirqInject, irq,
-                           pd.id());
-    core.exec_code(rg_inject_);
-    if (irq < mem::kNumIrqs && pl_irq_route_cycles_[irq] != 0) {
-      hwmgr_lat_.pl_irq_entry_us.add(platform_.clock().cycles_to_us(
-          pl_irq_route_cycles_[irq] + core.clock().now() - t_inject));
-      pl_irq_route_cycles_[irq] = 0;
-    }
-    pd.guest()->on_virq(ctx, irq);
-  }
-}
-
-void Kernel::vm_switch(ProtectionDomain* to) {
-  MINOVA_CHECK(to != nullptr);
-  if (to == current_) return;
-  platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kVmSwitch,
-                         current_ ? current_->id() : 0xFFFF'FFFFu, to->id());
-  auto& core = platform_.cpu();
-  core.exec_code(rg_vm_switch_);
-  if (current_ != nullptr) {
-    current_->vcpu().save_active(core);
-    current_->vgic().mask_all_physical(core);
-    if (!cfg_.lazy_vfp) current_->vcpu().save_vfp(core);
-    if (!cfg_.lazy_l2ctrl) current_->vcpu().save_l2ctrl(core);
-  }
-  to->vcpu().restore_active(core);
-  if (!cfg_.use_asid) {
-    // Ablation: without ASIDs every switch flushes the whole TLB.
-    core.mmu().tlb_flush_all();
-    core.spend(40);
-  }
-  if (!cfg_.lazy_vfp) to->vcpu().restore_vfp(core);
-  if (!cfg_.lazy_l2ctrl) to->vcpu().restore_l2ctrl(core);
-  to->vgic().unmask_enabled_physical(core);
-  current_ = to;
-  ++vm_switches_;
-}
-
 // ---- guest fault forwarding --------------------------------------------------
 
 u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
                                 const mmu::Fault& fault) {
   auto& core = platform_.cpu();
   ++guest_faults_;
-  // ABT entry: vector fetch + kernel abort handler (reads FSR/FAR, decides
-  // the fault belongs to the guest), then the guest's own handler runs.
-  core.exception_enter(fault.instruction ? cpu::Exception::kPrefetchAbort
-                                         : cpu::Exception::kDataAbort);
-  core.exec_code(rg_vector_);
-  core.exec_code(rg_abt_);
-  // Emulated FSR/FAR pair exposed through the PD's register file so the
-  // guest's service can inspect the cause (paper: "trapped in a page fault
-  // exception and handled by the guest OS' interrupt service").
-  pd.sysregs[6] = fault.fsr_status();
-  pd.sysregs[7] = fault.address;
-  core.exec_code(rg_inject_);  // forced jump to the guest handler
-  core.exception_return(cpu::Mode::kUsr);
+  {
+    // ABT entry: vector fetch + kernel abort handler (reads FSR/FAR,
+    // decides the fault belongs to the guest), then the guest's own
+    // handler runs.
+    TrapGuard trap(core, platform_.stats(),
+                   fault.instruction ? cpu::Exception::kPrefetchAbort
+                                     : cpu::Exception::kDataAbort,
+                   rg_vector_, TrapKind::kGuestFault);
+    trap.exec(rg_abt_);
+    // Emulated FSR/FAR pair exposed through the PD's register file so the
+    // guest's service can inspect the cause (paper: "trapped in a page
+    // fault exception and handled by the guest OS' interrupt service").
+    pd.sysregs[6] = fault.fsr_status();
+    pd.sysregs[7] = fault.address;
+    trap.exec(rg_inject_);  // forced jump to the guest handler
+  }
   platform_.stats().counter("kernel.guest_faults") += 1;
   platform_.trace().emit(platform_.clock().now(),
                          sim::TraceKind::kGuestFault, fault.fsr_status(),
@@ -404,19 +235,20 @@ void Kernel::vfp_access(ProtectionDomain& pd) {
   if (!cfg_.lazy_vfp) return;  // active switching keeps it always current
   if (vfp_owner_ == pd.id()) return;
   auto& core = platform_.cpu();
-  // UND trap: the VFP is disabled for non-owners; first touch faults.
-  core.exception_enter(cpu::Exception::kUndefined);
-  core.exec_code(rg_vector_);
-  core.exec_code(rg_handlers_[u32(Hypercall::kRegWrite)]);  // shared stub
-  if (ProtectionDomain* old_owner = pd_by_id(vfp_owner_))
-    old_owner->vcpu().save_vfp(core);
-  pd.vcpu().restore_vfp(core);
-  vfp_owner_ = pd.id();
-  core.exception_return(cpu::Mode::kUsr);
+  {
+    // UND trap: the VFP is disabled for non-owners; first touch faults.
+    TrapGuard trap(core, platform_.stats(), cpu::Exception::kUndefined,
+                   rg_vector_, TrapKind::kVfpSwitch);
+    trap.exec(rg_handlers_[u32(Hypercall::kRegWrite)]);  // shared stub
+    if (ProtectionDomain* old_owner = pd_by_id(vfp_owner_))
+      old_owner->vcpu().save_vfp(core);
+    pd.vcpu().restore_vfp(core);
+    vfp_owner_ = pd.id();
+  }
   platform_.stats().counter("kernel.vfp_lazy_switches") += 1;
 }
 
-// ---- hypercalls --------------------------------------------------------------
+// ---- the hypercall gate ------------------------------------------------------
 
 HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
                                        const HypercallArgs& args) {
@@ -427,33 +259,44 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
   if (args.number >= Hypercall::kCount) {
     // Unknown hypercall number: a buggy or malicious guest must not bring
     // the kernel down. Charge the trap, reject, resume the caller.
-    core.exception_enter(cpu::Exception::kSupervisorCall);
-    core.exec_code(rg_vector_);
-    core.exec_code(rg_hc_entry_);
-    core.exec_code(rg_hc_exit_);
-    core.exception_return(cpu::Mode::kUsr);
+    TrapGuard trap(core, platform_.stats(), cpu::Exception::kSupervisorCall,
+                   rg_vector_, TrapKind::kHypercall);
+    trap.exec(rg_hc_entry_);
+    trap.exec(rg_hc_exit_);
     HypercallResult res;
     res.status = HcStatus::kNotSupported;
     return res;
   }
-  const cycles_t t0 = core.clock().now();
   hw_req_t0_ = 0;
 
-  core.exception_enter(cpu::Exception::kSupervisorCall);
-  core.exec_code(rg_vector_);
-  core.exec_code(rg_hc_entry_);
-  core.mmu().set_dacr(dacr_host_kernel());
-  core.spend(2);
-  core.exec_code(rg_dispatch_);
+  HypercallResult res;
+  cycles_t t0;
+  {
+    TrapGuard trap(core, platform_.stats(), cpu::Exception::kSupervisorCall,
+                   rg_vector_, TrapKind::kHypercall);
+    t0 = trap.entry_time();
+    trap.exec(rg_hc_entry_);
+    core.mmu().set_dacr(dacr_host_kernel());
+    core.spend(2);
+    trap.exec(rg_dispatch_);
 
-  HypercallResult res = dispatch(caller, args);
+    // Portal resolution: one table lookup yields the handler, its text
+    // region and the precomputed authorization verdict.
+    const Portal& portal = caller.portals().at(u32(args.number));
+    trap.exec(rg_handlers_[portal.cost_region]);
+    if (portal.denied()) {
+      platform_.stats().counter("kernel.portal_denied") += 1;
+      res.status = HcStatus::kDenied;
+    } else {
+      res = portal.handler(ops_, caller, args);
+    }
 
-  core.exec_code(rg_hc_exit_);
-  // Reload the caller's DACR from its vCPU: handlers (set_guest_mode) may
-  // have changed the guest's privilege view while we were in the kernel.
-  core.mmu().set_dacr(caller.vcpu().dacr());
-  core.spend(2);
-  core.exception_return(cpu::Mode::kUsr);
+    trap.exec(rg_hc_exit_);
+    // Reload the caller's DACR from its vCPU: handlers (set_guest_mode) may
+    // have changed the guest's privilege view while we were in the kernel.
+    core.mmu().set_dacr(caller.vcpu().dacr());
+    core.spend(2);
+  }
 
   if (hw_req_t0_ != 0) {
     // Table III instrumentation for the hardware-task request path.
@@ -467,472 +310,17 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
   return res;
 }
 
-HypercallResult Kernel::dispatch(ProtectionDomain& caller,
-                                 const HypercallArgs& args) {
-  auto& core = platform_.cpu();
-  core.exec_code(rg_handlers_[u32(args.number)]);
-  const u32 r0 = args.r[0], r1 = args.r[1], r2 = args.r[2], r3 = args.r[3];
-  HypercallResult res;
-
-  switch (args.number) {
-    case Hypercall::kCacheFlushAll:
-      core.spend(core.caches().flush_all());
-      break;
-    case Hypercall::kCacheCleanRange: {
-      const u32 lines = r2 / 32 + 1;
-      core.spend(std::min<u32>(lines, 16384) * 6);
-      break;
-    }
-    case Hypercall::kIcacheInvalidate:
-      core.spend(core.caches().invalidate_icache());
-      break;
-    case Hypercall::kTlbFlushAll:
-      core.mmu().tlb_flush_asid(caller.vcpu().asid());
-      core.spend(34);
-      break;
-    case Hypercall::kTlbFlushVa:
-      core.mmu().tlb_flush_va(r1);
-      core.spend(12);
-      break;
-
-    case Hypercall::kIrqEnable:
-    case Hypercall::kIrqDisable: {
-      const u32 irq = r0;
-      const bool enable = args.number == Hypercall::kIrqEnable;
-      if (!caller.vgic().is_registered(irq)) {
-        res.status = HcStatus::kNotFound;
-        break;
-      }
-      if (enable)
-        caller.vgic().enable(irq);
-      else
-        caller.vgic().disable(irq);
-      if (&caller == current_ && irq < platform_.gic().num_irqs()) {
-        if (enable)
-          platform_.gic().enable_irq(irq);
-        else
-          platform_.gic().disable_irq(irq);
-        core.spend(core.caches().access_device());
-      }
-      break;
-    }
-    case Hypercall::kIrqComplete:
-      core.spend(6);  // guest-local state maintenance acknowledged
-      break;
-    case Hypercall::kIrqSetEntry:
-      caller.vgic().set_entry(r1);
-      break;
-
-    case Hypercall::kMapInsert:
-      res = hc_map_insert(caller, args);
-      break;
-    case Hypercall::kMapRemove:
-      res = hc_map_remove(caller, args);
-      break;
-    case Hypercall::kPtCreate:
-      if (!caller.space().ensure_l2(r1, kDomGuestUser))
-        res.status = HcStatus::kInvalidArg;
-      core.spend(150);  // L2 table zeroing
-      break;
-    case Hypercall::kMemProtect: {
-      mmu::Ap ap = mmu::Ap::kFullAccess;
-      if (r2 == 1) ap = mmu::Ap::kReadOnly;
-      if (r2 == 2) ap = mmu::Ap::kNoAccess;
-      if (r1 >= kKernelVa || !caller.space().protect_page(r1, ap)) {
-        res.status = HcStatus::kInvalidArg;
-        break;
-      }
-      core.mmu().tlb_flush_va(r1);
-      core.spend(60);
-      break;
-    }
-    case Hypercall::kSetGuestMode: {
-      caller.guest_in_kernel = (r0 != 0);
-      const u32 dacr =
-          caller.guest_in_kernel ? dacr_guest_kernel() : dacr_guest_user();
-      caller.vcpu().set_dacr(dacr);
-      // The gate restores the caller's DACR on exit; update the saved copy.
-      core.spend(4);
-      break;
-    }
-
-    case Hypercall::kRegRead:
-      if (r1 >= caller.sysregs.size()) {
-        res.status = HcStatus::kInvalidArg;
-        break;
-      }
-      res.r1 = caller.sysregs[r1];
-      break;
-    case Hypercall::kRegWrite:
-      if (r1 >= caller.sysregs.size()) {
-        res.status = HcStatus::kInvalidArg;
-        break;
-      }
-      caller.sysregs[r1] = r2;
-      break;
-    case Hypercall::kVtimerConfig: {
-      VtimerState& vt = caller.vcpu().vtimer();
-      if (r1 == 0) {
-        vt.enabled = false;
-        break;
-      }
-      vt.enabled = true;
-      vt.period_us = r1;
-      vt.next_deadline =
-          core.clock().now() + platform_.clock().us_to_cycles(r1);
-      caller.vgic().enable(kVtimerVirq);
-      break;
-    }
-
-    case Hypercall::kUartWrite: {
-      // Shared-device supervision (SIII.A item 5): the kernel owns the UART
-      // and serializes guest output through it.
-      u32 status = 0;
-      (void)platform_.bus().read32(mem::kUart0Base + 0x0C, status);
-      core.spend(core.caches().access_device());
-      if (status & 1u /*TXFULL*/) {
-        res.status = HcStatus::kBusy;
-        break;
-      }
-      (void)platform_.bus().write32(mem::kUart0Base + 0x10, r1 & 0xFF);
-      core.spend(core.caches().access_device());
-      console_.push_back(char(r1 & 0xFF));
-      break;
-    }
-    case Hypercall::kSdTransfer: {
-      // 512-byte block to/from the guest at SD-card speed (~25 MB/s).
-      if (sd_image_.empty()) sd_image_.resize(2 * kMiB, 0);
-      const u32 block = r1;
-      if (u64(block) * 512 + 512 > sd_image_.size()) {
-        res.status = HcStatus::kInvalidArg;
-        break;
-      }
-      std::array<u8, 512> buf{};
-      GuestContext ctx = make_ctx(caller);
-      if (r0 == 0) {  // read
-        std::copy_n(sd_image_.begin() + block * 512, 512, buf.begin());
-        if (!ctx.write_block(r2, buf).ok) res.status = HcStatus::kInvalidArg;
-      } else {  // write
-        if (!ctx.read_block(r2, buf).ok) {
-          res.status = HcStatus::kInvalidArg;
-          break;
-        }
-        std::copy_n(buf.begin(), 512, sd_image_.begin() + block * 512);
-      }
-      core.spend(13'000);  // 512 B at ~25 MB/s against 660 MHz
-      break;
-    }
-    case Hypercall::kDmaRequest: {
-      // PS DMA: guest-virtual to guest-virtual copy within the caller.
-      // The handler runs under the host-kernel DACR, so a bare probe would
-      // happily translate kernel VAs: reject them before probing.
-      if (r1 >= kKernelVa || r2 >= kKernelVa) {
-        res.status = HcStatus::kInvalidArg;
-        break;
-      }
-      const auto dst = core.probe(r1, mmu::AccessKind::kWrite);
-      const auto src = core.probe(r2, mmu::AccessKind::kRead);
-      if (!dst.ok() || !src.ok() || r3 == 0 || r3 > kGuestUserSize) {
-        res.status = HcStatus::kInvalidArg;
-        break;
-      }
-      std::vector<u8> tmp(r3);
-      platform_.dram().read_block(src.pa, tmp);
-      platform_.dram().write_block(dst.pa, tmp);
-      core.spend(300 + r3 / 4);  // DMA engine setup + streaming
-      break;
-    }
-
-    case Hypercall::kHwTaskRequest:
-      if (platform_.fault().should_fail(sim::FaultSite::kHypercallTransient)) {
-        res.status = HcStatus::kAgain;  // nothing dispatched; just reissue
-        break;
-      }
-      res = hc_hwtask_request(caller, args);
-      break;
-    case Hypercall::kHwTaskRelease:
-      if (platform_.fault().should_fail(sim::FaultSite::kHypercallTransient)) {
-        res.status = HcStatus::kAgain;
-        break;
-      }
-      res = hc_hwtask_release(caller, args);
-      break;
-    case Hypercall::kHwTaskQuery: {
-      if (r0 == 0) {
-        // Reconfiguration-state poll: the manager answers per client, so a
-        // VM whose transfer the manager is retrying (and which therefore no
-        // longer owns the PCAP port) still learns its outcome.
-        if (!caller.has_cap(kCapHwClient) || hw_service_ == nullptr) {
-          res.status = HcStatus::kDenied;
-          break;
-        }
-        res.r1 = hw_service_->query_reconfig(caller.id());
-        core.spend(core.caches().access_device());
-      } else {
-        res.status = HcStatus::kInvalidArg;
-      }
-      break;
-    }
-
-    case Hypercall::kIvcSend:
-      res = hc_ivc(caller, args, /*send=*/true);
-      break;
-    case Hypercall::kIvcRecv:
-      res = hc_ivc(caller, args, /*send=*/false);
-      break;
-
-    case Hypercall::kCount:
-      res.status = HcStatus::kNotSupported;
-      break;
-  }
-  return res;
-}
-
-HypercallResult Kernel::hc_map_insert(ProtectionDomain& caller,
-                                      const HypercallArgs& args) {
-  HypercallResult res;
-  const PdId target_id = args.r[0] == 0xFFFF'FFFFu ? caller.id() : args.r[0];
-  const vaddr_t va = args.r[1];
-  ProtectionDomain* target = pd_by_id(target_id);
-  if (target == nullptr || !is_aligned(va, mmu::kPageSize) ||
-      va >= kKernelVa) {
-    res.status = HcStatus::kInvalidArg;
-    return res;
-  }
-  if (target_id != caller.id() && !caller.has_cap(kCapMapOther)) {
-    res.status = HcStatus::kDenied;
-    return res;
-  }
-  paddr_t pa;
-  mmu::MapAttrs attrs;
-  if (caller.has_cap(kCapMapOther) && (args.r[3] & 1u)) {
-    // Absolute device mapping (PRR interface page).
-    pa = args.r[2];
-    attrs = mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
-                          .domain = kDomDevice,
-                          .ng = true,
-                          .xn = true};
-  } else {
-    // Self-service mapping of the caller's own physical slab.
-    const u32 offset = args.r[2];
-    if (!is_aligned(offset, mmu::kPageSize) || offset >= kVmPhysSize ||
-        target_id != caller.id()) {
-      res.status = HcStatus::kDenied;
-      return res;
-    }
-    pa = vm_phys_base(caller.vm_index) + offset;
-    attrs = mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
-                          .domain = kDomGuestUser,
-                          .ng = true,
-                          .xn = false};
-  }
-  target->space().map_page(va, pa, attrs);
-  platform_.cpu().mmu().tlb_flush_va(va);
-  platform_.cpu().spend(160);  // descriptor writes + DSB/ISB
-  return res;
-}
-
-HypercallResult Kernel::hc_map_remove(ProtectionDomain& caller,
-                                      const HypercallArgs& args) {
-  HypercallResult res;
-  const PdId target_id = args.r[0] == 0xFFFF'FFFFu ? caller.id() : args.r[0];
-  const vaddr_t va = args.r[1];
-  ProtectionDomain* target = pd_by_id(target_id);
-  if (target == nullptr || va >= kKernelVa) {
-    res.status = HcStatus::kInvalidArg;
-    return res;
-  }
-  if (target_id != caller.id() && !caller.has_cap(kCapMapOther)) {
-    res.status = HcStatus::kDenied;
-    return res;
-  }
-  if (!target->space().unmap_page(va)) {
-    res.status = HcStatus::kNotFound;
-    return res;
-  }
-  platform_.cpu().mmu().tlb_flush_va(va);
-  platform_.cpu().spend(120);
-  return res;
-}
-
-HypercallResult Kernel::hc_ivc(ProtectionDomain& caller,
-                               const HypercallArgs& args, bool send) {
-  HypercallResult res;
-  const u32 chan_id = args.r[0];
-  if (chan_id >= channels_.size() ||
-      !channels_[chan_id]->connects(caller.id())) {
-    res.status = HcStatus::kNotFound;
-    return res;
-  }
-  IvcChannel& ch = *channels_[chan_id];
-  auto& core = platform_.cpu();
-  if (send) {
-    if (!ch.send(core, caller.id(), {args.r[1], args.r[2]})) {
-      res.status = HcStatus::kBusy;  // queue full
-      return res;
-    }
-    if (ProtectionDomain* peer = pd_by_id(ch.peer_of(caller.id())))
-      peer->vgic().set_pending(ch.virq());
-  } else {
-    IvcMessage msg;
-    if (!ch.recv(core, caller.id(), msg)) {
-      res.status = HcStatus::kNotFound;  // empty
-      return res;
-    }
-    res.r1 = msg.words.empty() ? 0 : msg.words[0];
-  }
-  return res;
-}
-
-HypercallResult Kernel::hc_hwtask_request(ProtectionDomain& caller,
-                                          const HypercallArgs& args) {
-  HypercallResult res;
-  auto& core = platform_.cpu();
-  if (!caller.has_cap(kCapHwClient) || hw_service_ == nullptr ||
-      manager_pd_ == nullptr) {
-    res.status = HcStatus::kDenied;
-    return res;
-  }
-  const HwTaskRequest req{.client = caller.id(),
-                          .task = args.r[0],
-                          .iface_va = args.r[1],
-                          .data_section_va = args.r[2]};
-  if (platform_.task_library().find(req.task) == nullptr ||
-      !is_aligned(req.iface_va, mmu::kPageSize) || req.iface_va >= kKernelVa) {
-    res.status = HcStatus::kInvalidArg;
-    return res;
-  }
-  hw_req_t0_ = core.clock().now();
-
-  // Pass the request words into the manager's mailbox (kernel alias of the
-  // manager image) and wake the service.
-  for (u32 w = 0; w < 4; ++w)
-    (void)core.vwrite32(kernel_va(kManagerBase + kMailboxOffset) + w * 4,
-                        args.r[w]);
-  manager_pd_->mailbox.push_back(req);
-
-  // Enter the manager's protection domain (memory space switch; §IV.E).
-  ProtectionDomain* requester = &caller;
-  vm_switch(manager_pd_);
-  hw_entry_end_ = core.clock().now();
-
-  GuestContext mctx = make_ctx(*manager_pd_);
-  u32 flags = 0;
-  const HcStatus status = hw_service_->handle_request(mctx, req, flags);
-  hw_exec_end_ = core.clock().now();
-  manager_pd_->mailbox.pop_front();
-
-  // The manager removes itself and the interrupted guest resumes (§IV.E).
-  vm_switch(requester);
-  if (status == HcStatus::kSuccess)
-    platform_.trace().emit(platform_.clock().now(),
-                           sim::TraceKind::kHwGrant, req.task, caller.id());
-  res.status = status;
-  res.r1 = flags;
-  // Only served requests contribute Table III samples: a Busy rejection
-  // short-circuits the allocation work the paper's numbers characterize.
-  if (status == HcStatus::kBusy) hw_req_t0_ = 0;
-  return res;
-}
-
-HypercallResult Kernel::hc_hwtask_release(ProtectionDomain& caller,
-                                          const HypercallArgs& args) {
-  HypercallResult res;
-  auto& core = platform_.cpu();
-  if (!caller.has_cap(kCapHwClient) || hw_service_ == nullptr) {
-    res.status = HcStatus::kDenied;
-    return res;
-  }
-  ProtectionDomain* requester = &caller;
-  vm_switch(manager_pd_);
-  GuestContext mctx = make_ctx(*manager_pd_);
-  res.status = hw_service_->handle_release(mctx, caller.id(), args.r[0]);
-  vm_switch(requester);
-  (void)core;
-  return res;
-}
-
 // ---- kernel services for the manager ----------------------------------------
+// (Bodies live in the handler units next to the hypercalls they mirror:
+// svc_map_into/svc_unmap_from in hc_mem.cpp, svc_assign_pl_irq in
+// hc_irq.cpp, svc_set_pcap_owner/svc_write_client_data in hc_hwtask.cpp.)
 
 void Kernel::charge_service_call() {
   // A manager->kernel service call is a nested hypercall: full trap cost.
-  auto& core = platform_.cpu();
-  core.exception_enter(cpu::Exception::kSupervisorCall);
-  core.exec_code(rg_vector_);
-  core.exec_code(rg_service_call_);
-  core.exception_return(cpu::Mode::kUsr);
-}
-
-HcStatus Kernel::svc_map_into(ProtectionDomain& caller, PdId target,
-                              vaddr_t va, paddr_t pa, bool executable_never) {
-  if (!caller.has_cap(kCapMapOther)) return HcStatus::kDenied;
-  ProtectionDomain* pd = pd_by_id(target);
-  if (pd == nullptr || !is_aligned(va, mmu::kPageSize) || va >= kKernelVa)
-    return HcStatus::kInvalidArg;
-  charge_service_call();
-  pd->space().map_page(va, pa,
-                       mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
-                                     .domain = kDomDevice,
-                                     .ng = true,
-                                     .xn = executable_never});
-  platform_.cpu().mmu().tlb_flush_va(va);
-  platform_.cpu().spend(160);
-  return HcStatus::kSuccess;
-}
-
-HcStatus Kernel::svc_unmap_from(ProtectionDomain& caller, PdId target,
-                                vaddr_t va) {
-  if (!caller.has_cap(kCapMapOther)) return HcStatus::kDenied;
-  ProtectionDomain* pd = pd_by_id(target);
-  if (pd == nullptr) return HcStatus::kInvalidArg;
-  charge_service_call();
-  if (!pd->space().unmap_page(va)) return HcStatus::kNotFound;
-  platform_.cpu().mmu().tlb_flush_va(va);
-  platform_.cpu().spend(120);
-  return HcStatus::kSuccess;
-}
-
-HcStatus Kernel::svc_assign_pl_irq(ProtectionDomain& caller, PdId client,
-                                   u32 gic_irq) {
-  if (!caller.has_cap(kCapPlControl)) return HcStatus::kDenied;
-  ProtectionDomain* pd = pd_by_id(client);
-  if (pd == nullptr || gic_irq >= mem::kNumIrqs) return HcStatus::kInvalidArg;
-  charge_service_call();
-  if (!pd->vgic().register_irq(gic_irq)) return HcStatus::kNoMemory;
-  pd->vgic().enable(gic_irq);
-  irq_owner_[gic_irq] = client;
-  // Physically unmasked when the client VM runs (vGIC switch protocol);
-  // unmask now if it is the interrupted VM about to resume.
-  platform_.gic().set_priority(gic_irq, 0x90);
-  return HcStatus::kSuccess;
-}
-
-HcStatus Kernel::svc_set_pcap_owner(ProtectionDomain& caller, PdId client) {
-  if (!caller.has_cap(kCapPlControl)) return HcStatus::kDenied;
-  ProtectionDomain* pd = pd_by_id(client);
-  if (pd == nullptr) return HcStatus::kInvalidArg;
-  charge_service_call();
-  pcap_owner_ = client;
-  pd->vgic().register_irq(mem::kIrqDevcfg);
-  pd->vgic().enable(mem::kIrqDevcfg);
-  return HcStatus::kSuccess;
-}
-
-HcStatus Kernel::svc_write_client_data(ProtectionDomain& caller, PdId client,
-                                       u32 offset, std::span<const u32> words) {
-  if (!caller.has_cap(kCapMapOther)) return HcStatus::kDenied;
-  ProtectionDomain* pd = pd_by_id(client);
-  if (pd == nullptr || offset + u32(words.size()) * 4 > pd->hw_data_size)
-    return HcStatus::kInvalidArg;
-  charge_service_call();
-  auto& core = platform_.cpu();
-  for (std::size_t w = 0; w < words.size(); ++w)
-    (void)core.vwrite32(kernel_va(pd->hw_data_pa + offset) + u32(w) * 4,
-                        words[w]);
-  // Values land in physical memory for the client to read.
-  for (std::size_t w = 0; w < words.size(); ++w)
-    platform_.dram().write32(pd->hw_data_pa + offset + u32(w) * 4, words[w]);
-  return HcStatus::kSuccess;
+  TrapGuard trap(platform_.cpu(), platform_.stats(),
+                 cpu::Exception::kSupervisorCall, rg_vector_,
+                 TrapKind::kServiceCall);
+  trap.exec(rg_service_call_);
 }
 
 }  // namespace minova::nova

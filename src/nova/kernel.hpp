@@ -7,6 +7,12 @@
 // vGIC; VM switches save/restore vCPU state (lazily for VFP/L2-control),
 // remask the GIC, and reload TTBR/ASID/DACR without cache or TLB flushes.
 //
+// Kernel entries are structured in three layers (DESIGN.md §9):
+//   trap.hpp    — TrapGuard owns the exception enter/vector/exit sequence
+//   portal.hpp  — per-PD portal tables resolve hypercall numbers to
+//                 handlers with precomputed capability authorization
+//   hc_*.cpp    — handler bodies, programming against KernelOps only
+//
 // The kernel also hosts the synchronous invocation path of the Hardware
 // Task Manager user service (§IV.E): a guest's hardware-task hypercall
 // switches to the manager's protection domain, runs the service, and
@@ -23,6 +29,7 @@
 #include "nova/guest_iface.hpp"
 #include "nova/hypercall.hpp"
 #include "nova/ivc.hpp"
+#include "nova/kernel_ops.hpp"
 #include "nova/kheap.hpp"
 #include "nova/kmem.hpp"
 #include "nova/pd.hpp"
@@ -33,6 +40,10 @@ namespace minova::nova {
 
 /// Virtual-only IRQ number for the per-VM virtual timer tick.
 inline constexpr u32 kVtimerVirq = 120;
+
+/// Manager mailbox location inside the manager image (the kernel writes the
+/// request words here; the service reads them from its own space).
+inline constexpr u32 kManagerMailboxOffset = 0x1000;
 
 /// Synchronous hardware-task service implemented by the Hardware Task
 /// Manager (src/hwmgr). The kernel routes the hardware-task hypercalls here
@@ -107,6 +118,9 @@ class Kernel {
   void run_until(cycles_t deadline);
 
   // ---- hypercall gate (invoked via GuestContext) ----
+  /// The SVC gate: charges the trap choreography through a TrapGuard,
+  /// resolves the caller's portal, and runs the handler (or rejects with
+  /// kDenied when the portal's precomputed authorization fails).
   HypercallResult hypercall_gate(ProtectionDomain& caller,
                                  const HypercallArgs& args);
 
@@ -138,8 +152,13 @@ class Kernel {
   // ---- lookups ----
   ProtectionDomain* pd_by_id(PdId id);
   ProtectionDomain* current() { return current_; }
-  paddr_t bitstream_pa(hwtask::TaskId task) const;
-  u32 bitstream_len(hwtask::TaskId task) const;
+  /// Where a staged bitstream lives in the bitstream store. `pa == 0`
+  /// (and `len == 0`) when the task is unknown.
+  struct BitstreamLoc {
+    paddr_t pa = 0;
+    u32 len = 0;
+  };
+  BitstreamLoc find_bitstream(hwtask::TaskId task) const;
 
   Platform& platform() { return platform_; }
   Scheduler& scheduler() { return sched_; }
@@ -154,6 +173,10 @@ class Kernel {
   u64 hypercall_count() const { return hypercalls_; }
 
  private:
+  // KernelOps is the one window handler units get onto kernel state; its
+  // accessor bodies live in kernel.cpp next to the state they expose.
+  friend class KernelOps;
+
   // -- run-loop pieces --
   void boot();
   void stage_bitstreams();
@@ -163,20 +186,6 @@ class Kernel {
   void deliver_virqs(ProtectionDomain& pd);
   void vm_switch(ProtectionDomain* to);
   void idle(cycles_t limit);
-
-  // -- hypercall dispatch --
-  HypercallResult dispatch(ProtectionDomain& caller,
-                           const HypercallArgs& args);
-  HypercallResult hc_hwtask_request(ProtectionDomain& caller,
-                                    const HypercallArgs& args);
-  HypercallResult hc_hwtask_release(ProtectionDomain& caller,
-                                    const HypercallArgs& args);
-  HypercallResult hc_map_insert(ProtectionDomain& caller,
-                                const HypercallArgs& args);
-  HypercallResult hc_map_remove(ProtectionDomain& caller,
-                                const HypercallArgs& args);
-  HypercallResult hc_ivc(ProtectionDomain& caller, const HypercallArgs& args,
-                         bool send);
 
   void charge_service_call();
   GuestContext make_ctx(ProtectionDomain& pd) {
@@ -189,6 +198,7 @@ class Kernel {
   mmu::PageTableAllocator pt_alloc_;
   VmSpaceBuilder space_builder_;
   Scheduler sched_;
+  KernelOps ops_{*this};
 
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
   std::vector<std::unique_ptr<IvcChannel>> channels_;
@@ -219,7 +229,7 @@ class Kernel {
   PdId l2ctrl_owner_ = kInvalidPd;
 
   // Bitstream store index.
-  std::vector<std::pair<hwtask::TaskId, std::pair<paddr_t, u32>>> bitstreams_;
+  std::vector<std::pair<hwtask::TaskId, BitstreamLoc>> bitstreams_;
 
   // Instrumentation.
   HwMgrLatencies hwmgr_lat_;

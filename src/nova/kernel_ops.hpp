@@ -1,0 +1,61 @@
+// The narrow kernel interface hypercall handlers program against.
+//
+// Handler units (hc_mem.cpp, hc_irq.cpp, hc_io.cpp, hc_hwtask.cpp) do not
+// get friend access to `Kernel`; they receive a `KernelOps&` exposing only
+// the state a handler legitimately needs: the core, the platform, PD
+// lookup, the VM-switch primitive for the synchronous manager invocation,
+// the kernel-owned I/O state (console, SD image, IVC channels) and the
+// Table III sampling marks. Everything else — scheduling, code layout,
+// boot, trap choreography — stays private to the kernel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nova/guest_iface.hpp"
+#include "nova/pd.hpp"
+
+namespace minova {
+class Platform;
+}
+
+namespace minova::nova {
+
+class Kernel;
+class IvcChannel;
+class HwService;
+
+class KernelOps {
+ public:
+  explicit KernelOps(Kernel& kernel) : kernel_(kernel) {}
+
+  // ---- execution environment ----
+  Platform& platform();
+  cpu::Core& core();
+  GuestContext make_ctx(ProtectionDomain& pd);
+
+  // ---- protection domains ----
+  ProtectionDomain* pd_by_id(PdId id);
+  ProtectionDomain* current();
+  /// Synchronous PD switch (full vCPU/vGIC save-restore; §IV.E).
+  void vm_switch_to(ProtectionDomain* to);
+
+  // ---- kernel-owned shared-device state (hc_io) ----
+  std::string& console_buffer();
+  std::vector<u8>& sd_image();
+  IvcChannel* channel(u32 id);
+
+  // ---- DPR path plumbing (hc_hwtask) ----
+  ProtectionDomain* manager_pd();
+  HwService* hw_service();
+  /// Table III sampling marks for the in-flight hardware-task request.
+  void hw_mark_request_start();
+  void hw_mark_entry_end();
+  void hw_mark_exec_end();
+  void hw_cancel_sample();
+
+ private:
+  Kernel& kernel_;
+};
+
+}  // namespace minova::nova

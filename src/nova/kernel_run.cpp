@@ -1,0 +1,201 @@
+// The kernel's execution engine: the scheduling run loop, physical IRQ
+// take/route/inject (§III.B, Fig. 6), the kernel tick and the VM switch
+// (§III.C). Trap entries here go through TrapGuard like every other kernel
+// entry, so the IRQ path shares the hypercall gate's accounting.
+#include <algorithm>
+
+#include "nova/kernel.hpp"
+#include "nova/trap.hpp"
+#include "util/assert.hpp"
+
+namespace minova::nova {
+
+void Kernel::run_until(cycles_t deadline) {
+  auto& clock = platform_.clock();
+  while (clock.now() < deadline) {
+    platform_.pump();
+    handle_pending_irqs();
+
+    // Wake parked PDs that now have deliverable virtual interrupts.
+    for (auto& p : pds_)
+      if (p->parked && p->vgic().any_deliverable()) p->parked = false;
+
+    ProtectionDomain* pd = sched_.pick_eligible(
+        [](const ProtectionDomain* p) { return !p->parked; });
+    if (pd == nullptr) {
+      idle(deadline);
+      continue;
+    }
+    if (pd != current_) vm_switch(pd);
+
+    GuestContext ctx = make_ctx(*pd);
+    if (!pd->booted) {
+      pd->guest()->boot(ctx);
+      pd->booted = true;
+    }
+    deliver_virqs(*pd);
+
+    cycles_t budget = deadline - clock.now();
+    budget = std::min(budget, pd->quantum_left);
+    cycles_t ev = 0;
+    if (platform_.events().next_deadline(ev) && ev > clock.now())
+      budget = std::min(budget, ev - clock.now());
+    if (budget == 0) {
+      sched_.rotate(pd);
+      continue;
+    }
+
+    const cycles_t t0 = clock.now();
+    const StepExit exit = pd->guest()->step(ctx, budget);
+    const cycles_t used = clock.now() - t0;
+    pd->quantum_left -= std::min(used, pd->quantum_left);
+
+    if (exit == StepExit::kHalt) {
+      sched_.remove(pd);
+      if (current_ == pd) current_ = nullptr;
+      continue;
+    }
+    if (pd->quantum_left == 0) {
+      sched_.rotate(pd);
+    } else if (exit == StepExit::kYield) {
+      // Nothing to do until an event: park so lower-priority PDs (or the
+      // idle loop) get the CPU. A deliverable vIRQ unparks it above.
+      pd->parked = true;
+    }
+  }
+}
+
+void Kernel::idle(cycles_t limit) { platform_.idle_until_next_event(limit); }
+
+void Kernel::handle_pending_irqs() {
+  auto& core = platform_.cpu();
+  auto& gic = platform_.gic();
+  int guard = 0;
+  while (gic.irq_asserted() && guard++ < 64) {
+    bool spurious = false;
+    {
+      TrapGuard trap(core, platform_.stats(), cpu::Exception::kIrq,
+                     rg_vector_, TrapKind::kIrq);
+      trap.exec(rg_irq_entry_);
+      const u32 irq = gic.acknowledge();
+      core.spend(core.caches().access_device());  // IAR read
+      if (irq == irq::kSpuriousIrq) {
+        spurious = true;
+      } else {
+        // Mini-NOVA writes EOI before injecting the virtual IRQ (§III.B).
+        gic.eoi(irq);
+        core.spend(core.caches().access_device());
+        platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kIrq,
+                               irq,
+                               irq < mem::kNumIrqs && mem::is_pl_irq(irq)
+                                   ? irq_owner_[irq]
+                                   : 0xFFFF'FFFFu);
+        route_irq(irq);
+        if (mem::is_pl_irq(irq) && irq_owner_[irq] != kInvalidPd)
+          pl_irq_route_cycles_[irq] = trap.elapsed();
+      }
+    }
+    if (spurious) break;
+    platform_.pump();
+  }
+}
+
+void Kernel::route_irq(u32 irq) {
+  auto& core = platform_.cpu();
+  if (irq == mem::kIrqPrivateTimer) {
+    kernel_tick();
+    return;
+  }
+  if (irq == mem::kIrqDevcfg) {
+    platform_.trace().emit(platform_.clock().now(),
+                           sim::TraceKind::kPcapDone, 0, pcap_owner_);
+    if (ProtectionDomain* owner = pd_by_id(pcap_owner_))
+      owner->vgic().set_pending_charged(core, mem::kIrqDevcfg);
+    return;
+  }
+  if (mem::is_pl_irq(irq)) {
+    // Distribution (Fig. 6): find the vGIC holding a registration for this
+    // source by walking the VMs' record lists. Tables of descheduled VMs
+    // are cold — the cache effect behind the PL IRQ entry row of Table III.
+    ProtectionDomain* owner = nullptr;
+    for (auto& pd : pds_) {
+      if (pd->guest() == nullptr) continue;  // services own no vIRQs
+      pd->vgic().charge_lookup(core);
+      if (pd->id() == irq_owner_[irq]) {
+        owner = pd.get();
+        break;
+      }
+    }
+    if (owner != nullptr) owner->vgic().set_pending_charged(core, irq);
+    return;
+  }
+  // Unrouted interrupt: count it; the kernel simply drops it.
+  platform_.stats().counter("kernel.unrouted_irq") += 1;
+  (void)core;
+}
+
+void Kernel::kernel_tick() {
+  auto& core = platform_.cpu();
+  core.exec_code(rg_tick_);
+  platform_.private_timer().clear_event_flag();
+  core.spend(core.caches().access_device());  // timer status ack
+  const cycles_t now = core.clock().now();
+  for (auto& pd : pds_) {
+    VtimerState& vt = pd->vcpu().vtimer();
+    if (!vt.enabled) continue;
+    if (now >= vt.next_deadline) {
+      pd->vgic().set_pending(kVtimerVirq);
+      const cycles_t period = platform_.clock().us_to_cycles(vt.period_us);
+      while (vt.next_deadline <= now) vt.next_deadline += period;
+    }
+  }
+}
+
+void Kernel::deliver_virqs(ProtectionDomain& pd) {
+  if (pd.vgic().entry() == 0 || pd.guest() == nullptr) return;
+  auto& core = platform_.cpu();
+  GuestContext ctx = make_ctx(pd);
+  u32 irq = 0;
+  int guard = 0;
+  while (guard++ < 32) {
+    const cycles_t t_inject = core.clock().now();
+    if (!pd.vgic().take_pending_charged(core, irq)) break;
+    platform_.trace().emit(t_inject, sim::TraceKind::kVirqInject, irq,
+                           pd.id());
+    core.exec_code(rg_inject_);
+    if (irq < mem::kNumIrqs && pl_irq_route_cycles_[irq] != 0) {
+      hwmgr_lat_.pl_irq_entry_us.add(platform_.clock().cycles_to_us(
+          pl_irq_route_cycles_[irq] + core.clock().now() - t_inject));
+      pl_irq_route_cycles_[irq] = 0;
+    }
+    pd.guest()->on_virq(ctx, irq);
+  }
+}
+
+void Kernel::vm_switch(ProtectionDomain* to) {
+  MINOVA_CHECK(to != nullptr);
+  if (to == current_) return;
+  platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kVmSwitch,
+                         current_ ? current_->id() : 0xFFFF'FFFFu, to->id());
+  auto& core = platform_.cpu();
+  core.exec_code(rg_vm_switch_);
+  if (current_ != nullptr) {
+    current_->vcpu().save_active(core);
+    current_->vgic().mask_all_physical(core);
+    if (!cfg_.lazy_vfp) current_->vcpu().save_vfp(core);
+    if (!cfg_.lazy_l2ctrl) current_->vcpu().save_l2ctrl(core);
+  }
+  to->vcpu().restore_active(core);
+  if (!cfg_.use_asid) {
+    // Ablation: without ASIDs every switch flushes the whole TLB.
+    core.mmu().tlb_flush_all();
+    core.spend(40);
+  }
+  if (!cfg_.lazy_vfp) to->vcpu().restore_vfp(core);
+  if (!cfg_.lazy_l2ctrl) to->vcpu().restore_l2ctrl(core);
+  to->vgic().unmask_enabled_physical(core);
+  current_ = to;
+  ++vm_switches_;
+}
+
+}  // namespace minova::nova

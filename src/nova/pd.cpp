@@ -10,6 +10,7 @@ ProtectionDomain::ProtectionDomain(PdId id, std::string name, u32 priority,
       name_(std::move(name)),
       priority_(priority),
       caps_(caps),
+      portals_(PortalTable::build(caps)),
       space_(std::move(space)),
       vcpu_(heap, asid),
       vgic_(heap, gic) {}

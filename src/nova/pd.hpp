@@ -16,6 +16,7 @@
 #include "hwtask/library.hpp"
 #include "mmu/page_table.hpp"
 #include "nova/guest_iface.hpp"
+#include "nova/portal.hpp"
 #include "nova/vcpu.hpp"
 #include "nova/vgic.hpp"
 #include "util/types.hpp"
@@ -60,6 +61,9 @@ class ProtectionDomain {
   u32 caps() const { return caps_; }
   bool has_cap(PdCaps c) const { return (caps_ & c) != 0; }
 
+  /// The PD's capability-portal dispatch table (built once from `caps`).
+  const PortalTable& portals() const { return portals_; }
+
   Vcpu& vcpu() { return vcpu_; }
   const Vcpu& vcpu() const { return vcpu_; }
   VGic& vgic() { return vgic_; }
@@ -103,6 +107,7 @@ class ProtectionDomain {
   std::string name_;
   u32 priority_;
   u32 caps_;
+  PortalTable portals_;
   std::unique_ptr<mmu::AddressSpace> space_;
   Vcpu vcpu_;
   VGic vgic_;

@@ -1,0 +1,76 @@
+// Capability portals: the per-PD exception-dispatch table (paper §III.C).
+//
+// Every hypercall number resolves through the caller's portal table to a
+// `Portal` — the handler function, the capability bits the caller must
+// hold, the kernel text region charged for the handler ("cost region") and
+// descriptive flags. The table is built once at PD creation from the PD's
+// capability set, so authorization at the hypercall gate is a single table
+// lookup (the denied bit is precomputed) instead of ad-hoc `has_cap`
+// checks scattered through handler bodies, and every denial is counted
+// uniformly in `kernel.portal_denied`.
+//
+// Handlers receive a narrow `KernelOps&` window onto the kernel rather
+// than friend access to the whole `Kernel` object; they live in the
+// cohesive units hc_mem.cpp / hc_irq.cpp / hc_io.cpp / hc_hwtask.cpp.
+#pragma once
+
+#include <array>
+
+#include "nova/hypercall.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+class KernelOps;
+class ProtectionDomain;
+
+/// Handler text-footprint class: selects which configured code size the
+/// kernel places for the portal's cost region at boot.
+enum class PortalCost : u8 {
+  kSmall = 0,  // register/IRQ/cache one-liners
+  kMm,         // memory-management handlers
+  kHw,         // hardware-task request path
+};
+
+enum PortalFlags : u32 {
+  kPortalNone = 0,
+  /// Precomputed at table build: the owning PD lacks a required capability;
+  /// the gate rejects the call with kDenied without invoking the handler.
+  kPortalDenied = 1u << 0,
+  /// The Table III instrumented DPR path (hardware-task hypercalls).
+  kPortalHwPath = 1u << 1,
+};
+
+struct Portal {
+  using Handler = HypercallResult (*)(KernelOps&, ProtectionDomain&,
+                                      const HypercallArgs&);
+  Handler handler = nullptr;
+  u32 required_caps = 0;  // PdCaps mask the caller must hold
+  u8 cost_region = 0;     // index into the kernel's per-portal text regions
+  u32 flags = kPortalNone;
+
+  bool denied() const { return (flags & kPortalDenied) != 0; }
+};
+
+/// Immutable per-PD dispatch table, one portal per hypercall number.
+class PortalTable {
+ public:
+  /// Build the table for a PD holding `caps` (a PdCaps mask): installs the
+  /// handler for every hypercall and precomputes each portal's denied bit.
+  static PortalTable build(u32 caps);
+
+  const Portal& operator[](Hypercall h) const { return portals_[u32(h)]; }
+  const Portal& at(u32 number) const { return portals_[number]; }
+
+ private:
+  std::array<Portal, kNumHypercalls> portals_{};
+};
+
+/// Text-footprint class of a hypercall's handler (drives the boot-time
+/// code-layout placement; identical for every PD).
+PortalCost portal_cost_class(Hypercall h);
+
+/// Capability mask a caller must hold to traverse the portal for `h`.
+u32 portal_required_caps(Hypercall h);
+
+}  // namespace minova::nova

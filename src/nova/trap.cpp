@@ -1,0 +1,30 @@
+#include "nova/trap.hpp"
+
+namespace minova::nova {
+
+namespace {
+// Counter names are interned once: trap entry must not allocate per event.
+const std::string kTrapCounterNames[u32(TrapKind::kCount)] = {
+    "kernel.trap.hypercall", "kernel.trap.irq", "kernel.trap.guest_fault",
+    "kernel.trap.vfp_switch", "kernel.trap.service_call"};
+}  // namespace
+
+TrapGuard::TrapGuard(cpu::Core& core, sim::StatsRegistry& stats,
+                     cpu::Exception exc,
+                     const cpu::CodeRegion& vector, TrapKind kind,
+                     cpu::Mode resume)
+    : core_(core), resume_(resume), t0_(core.clock().now()) {
+  stats.counter(kTrapCounterNames[u32(kind)]) += 1;
+  core_.exception_enter(exc);
+  core_.exec_code(vector);
+}
+
+TrapGuard::~TrapGuard() { core_.exception_return(resume_); }
+
+void TrapGuard::exec(const cpu::CodeRegion& region, double fraction) {
+  core_.exec_code(region, fraction);
+}
+
+cycles_t TrapGuard::elapsed() const { return core_.clock().now() - t0_; }
+
+}  // namespace minova::nova

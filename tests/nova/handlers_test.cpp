@@ -151,6 +151,58 @@ TEST_F(HandlersTest, DmaRejectsBadArgs) {
             HcStatus::kInvalidArg);
 }
 
+TEST_F(HandlersTest, DmaTranslatesEveryPageOfANonContiguousRange) {
+  // Two adjacent guest VAs backed by non-adjacent physical pages: a copy
+  // crossing the boundary only lands correctly if the engine re-translates
+  // at each page instead of streaming from the first page's PA.
+  auto c = ctx();
+  const vaddr_t src = 0x0100'0000u;  // above all premapped guest regions
+  ASSERT_TRUE(c.hypercall(Hypercall::kMapInsert, 0xFFFF'FFFFu, src,
+                          0x00C0'0000u)
+                  .ok());
+  ASSERT_TRUE(c.hypercall(Hypercall::kMapInsert, 0xFFFF'FFFFu,
+                          src + 0x1000, 0x00E0'0000u)
+                  .ok());
+  // Pattern straddling the page boundary.
+  const vaddr_t lo = src + 0x1000 - 0x80;
+  for (u32 i = 0; i < 0x100; i += 4)
+    ASSERT_TRUE(platform_.cpu().vwrite32(lo + i, (lo + i) * 3u).ok);
+  const vaddr_t dst = kGuestUserVa + 0xC000;
+  ASSERT_TRUE(c.hypercall(Hypercall::kDmaRequest, 0, dst, lo, 0x100).ok());
+  for (u32 i = 0; i < 0x100; i += 4)
+    EXPECT_EQ(platform_.cpu().vread32(dst + i).value, (lo + i) * 3u);
+}
+
+TEST_F(HandlersTest, DmaHoleMidRangeRejectedWithoutPartialCopy) {
+  auto c = ctx();
+  // Punch a hole into the second source page.
+  const vaddr_t src = kGuestUserVa + 0xA000;
+  ASSERT_TRUE(
+      c.hypercall(Hypercall::kMapRemove, 0xFFFF'FFFFu, src + 0x1000).ok());
+  const vaddr_t dst = kGuestUserVa + 0xE000;
+  for (u32 i = 0; i < 0x2000; i += 4)
+    ASSERT_TRUE(platform_.cpu().vwrite32(dst + i, 0xDEAD'0000u | i).ok);
+  // Both pages are validated before any byte moves: the hole fails the
+  // whole request and the first page must NOT have been copied.
+  EXPECT_EQ(c.hypercall(Hypercall::kDmaRequest, 0, dst, src, 0x2000).status,
+            HcStatus::kInvalidArg);
+  for (u32 i = 0; i < 0x2000; i += 4)
+    EXPECT_EQ(platform_.cpu().vread32(dst + i).value, 0xDEAD'0000u | i);
+}
+
+TEST_F(HandlersTest, DmaRejectsRangesWrappingIntoKernelSpace) {
+  auto c = ctx();
+  // dst/src below kKernelVa but dst+len crossing into it.
+  EXPECT_EQ(c.hypercall(Hypercall::kDmaRequest, 0, kKernelVa - 0x100,
+                        kGuestUserVa, 0x200)
+                .status,
+            HcStatus::kInvalidArg);
+  EXPECT_EQ(c.hypercall(Hypercall::kDmaRequest, 0, kGuestUserVa,
+                        kKernelVa - 0x100, 0x200)
+                .status,
+            HcStatus::kInvalidArg);
+}
+
 TEST_F(HandlersTest, IrqEnableUnknownSourceRejected) {
   EXPECT_EQ(ctx().hypercall(Hypercall::kIrqEnable, 77).status,
             HcStatus::kNotFound);

@@ -37,11 +37,11 @@ TEST_F(KernelTest, BootEnablesMmuAndTick) {
 
 TEST_F(KernelTest, BitstreamsStagedForAllTasks) {
   for (hwtask::TaskId id : platform_.task_library().ids()) {
-    EXPECT_NE(kernel_.bitstream_pa(id), 0u);
-    EXPECT_EQ(kernel_.bitstream_len(id),
-              platform_.task_library().find(id)->bitstream_bytes);
+    const auto bits = kernel_.find_bitstream(id);
+    EXPECT_NE(bits.pa, 0u);
+    EXPECT_EQ(bits.len, platform_.task_library().find(id)->bitstream_bytes);
     // The staged header names the task.
-    EXPECT_EQ(platform_.dram().read32(kernel_.bitstream_pa(id)), id);
+    EXPECT_EQ(platform_.dram().read32(bits.pa), id);
   }
 }
 
