@@ -8,6 +8,7 @@
 #include "hwtask/fft_core.hpp"
 #include "mmu/page_table.hpp"
 #include "nova/kernel.hpp"
+#include "sim/stats.hpp"
 #include "workloads/adpcm.hpp"
 
 namespace {
@@ -62,6 +63,56 @@ void BM_MmuTranslateWalk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MmuTranslateWalk);
+
+void BM_TlbLookupFullRotation(benchmark::State& state) {
+  // Rotate lookups over a full 128-entry TLB: the old linear scan paid an
+  // O(N) walk per lookup here; the hash index makes it O(1).
+  cache::Tlb tlb(128);
+  for (u32 i = 0; i < 128; ++i)
+    tlb.insert(cache::TlbEntry{.asid = 1, .vpage = i, .ppage = i, .attrs = 0,
+                               .global = false, .large = false, .valid = true,
+                               .lru = 0});
+  u32 page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(1, page << 12));
+    page = (page + 1) & 127;
+  }
+}
+BENCHMARK(BM_TlbLookupFullRotation);
+
+void BM_MmuTranslateHot(benchmark::State& state) {
+  // Repeated translation of one hot page: served by the per-core micro-TLB
+  // without touching the main TLB's index at all.
+  mem::PhysMem ram(0, 16 * kMiB);
+  cache::MemHierarchy h;
+  cache::Tlb tlb(128);
+  mmu::Mmu mmu(ram, h, tlb);
+  mmu::PageTableAllocator alloc(ram, 1 * kMiB, 4 * kMiB);
+  mmu::AddressSpace as(ram, alloc);
+  as.map_page(0x40'0000, 0x80'0000, mmu::MapAttrs{});
+  mmu.set_ttbr0(as.root());
+  mmu.set_dacr(mmu::dacr_set(0, 0, mmu::DomainMode::kClient));
+  mmu.set_enabled(true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        mmu.translate(0x40'0000, mmu::AccessKind::kRead, false));
+}
+BENCHMARK(BM_MmuTranslateHot);
+
+void BM_CounterByString(benchmark::State& state) {
+  // The old hot-path pattern: a map lookup (hash + string compare) per bump.
+  sim::StatsRegistry reg;
+  for (auto _ : state) reg.counter("kernel.trap.hypercall") += 1;
+}
+BENCHMARK(BM_CounterByString);
+
+void BM_CounterByHandle(benchmark::State& state) {
+  // The interned pattern: resolve once, then a single pointer increment.
+  sim::StatsRegistry reg;
+  sim::CounterHandle h = reg.handle("kernel.trap.hypercall");
+  for (auto _ : state) h.inc();
+}
+BENCHMARK(BM_CounterByHandle);
 
 // ---- behavioral cores (host throughput) -------------------------------------
 

@@ -67,7 +67,35 @@ int main(int argc, char** argv) {
     for (const auto& r : rows) cells2.push_back(std::to_string(r.irq_traps));
     t.add_row(std::move(cells2));
   }
+  {
+    // Memory fast-path health behind the latencies: hit rates of each level
+    // the simulated access path traverses (micro-TLB -> TLB -> L1D -> L2)
+    // and the TLB maintenance volume. All simulated quantities.
+    auto add_rate = [&](const char* name, double Row::* field) {
+      std::vector<std::string> cells{name};
+      for (const auto& r : rows)
+        cells.push_back(f2((r.*field) * 100.0) + "%");
+      t.add_row(std::move(cells));
+    };
+    add_rate("(uTLB hit rate)", &Row::utlb_hit_rate);
+    add_rate("(TLB hit rate)", &Row::tlb_hit_rate);
+    add_rate("(L1D hit rate)", &Row::l1d_hit_rate);
+    add_rate("(L2 hit rate)", &Row::l2_hit_rate);
+    std::vector<std::string> cells{"(TLB va flushes)"};
+    for (const auto& r : rows)
+      cells.push_back(std::to_string(r.tlb_va_flushes));
+    t.add_row(std::move(cells));
+  }
   std::fputs((csv ? t.to_csv() : t.to_string()).c_str(), stdout);
+
+  // Host-side self-timing (varies by machine; never part of golden diffs).
+  double host_s = 0, sim_us = 0;
+  for (const auto& r : rows) {
+    host_s += r.host_seconds;
+    sim_us += r.sim_us;
+  }
+  std::printf("\n[host] %.2f s wall clock, %.0f sim-us/host-s\n", host_s,
+              host_s > 0 ? sim_us / host_s : 0.0);
 
   std::printf("\nPaper (Table III) for comparison:\n");
   util::TextTable p({"Guest OS number", "Native", "1", "2", "3", "4"});

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_results.json against the checked-in Table III golden.
+
+Only *simulated* quantities are compared (latency rows, trap counts, hit
+rates): these are deterministic across hosts — any drift means a change
+altered simulated behaviour, violating the bit-identical invariant
+(DESIGN.md §10). Host-side numbers (wall clock, ns/op, speedups) are
+machine-dependent and ignored.
+
+Integers must match exactly. Floats are compared with a tiny relative
+tolerance that only absorbs printf round-tripping, not behavioural drift.
+
+Usage: check_table3.py BENCH_results.json [golden_table3.json]
+"""
+import json
+import math
+import pathlib
+import sys
+
+REL_TOL = 1e-9
+
+
+def fail(msg: str) -> None:
+    print(f"check_table3: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_table3.py BENCH_results.json [golden.json]")
+    results_path = pathlib.Path(sys.argv[1])
+    golden_path = (pathlib.Path(sys.argv[2]) if len(sys.argv) > 2 else
+                   pathlib.Path(__file__).parent / "golden_table3.json")
+
+    results = json.loads(results_path.read_text())
+    golden = json.loads(golden_path.read_text())
+
+    t3 = results.get("table3")
+    if t3 is None:
+        fail("no 'table3' section in results")
+    if t3.get("sim_ms") != golden["sim_ms"]:
+        fail(f"sim_ms mismatch: results ran {t3.get('sim_ms')} ms/config, "
+             f"golden expects {golden['sim_ms']}")
+    if t3.get("configs") != golden["configs"]:
+        fail(f"config list mismatch: {t3.get('configs')}")
+
+    rows = t3.get("sim_rows", {})
+    bad = 0
+    for name, want in golden["sim_rows"].items():
+        got = rows.get(name)
+        if got is None:
+            print(f"  missing row: {name}")
+            bad += 1
+            continue
+        for i, (g, w) in enumerate(zip(got, want)):
+            if isinstance(w, int) and isinstance(g, int):
+                ok = g == w
+            else:
+                ok = math.isclose(float(g), float(w), rel_tol=REL_TOL,
+                                  abs_tol=1e-12)
+            if not ok:
+                print(f"  row '{name}' config {golden['configs'][i]}: "
+                      f"got {g}, golden {w}")
+                bad += 1
+    extra = set(rows) - set(golden["sim_rows"])
+    if extra:
+        print(f"  note: rows not in golden (ignored): {sorted(extra)}")
+    if bad:
+        fail(f"{bad} simulated value(s) diverged from golden")
+    print(f"check_table3: OK — {len(golden['sim_rows'])} rows bit-identical "
+          f"to {golden_path.name}")
+
+
+if __name__ == "__main__":
+    main()

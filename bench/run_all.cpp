@@ -1,0 +1,124 @@
+// Bench driver: runs the Table III configurations and the memory fast-path
+// self-timing mixes, then writes one machine-readable BENCH_results.json.
+//
+// The JSON separates two kinds of numbers:
+//   * simulated quantities (latency rows, trap counts, hit rates) — these
+//     are deterministic and diffed against bench/golden_table3.json in CI
+//     (bench/check_table3.py);
+//   * host quantities (wall-clock seconds, ns/op, speedups, sim-rate) —
+//     machine-dependent, reported but never golden-diffed.
+//
+// Usage: run_all [sim_ms_per_config] [output.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "selftime.hpp"
+
+using namespace minova;
+
+namespace {
+
+std::string jd(double v) {  // full-precision JSON double
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sim_ms = 50.0;
+  const char* out_path = "BENCH_results.json";
+  if (argc > 1) sim_ms = std::stod(argv[1]);
+  if (argc > 2) out_path = argv[2];
+
+  std::printf("run_all: Table III (%g ms/config) ...\n", sim_ms);
+  bench::Measurement rows[5];
+  rows[0] = bench::run_native(sim_ms, 42);
+  for (u32 g = 1; g <= 4; ++g)
+    rows[g] = bench::run_virtualized(g, sim_ms, 42);
+
+  std::printf("run_all: self-timing mixes ...\n");
+  const auto mixes = bench::run_all_mixes();
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "run_all: cannot open %s\n", out_path);
+    return 1;
+  }
+
+  const auto row_d = [&](const char* name, double bench::Measurement::* m,
+                         bool last = false) {
+    std::fprintf(f, "      \"%s\": [", name);
+    for (int i = 0; i < 5; ++i)
+      std::fprintf(f, "%s%s", jd(rows[i].*m).c_str(), i < 4 ? ", " : "");
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+  };
+  const auto row_u = [&](const char* name, u64 bench::Measurement::* m,
+                         bool last = false) {
+    std::fprintf(f, "      \"%s\": [", name);
+    for (int i = 0; i < 5; ++i)
+      std::fprintf(f, "%llu%s", (unsigned long long)(rows[i].*m),
+                   i < 4 ? ", " : "");
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+  };
+
+  std::fprintf(f, "{\n  \"schema\": \"minova-bench-1\",\n");
+  std::fprintf(f, "  \"table3\": {\n    \"sim_ms\": %s,\n", jd(sim_ms).c_str());
+  std::fprintf(f, "    \"configs\": [\"native\", \"1\", \"2\", \"3\", \"4\"],\n");
+  std::fprintf(f, "    \"sim_rows\": {\n");
+  row_d("entry", &bench::Measurement::entry);
+  row_d("exit", &bench::Measurement::exit);
+  row_d("irq_entry", &bench::Measurement::irq_entry);
+  row_d("exec", &bench::Measurement::exec);
+  row_d("total", &bench::Measurement::total);
+  {
+    std::fprintf(f, "      \"samples\": [");
+    for (int i = 0; i < 5; ++i)
+      std::fprintf(f, "%zu%s", rows[i].samples, i < 4 ? ", " : "");
+    std::fprintf(f, "],\n");
+  }
+  row_u("hypercalls", &bench::Measurement::hypercalls);
+  row_u("irq_traps", &bench::Measurement::irq_traps);
+  row_d("utlb_hit_rate", &bench::Measurement::utlb_hit_rate);
+  row_d("tlb_hit_rate", &bench::Measurement::tlb_hit_rate);
+  row_d("l1d_hit_rate", &bench::Measurement::l1d_hit_rate);
+  row_d("l2_hit_rate", &bench::Measurement::l2_hit_rate);
+  row_u("tlb_va_flushes", &bench::Measurement::tlb_va_flushes, true);
+  std::fprintf(f, "    },\n");
+  {
+    double host_s = 0, sim_us = 0;
+    for (const auto& r : rows) {
+      host_s += r.host_seconds;
+      sim_us += r.sim_us;
+    }
+    std::fprintf(f, "    \"host\": {\"seconds\": %s, \"sim_us_per_host_s\": %s}\n",
+                 jd(host_s).c_str(),
+                 jd(host_s > 0 ? sim_us / host_s : 0.0).c_str());
+  }
+  std::fprintf(f, "  },\n  \"selftime\": [\n");
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const auto& m = mixes[i];
+    std::fprintf(f,
+                 "    {\"mix\": \"%s\", \"accesses\": %llu, "
+                 "\"sim_us\": %s, \"ref_ns_per_op\": %s, "
+                 "\"new_ns_per_op\": %s, \"speedup\": %s, "
+                 "\"sim_us_per_host_s\": %s}%s\n",
+                 m.name.c_str(), (unsigned long long)m.accesses,
+                 jd(m.sim_us).c_str(), jd(m.ref_ns_per_op).c_str(),
+                 jd(m.new_ns_per_op).c_str(), jd(m.speedup).c_str(),
+                 jd(m.sim_us_per_host_s).c_str(),
+                 i + 1 < mixes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("run_all: wrote %s\n", out_path);
+  for (const auto& m : mixes)
+    std::printf("  selftime %-12s %.1f -> %.1f ns/op (%.2fx)\n",
+                m.name.c_str(), m.ref_ns_per_op, m.new_ns_per_op, m.speedup);
+  return 0;
+}

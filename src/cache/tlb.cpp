@@ -1,5 +1,7 @@
 #include "cache/tlb.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace minova::cache {
@@ -17,8 +19,42 @@ bool Tlb::matches(const TlbEntry& e, u32 asid, vaddr_t va) {
   return e.vpage == vpage;
 }
 
+void Tlb::index_add(u32 slot) {
+  const TlbEntry& e = entries_[slot];
+  auto& bucket = e.large ? sect_idx_[u32(e.vpage >> 8)]
+                         : page_idx_[u32(e.vpage)];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), slot), slot);
+}
+
+void Tlb::index_remove(u32 slot) {
+  const TlbEntry& e = entries_[slot];
+  auto& idx = e.large ? sect_idx_ : page_idx_;
+  const u32 key = e.large ? u32(e.vpage >> 8) : u32(e.vpage);
+  auto it = idx.find(key);
+  MINOVA_CHECK(it != idx.end());
+  auto& bucket = it->second;
+  bucket.erase(std::lower_bound(bucket.begin(), bucket.end(), slot));
+  if (bucket.empty()) idx.erase(it);
+}
+
 const TlbEntry* Tlb::lookup(u32 asid, vaddr_t va) {
-  for (auto& e : entries_) {
+  // Candidates: small-page entries indexed under va>>12 and sections
+  // indexed under va>>20. Both buckets are sorted by slot; a two-pointer
+  // merge visits candidates in ascending slot order so the winner is the
+  // same "first matching slot" the linear scan would have found.
+  static const std::vector<u32> kEmpty;
+  const auto pit = page_idx_.find(u32(va >> 12));
+  const auto sit = sect_idx_.find(u32(va >> 20));
+  const std::vector<u32>& pages = pit != page_idx_.end() ? pit->second : kEmpty;
+  const std::vector<u32>& sects = sit != sect_idx_.end() ? sit->second : kEmpty;
+  std::size_t i = 0, j = 0;
+  while (i < pages.size() || j < sects.size()) {
+    u32 slot;
+    if (j >= sects.size() || (i < pages.size() && pages[i] < sects[j]))
+      slot = pages[i++];
+    else
+      slot = sects[j++];
+    TlbEntry& e = entries_[slot];
     if (matches(e, asid, va)) {
       e.lru = ++use_clock_;
       ++stats_.hits;
@@ -29,61 +65,95 @@ const TlbEntry* Tlb::lookup(u32 asid, vaddr_t va) {
   return nullptr;
 }
 
-void Tlb::insert(const TlbEntry& entry) {
+const TlbEntry* Tlb::insert(const TlbEntry& entry) {
   MINOVA_CHECK(entry.valid);
   // Replace an existing entry for the same page first (re-walk after a
-  // permission update), else an invalid slot, else LRU.
+  // permission update), else an invalid slot, else LRU. Replacement
+  // candidates all live in one index bucket (same vpage, same size class);
+  // the bucket walk in slot order reproduces the old full-array scan.
   TlbEntry* slot = nullptr;
-  for (auto& e : entries_) {
-    if (e.valid && e.vpage == entry.vpage && e.large == entry.large &&
-        (e.global || e.asid == entry.asid)) {
-      slot = &e;
-      break;
+  u32 slot_idx = 0;
+  {
+    const auto& idx = entry.large ? sect_idx_ : page_idx_;
+    const u32 key = entry.large ? u32(entry.vpage >> 8) : u32(entry.vpage);
+    if (auto it = idx.find(key); it != idx.end()) {
+      for (u32 s : it->second) {
+        TlbEntry& e = entries_[s];
+        if (e.vpage == entry.vpage && (e.global || e.asid == entry.asid)) {
+          slot = &e;
+          slot_idx = s;
+          break;
+        }
+      }
     }
   }
-  if (slot == nullptr) {
-    for (auto& e : entries_) {
-      if (!e.valid) {
-        slot = &e;
+  if (slot == nullptr && valid_count_ < entries_.size()) {
+    for (u32 s = 0; s < u32(entries_.size()); ++s) {
+      if (!entries_[s].valid) {
+        slot = &entries_[s];
+        slot_idx = s;
         break;
       }
     }
   }
   if (slot == nullptr) {
     slot = &entries_.front();
-    for (auto& e : entries_)
-      if (e.lru < slot->lru) slot = &e;
+    slot_idx = 0;
+    for (u32 s = 0; s < u32(entries_.size()); ++s) {
+      if (entries_[s].lru < slot->lru) {
+        slot = &entries_[s];
+        slot_idx = s;
+      }
+    }
   }
+  if (slot->valid)
+    index_remove(slot_idx);
+  else
+    ++valid_count_;
   *slot = entry;
   slot->lru = ++use_clock_;
+  index_add(slot_idx);
+  ++gen_;
+  return slot;
 }
 
 void Tlb::flush_all() {
   for (auto& e : entries_) e.valid = false;
+  page_idx_.clear();
+  sect_idx_.clear();
+  valid_count_ = 0;
   ++stats_.flushes;
+  ++gen_;
 }
 
 void Tlb::flush_asid(u32 asid) {
-  for (auto& e : entries_)
-    if (e.valid && !e.global && e.asid == asid) e.valid = false;
+  for (u32 s = 0; s < u32(entries_.size()); ++s) {
+    TlbEntry& e = entries_[s];
+    if (e.valid && !e.global && e.asid == asid) {
+      index_remove(s);
+      e.valid = false;
+      --valid_count_;
+    }
+  }
   ++stats_.asid_flushes;
+  ++gen_;
 }
 
 void Tlb::flush_va(vaddr_t va) {
-  const vaddr_t vpage = va >> 12;
-  for (auto& e : entries_) {
-    if (!e.valid) continue;
-    const bool hit =
-        e.large ? (e.vpage >> 8) == (vpage >> 8) : e.vpage == vpage;
-    if (hit) e.valid = false;
+  // Both size classes, all ASIDs: collect the matching slots from the two
+  // buckets first (invalidation mutates the buckets being walked).
+  std::vector<u32> hit_slots;
+  if (auto it = page_idx_.find(u32(va >> 12)); it != page_idx_.end())
+    hit_slots = it->second;
+  if (auto it = sect_idx_.find(u32(va >> 20)); it != sect_idx_.end())
+    hit_slots.insert(hit_slots.end(), it->second.begin(), it->second.end());
+  for (u32 s : hit_slots) {
+    index_remove(s);
+    entries_[s].valid = false;
+    --valid_count_;
   }
-}
-
-u32 Tlb::valid_count() const {
-  u32 n = 0;
-  for (const auto& e : entries_)
-    if (e.valid) ++n;
-  return n;
+  ++stats_.va_flushes;
+  ++gen_;
 }
 
 }  // namespace minova::cache

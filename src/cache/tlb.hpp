@@ -6,8 +6,21 @@
 // (ASID, virtual page) with a global bit for kernel mappings, and supports
 // the three maintenance operations the kernel uses: flush-all, flush-by-
 // ASID and flush-by-VA.
+//
+// Host-side structure (DESIGN.md §10): the array of entries is still the
+// fully-associative true-LRU store the simulated replacement decisions are
+// defined over, but lookups no longer scan it. Two hash indexes — small
+// pages keyed on `va >> 12`, sections keyed on `va >> 20` — map a virtual
+// page to the slots that could translate it, so `lookup` is O(1) in the
+// TLB size. Index buckets are kept sorted by slot number and the merged
+// candidate walk takes the lowest matching slot, which is exactly the
+// "first match in array order" the old linear scan produced: hit/miss
+// sequences, LRU stamps and therefore every simulated cycle are
+// bit-identical to the scanning implementation (pinned by the differential
+// test against `RefTlb`).
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "util/types.hpp"
@@ -31,9 +44,14 @@ struct TlbStats {
   u64 misses = 0;
   u64 flushes = 0;
   u64 asid_flushes = 0;
+  u64 va_flushes = 0;
   double miss_rate() const {
     const u64 t = hits + misses;
     return t == 0 ? 0.0 : double(misses) / double(t);
+  }
+  double hit_rate() const {
+    const u64 t = hits + misses;
+    return t == 0 ? 0.0 : double(hits) / double(t);
   }
 };
 
@@ -45,22 +63,49 @@ class Tlb {
   /// Find a translation for (asid, va). Returns nullptr on miss.
   const TlbEntry* lookup(u32 asid, vaddr_t va);
 
-  void insert(const TlbEntry& entry);
+  /// Record a hit on `e` without re-running the lookup: identical
+  /// bookkeeping (LRU stamp + hit count) to the hit path of `lookup`.
+  /// Used by the MMU's micro-TLB, which caches the winning entry pointer
+  /// and revalidates it against `generation()`.
+  void touch(const TlbEntry& e) {
+    const_cast<TlbEntry&>(e).lru = ++use_clock_;
+    ++stats_.hits;
+  }
+
+  /// Returns the slot the entry was written to (stable for the Tlb's
+  /// lifetime; invalidated as a translation by any `generation()` change).
+  const TlbEntry* insert(const TlbEntry& entry);
 
   void flush_all();
   void flush_asid(u32 asid);
   void flush_va(vaddr_t va);  // all ASIDs, both entry sizes
 
+  /// Bumped on every mutation of the translation contents (insert or any
+  /// flush). Cached entry pointers are valid only while this is unchanged.
+  u64 generation() const { return gen_; }
+
   const TlbStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   u32 capacity() const { return u32(entries_.size()); }
-  u32 valid_count() const;
+  u32 valid_count() const { return valid_count_; }
+
+  /// Raw slot array, for the differential test against `RefTlb`.
+  const std::vector<TlbEntry>& entry_array() const { return entries_; }
 
  private:
   static bool matches(const TlbEntry& e, u32 asid, vaddr_t va);
 
+  // A valid slot lives in exactly one bucket: page_idx_[vpage] for small
+  // pages, sect_idx_[vpage >> 8] for sections. Buckets stay sorted by slot.
+  void index_add(u32 slot);
+  void index_remove(u32 slot);
+
   std::vector<TlbEntry> entries_;
+  std::unordered_map<u32, std::vector<u32>> page_idx_;
+  std::unordered_map<u32, std::vector<u32>> sect_idx_;
+  u32 valid_count_ = 0;
   u64 use_clock_ = 0;
+  u64 gen_ = 0;
   TlbStats stats_;
 };
 

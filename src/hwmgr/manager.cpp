@@ -17,6 +17,14 @@ ManagerService::ManagerService(nova::Kernel& kernel,
       costs_(costs),
       prr_table_(kernel.platform().prr_controller().num_prrs()),
       code_(nova::kManagerBase + 0x10000 + 0x2c40, 64 * kKiB) {
+  auto& reg = kernel_.platform().stats();
+  c_sw_grants_ = reg.handle("hwmgr.sw_grants");
+  c_reconfig_success_ = reg.handle("hwmgr.reconfig_success");
+  c_pcap_failures_ = reg.handle("hwmgr.pcap_failures");
+  c_retries_ = reg.handle("hwmgr.retries");
+  c_fallbacks_ = reg.handle("hwmgr.fallbacks");
+  c_quarantines_ = reg.handle("hwmgr.quarantines");
+  c_unquarantines_ = reg.handle("hwmgr.unquarantines");
   rg_handle_ = code_.place(768);
   rg_select_ = code_.place(384);
   rg_consistency_ = code_.place(512);
@@ -235,7 +243,7 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
       // Every idle compatible region is quarantined: rather than stalling
       // the client behind the cooldown, grant the task in software.
       ++stats_.sw_grants;
-      ++kernel_.platform().stats().counter("hwmgr.sw_grants");
+      c_sw_grants_.inc();
       pending_[req.client] = PendingReconfig{req.task, 0xFFFF'FFFFu, 0,
                                              ReconfigOutcome::kFallback};
       result_flags = nova::kHwGrantSoftware;
@@ -376,12 +384,12 @@ void ManagerService::on_pcap_complete(u32 prr, u32 task, bool ok) {
     entry.health = PrrHealth::kHealthy;
     entry.fail_streak = 0;
     p.outcome = ReconfigOutcome::kReady;
-    ++kernel_.platform().stats().counter("hwmgr.reconfig_success");
+    c_reconfig_success_.inc();
     return;
   }
 
   ++stats_.pcap_failures;
-  ++kernel_.platform().stats().counter("hwmgr.pcap_failures");
+  c_pcap_failures_.inc();
   ++entry.fail_streak;
   log_.debug("PCAP failure %u/%u for client %u on PRR%u (streak %u)",
              p.attempts, retry_.max_attempts, client, prr, entry.fail_streak);
@@ -429,7 +437,7 @@ void ManagerService::retry_reconfig(PdId client) {
   }
   ++p.attempts;
   ++stats_.retries;
-  ++plat.stats().counter("hwmgr.retries");
+  c_retries_.inc();
   entry.reconfiguring = true;
   inflight_client_ = client;
 }
@@ -460,7 +468,7 @@ void ManagerService::declare_fallback(PdId client) {
   PendingReconfig& p = it->second;
   p.outcome = ReconfigOutcome::kFallback;
   ++stats_.fallbacks;
-  ++kernel_.platform().stats().counter("hwmgr.fallbacks");
+  c_fallbacks_.inc();
   log_.debug("client %u degraded to software for task %u", client, p.task);
   if (p.prr >= prr_table_.size()) return;
   // Unbind the dark region so other grants can use it after recovery; the
@@ -486,7 +494,7 @@ void ManagerService::quarantine(u32 prr_idx) {
   if (entry.health == PrrHealth::kQuarantined) return;
   entry.health = PrrHealth::kQuarantined;
   ++stats_.quarantines;
-  ++kernel_.platform().stats().counter("hwmgr.quarantines");
+  c_quarantines_.inc();
   log_.info("PRR%u quarantined after %u consecutive PCAP failures", prr_idx,
             entry.fail_streak);
   auto& plat = kernel_.platform();
@@ -501,7 +509,7 @@ void ManagerService::unquarantine(u32 prr_idx) {
   entry.health = PrrHealth::kSuspect;
   entry.fail_streak = 0;
   ++stats_.unquarantines;
-  ++kernel_.platform().stats().counter("hwmgr.unquarantines");
+  c_unquarantines_.inc();
   log_.info("PRR%u back from quarantine (suspect)", prr_idx);
 }
 

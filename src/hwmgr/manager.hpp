@@ -170,6 +170,10 @@ class ManagerService final : public nova::HwService {
   void declare_fallback(nova::PdId client);
   void quarantine(u32 prr_idx);
   void unquarantine(u32 prr_idx);
+
+  // `hwmgr.*` registry counters, interned once at construction.
+  sim::CounterHandle c_sw_grants_, c_reconfig_success_, c_pcap_failures_,
+      c_retries_, c_fallbacks_, c_quarantines_, c_unquarantines_;
   cycles_t backoff_cycles(u32 attempts_made) const;
   // Re-program the PCAP from an event context (no manager VA translation).
   bool launch_pcap_phys(u32 prr_idx, hwtask::TaskId task);

@@ -64,7 +64,23 @@ TranslateResult Mmu::translate(vaddr_t va, AccessKind kind, bool privileged) {
     return res;
   }
 
-  const cache::TlbEntry* entry = tlb_.lookup(asid_, va);
+  // Micro-TLB probe: a hit skips the main TLB's index walk but replays its
+  // hit bookkeeping exactly (touch = LRU stamp + hit count), so simulated
+  // behaviour cannot diverge from the micro-TLB-less path.
+  const vaddr_t vpage = va >> 12;
+  MicroEntry& u = utlb_[vpage & (kMicroTlbEntries - 1)];
+  const cache::TlbEntry* entry;
+  if (u.entry != nullptr && u.vpage == vpage && u.asid == asid_ &&
+      u.gen == tlb_.generation()) {
+    ++ustats_.hits;
+    tlb_.touch(*u.entry);
+    entry = u.entry;
+  } else {
+    ++ustats_.misses;
+    entry = tlb_.lookup(asid_, va);
+    if (entry != nullptr)
+      u = MicroEntry{entry, vpage, asid_, tlb_.generation()};
+  }
   u32 attrs;
   paddr_t pa;
   if (entry != nullptr) {
@@ -85,7 +101,8 @@ TranslateResult Mmu::translate(vaddr_t va, AccessKind kind, bool privileged) {
                         .instruction = kind == AccessKind::kExecute};
       return res;
     }
-    tlb_.insert(w.entry);
+    const cache::TlbEntry* inserted = tlb_.insert(w.entry);
+    u = MicroEntry{inserted, vpage, asid_, tlb_.generation()};
     attrs = w.entry.attrs;
     if (w.entry.large) {
       pa = (w.entry.ppage << 12) | (va & (kSectionSize - 1));

@@ -7,7 +7,17 @@
 // vs guest-user separation exploits (paper Table II): the kernel flips a
 // domain between Client and NoAccess on guest privilege changes without
 // touching the TLB.
+//
+// A per-core micro-TLB (direct-mapped, keyed on (asid, va>>12)) sits in
+// front of the main TLB, mirroring the A9's L1 micro-TLBs. It is a pure
+// host-side accelerator: a micro hit replays the exact bookkeeping a main
+// TLB hit would have performed (`Tlb::touch`), so hit/miss sequences, LRU
+// order and charged cycles are bit-identical with it in place. Cached
+// entry pointers are revalidated against `Tlb::generation()`, which every
+// insert and flush bumps; TTBR/ASID writes clear the micro-TLB outright.
 #pragma once
+
+#include <array>
 
 #include "cache/hierarchy.hpp"
 #include "cache/tlb.hpp"
@@ -19,6 +29,17 @@
 namespace minova::mmu {
 
 enum class AccessKind : u8 { kRead, kWrite, kExecute };
+
+/// Host-side micro-TLB effectiveness (no simulated meaning: a micro hit
+/// and a main-TLB hit charge identical cycles).
+struct MicroTlbStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  double hit_rate() const {
+    const u64 t = hits + misses;
+    return t == 0 ? 0.0 : double(hits) / double(t);
+  }
+};
 
 struct TranslateResult {
   paddr_t pa = 0;
@@ -37,11 +58,17 @@ class Mmu {
   // ---- CP15-visible state ----
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
-  void set_ttbr0(paddr_t root) { ttbr0_ = root; }
+  void set_ttbr0(paddr_t root) {
+    ttbr0_ = root;
+    utlb_flush();
+  }
   paddr_t ttbr0() const { return ttbr0_; }
   void set_dacr(u32 dacr) { dacr_ = dacr; }
   u32 dacr() const { return dacr_; }
-  void set_asid(u32 asid) { asid_ = asid & 0xFFu; }
+  void set_asid(u32 asid) {
+    asid_ = asid & 0xFFu;
+    utlb_flush();
+  }
   u32 asid() const { return asid_; }
 
   // ---- TLB maintenance (driven by CP15 c8 operations) ----
@@ -55,6 +82,14 @@ class Mmu {
   TranslateResult translate(vaddr_t va, AccessKind kind, bool privileged);
 
   cache::Tlb& tlb() { return tlb_; }
+
+  /// Drop every micro-TLB entry (TTBR/ASID switches do this implicitly;
+  /// main-TLB maintenance invalidates via the generation check instead).
+  void utlb_flush() {
+    for (auto& u : utlb_) u.entry = nullptr;
+  }
+  const MicroTlbStats& micro_stats() const { return ustats_; }
+  void reset_micro_stats() { ustats_ = {}; }
 
  private:
   struct WalkOut {
@@ -78,6 +113,19 @@ class Mmu {
   paddr_t ttbr0_ = 0;
   u32 dacr_ = 0;
   u32 asid_ = 0;
+
+  // Micro-TLB: direct-mapped on the low bits of the virtual page. An entry
+  // is live while `entry != nullptr`, the (asid, vpage) key matches, and
+  // `gen` equals the main TLB's current generation.
+  static constexpr u32 kMicroTlbEntries = 16;  // power of two
+  struct MicroEntry {
+    const cache::TlbEntry* entry = nullptr;
+    vaddr_t vpage = 0;
+    u32 asid = 0;
+    u64 gen = 0;
+  };
+  std::array<MicroEntry, kMicroTlbEntries> utlb_{};
+  MicroTlbStats ustats_;
 };
 
 }  // namespace minova::mmu

@@ -210,7 +210,7 @@ u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
     // ABT entry: vector fetch + kernel abort handler (reads FSR/FAR,
     // decides the fault belongs to the guest), then the guest's own
     // handler runs.
-    TrapGuard trap(core, platform_.stats(),
+    TrapGuard trap(core, trap_counters_,
                    fault.instruction ? cpu::Exception::kPrefetchAbort
                                      : cpu::Exception::kDataAbort,
                    rg_vector_, TrapKind::kGuestFault);
@@ -222,7 +222,7 @@ u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
     pd.sysregs[7] = fault.address;
     trap.exec(rg_inject_);  // forced jump to the guest handler
   }
-  platform_.stats().counter("kernel.guest_faults") += 1;
+  c_guest_faults_.inc();
   platform_.trace().emit(platform_.clock().now(),
                          sim::TraceKind::kGuestFault, fault.fsr_status(),
                          pd.id());
@@ -237,7 +237,7 @@ void Kernel::vfp_access(ProtectionDomain& pd) {
   auto& core = platform_.cpu();
   {
     // UND trap: the VFP is disabled for non-owners; first touch faults.
-    TrapGuard trap(core, platform_.stats(), cpu::Exception::kUndefined,
+    TrapGuard trap(core, trap_counters_, cpu::Exception::kUndefined,
                    rg_vector_, TrapKind::kVfpSwitch);
     trap.exec(rg_handlers_[u32(Hypercall::kRegWrite)]);  // shared stub
     if (ProtectionDomain* old_owner = pd_by_id(vfp_owner_))
@@ -245,7 +245,7 @@ void Kernel::vfp_access(ProtectionDomain& pd) {
     pd.vcpu().restore_vfp(core);
     vfp_owner_ = pd.id();
   }
-  platform_.stats().counter("kernel.vfp_lazy_switches") += 1;
+  c_vfp_lazy_.inc();
 }
 
 // ---- the hypercall gate ------------------------------------------------------
@@ -259,7 +259,7 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
   if (args.number >= Hypercall::kCount) {
     // Unknown hypercall number: a buggy or malicious guest must not bring
     // the kernel down. Charge the trap, reject, resume the caller.
-    TrapGuard trap(core, platform_.stats(), cpu::Exception::kSupervisorCall,
+    TrapGuard trap(core, trap_counters_, cpu::Exception::kSupervisorCall,
                    rg_vector_, TrapKind::kHypercall);
     trap.exec(rg_hc_entry_);
     trap.exec(rg_hc_exit_);
@@ -272,7 +272,7 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
   HypercallResult res;
   cycles_t t0;
   {
-    TrapGuard trap(core, platform_.stats(), cpu::Exception::kSupervisorCall,
+    TrapGuard trap(core, trap_counters_, cpu::Exception::kSupervisorCall,
                    rg_vector_, TrapKind::kHypercall);
     t0 = trap.entry_time();
     trap.exec(rg_hc_entry_);
@@ -285,7 +285,7 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
     const Portal& portal = caller.portals().at(u32(args.number));
     trap.exec(rg_handlers_[portal.cost_region]);
     if (portal.denied()) {
-      platform_.stats().counter("kernel.portal_denied") += 1;
+      c_portal_denied_.inc();
       res.status = HcStatus::kDenied;
     } else {
       res = portal.handler(ops_, caller, args);
@@ -317,7 +317,7 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
 
 void Kernel::charge_service_call() {
   // A manager->kernel service call is a nested hypercall: full trap cost.
-  TrapGuard trap(platform_.cpu(), platform_.stats(),
+  TrapGuard trap(platform_.cpu(), trap_counters_,
                  cpu::Exception::kSupervisorCall, rg_vector_,
                  TrapKind::kServiceCall);
   trap.exec(rg_service_call_);

@@ -34,6 +34,7 @@
 #include "nova/kmem.hpp"
 #include "nova/pd.hpp"
 #include "nova/sched.hpp"
+#include "nova/trap.hpp"
 #include "util/log.hpp"
 
 namespace minova::nova {
@@ -231,7 +232,19 @@ class Kernel {
   // Bitstream store index.
   std::vector<std::pair<hwtask::TaskId, BitstreamLoc>> bitstreams_;
 
-  // Instrumentation.
+  // Instrumentation. Event counters are interned once here; hot kernel
+  // paths bump the handles instead of hashing counter names per event.
+  TrapCounters trap_counters_{platform_.stats()};
+  sim::CounterHandle c_guest_faults_{platform_.stats().handle(
+      "kernel.guest_faults")};
+  sim::CounterHandle c_vfp_lazy_{platform_.stats().handle(
+      "kernel.vfp_lazy_switches")};
+  sim::CounterHandle c_portal_denied_{platform_.stats().handle(
+      "kernel.portal_denied")};
+  sim::CounterHandle c_unrouted_irq_{platform_.stats().handle(
+      "kernel.unrouted_irq")};
+  sim::CounterHandle c_virq_injected_{platform_.stats().handle(
+      "kernel.virq_injected")};
   HwMgrLatencies hwmgr_lat_;
   u64 vm_switches_ = 0;
   u64 hypercalls_ = 0;

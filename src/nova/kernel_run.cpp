@@ -74,7 +74,7 @@ void Kernel::handle_pending_irqs() {
   while (gic.irq_asserted() && guard++ < 64) {
     bool spurious = false;
     {
-      TrapGuard trap(core, platform_.stats(), cpu::Exception::kIrq,
+      TrapGuard trap(core, trap_counters_, cpu::Exception::kIrq,
                      rg_vector_, TrapKind::kIrq);
       trap.exec(rg_irq_entry_);
       const u32 irq = gic.acknowledge();
@@ -130,7 +130,7 @@ void Kernel::route_irq(u32 irq) {
     return;
   }
   // Unrouted interrupt: count it; the kernel simply drops it.
-  platform_.stats().counter("kernel.unrouted_irq") += 1;
+  c_unrouted_irq_.inc();
   (void)core;
 }
 
@@ -160,6 +160,7 @@ void Kernel::deliver_virqs(ProtectionDomain& pd) {
   while (guard++ < 32) {
     const cycles_t t_inject = core.clock().now();
     if (!pd.vgic().take_pending_charged(core, irq)) break;
+    c_virq_injected_.inc();
     platform_.trace().emit(t_inject, sim::TraceKind::kVirqInject, irq,
                            pd.id());
     core.exec_code(rg_inject_);

@@ -2,19 +2,21 @@
 
 namespace minova::nova {
 
-namespace {
-// Counter names are interned once: trap entry must not allocate per event.
-const std::string kTrapCounterNames[u32(TrapKind::kCount)] = {
-    "kernel.trap.hypercall", "kernel.trap.irq", "kernel.trap.guest_fault",
-    "kernel.trap.vfp_switch", "kernel.trap.service_call"};
-}  // namespace
+TrapCounters::TrapCounters(sim::StatsRegistry& stats) {
+  // Counter names are interned once: trap entry must not hash per event.
+  static const char* const kNames[u32(TrapKind::kCount)] = {
+      "kernel.trap.hypercall", "kernel.trap.irq", "kernel.trap.guest_fault",
+      "kernel.trap.vfp_switch", "kernel.trap.service_call"};
+  for (u32 k = 0; k < u32(TrapKind::kCount); ++k)
+    by_kind_[k] = stats.handle(kNames[k]);
+}
 
-TrapGuard::TrapGuard(cpu::Core& core, sim::StatsRegistry& stats,
+TrapGuard::TrapGuard(cpu::Core& core, TrapCounters& counters,
                      cpu::Exception exc,
                      const cpu::CodeRegion& vector, TrapKind kind,
                      cpu::Mode resume)
     : core_(core), resume_(resume), t0_(core.clock().now()) {
-  stats.counter(kTrapCounterNames[u32(kind)]) += 1;
+  counters[kind].inc();
   core_.exception_enter(exc);
   core_.exec_code(vector);
 }

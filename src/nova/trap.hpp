@@ -11,8 +11,13 @@
 // The guard is also the single point where traps are counted: each kind
 // increments one `kernel.trap.<kind>` counter, giving the per-exception
 // event accounting the Table III instrumentation builds on. Counters are
-// free (no simulated cycles), so accounting never perturbs latency.
+// free (no simulated cycles), so accounting never perturbs latency. The
+// counters are interned once into `TrapCounters` (kernel construction
+// time), so trap entry bumps a raw slot instead of hashing a name per
+// event.
 #pragma once
+
+#include <array>
 
 #include "cpu/code_region.hpp"
 #include "cpu/core.hpp"
@@ -43,11 +48,24 @@ constexpr const char* trap_kind_name(TrapKind k) {
   return "?";
 }
 
+/// The `kernel.trap.<kind>` counters, resolved once into stable handles
+/// so the trap hot path never hashes a counter name.
+class TrapCounters {
+ public:
+  explicit TrapCounters(sim::StatsRegistry& stats);
+  sim::CounterHandle& operator[](TrapKind kind) {
+    return by_kind_[u32(kind)];
+  }
+
+ private:
+  std::array<sim::CounterHandle, u32(TrapKind::kCount)> by_kind_;
+};
+
 class TrapGuard {
  public:
   /// Enter the trap: records the pre-entry timestamp, bumps the trap
   /// counter, charges the exception entry and the vector fetch.
-  TrapGuard(cpu::Core& core, sim::StatsRegistry& stats, cpu::Exception exc,
+  TrapGuard(cpu::Core& core, TrapCounters& counters, cpu::Exception exc,
             const cpu::CodeRegion& vector, TrapKind kind,
             cpu::Mode resume = cpu::Mode::kUsr);
   /// Leave the trap: charges the exception return to `resume`.

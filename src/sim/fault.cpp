@@ -8,6 +8,12 @@ namespace minova::sim {
 FaultInjector::FaultInjector(Clock& clock, StatsRegistry& stats,
                              const FaultConfig& cfg)
     : clock_(clock), stats_(stats), cfg_(cfg) {
+  for (u32 i = 0; i < kNumFaultSites; ++i) {
+    const std::string base =
+        std::string("fault.") + fault_site_name(FaultSite(i));
+    sites_[i].c_attempts = stats_.handle(base + ".attempts");
+    sites_[i].c_injected = stats_.handle(base + ".injected");
+  }
   seed_streams();
 }
 
@@ -32,8 +38,7 @@ bool FaultInjector::should_fail(FaultSite site) {
   SiteState& st = sites_[u32(site)];
   const FaultSiteConfig& sc = cfg_.sites[u32(site)];
   const u64 attempt = st.attempts++;
-  const std::string name = fault_site_name(site);
-  ++stats_.counter("fault." + name + ".attempts");
+  st.c_attempts.inc();
 
   // Draw unconditionally so the stream position is a pure function of the
   // attempt index (a schedule hit must not shift later random decisions).
@@ -45,7 +50,7 @@ bool FaultInjector::should_fail(FaultSite site) {
 
   if (fail) {
     ++st.injected;
-    ++stats_.counter("fault." + name + ".injected");
+    st.c_injected.inc();
     records_.push_back({site, attempt, clock_.now()});
   }
   return fail;

@@ -130,6 +130,10 @@ class FaultInjector {
     util::Xoshiro256 rng{0};
     u64 attempts = 0;
     u64 injected = 0;
+    // `fault.<site>.attempts` / `.injected`, interned at construction so
+    // the per-probe path never builds a string or hashes a name.
+    CounterHandle c_attempts;
+    CounterHandle c_injected;
   };
 
   void seed_streams();

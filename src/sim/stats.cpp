@@ -22,14 +22,12 @@ double LatencyStat::mean() const {
 
 double LatencyStat::min() const {
   MINOVA_CHECK(!samples_.empty());
-  ensure_sorted();
-  return samples_.front();
+  return min_;
 }
 
 double LatencyStat::max() const {
   MINOVA_CHECK(!samples_.empty());
-  ensure_sorted();
-  return samples_.back();
+  return max_;
 }
 
 double LatencyStat::percentile(double p) const {
@@ -44,7 +42,8 @@ double LatencyStat::percentile(double p) const {
 }
 
 void StatsRegistry::reset() {
-  counters_.clear();
+  // Keep the counter nodes: CounterHandles point into them.
+  for (auto& [name, value] : counters_) value = 0;
   latencies_.clear();
 }
 

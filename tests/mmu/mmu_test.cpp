@@ -173,5 +173,58 @@ TEST_F(MmuTest, WalkerMatchesRawTranslation) {
   }
 }
 
+// ---- micro-TLB --------------------------------------------------------------
+
+TEST_F(MmuTest, MicroTlbHitsAfterFirstAccessAndKeepsMainStatsIdentical) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  // First access: walk (micro + main miss). Second: main hit fills micro.
+  EXPECT_TRUE(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).ok());
+  EXPECT_TRUE(mmu_.translate(0x0040'0004u, AccessKind::kRead, false).ok());
+  const u64 micro0 = mmu_.micro_stats().hits;
+  const u64 main_hits0 = tlb_.stats().hits;
+  const auto r = mmu_.translate(0x0040'0008u, AccessKind::kRead, false);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.tlb_hit);
+  EXPECT_EQ(r.pa, 0x0080'0008u);
+  EXPECT_EQ(mmu_.micro_stats().hits, micro0 + 1);
+  // A micro hit still counts as a main-TLB hit (touch): simulated hit/miss
+  // accounting is indistinguishable from the micro-TLB-less path.
+  EXPECT_EQ(tlb_.stats().hits, main_hits0 + 1);
+}
+
+TEST_F(MmuTest, MicroTlbInvalidatedByAsidSwitch) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);  // micro filled
+  mmu_.set_asid(2);  // CONTEXTIDR write drops the micro-TLB
+  const u64 micro_hits = mmu_.micro_stats().hits;
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  // ASID 2 has no mapping cached: the access walks (and faults or not per
+  // the table), but it must not be served from the stale micro entry.
+  EXPECT_EQ(mmu_.micro_stats().hits, micro_hits);
+  EXPECT_FALSE(r.tlb_hit);
+}
+
+TEST_F(MmuTest, MicroTlbInvalidatedByTlbMaintenance) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);  // micro filled
+  as_.unmap_page(0x0040'0000u);
+  mmu_.tlb_flush_va(0x0040'0000u);  // generation bump kills the micro entry
+  const auto r = mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  EXPECT_EQ(r.fault.type, FaultType::kTranslationL2);
+}
+
+TEST_F(MmuTest, MicroTlbServesStaleUntilFlushLikeRealHardware) {
+  as_.map_page(0x0040'0000u, 0x0080'0000u, MapAttrs{});
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  mmu_.translate(0x0040'0000u, AccessKind::kRead, false);
+  as_.unmap_page(0x0040'0000u);
+  // No TLB maintenance yet: both micro and main may serve the stale
+  // translation — exactly the hardware property StaleTlbEntryServedUntil-
+  // FlushVa pins for the main TLB.
+  EXPECT_TRUE(mmu_.translate(0x0040'0000u, AccessKind::kRead, false).ok());
+}
+
 }  // namespace
 }  // namespace minova::mmu
