@@ -1,0 +1,441 @@
+#include "fuzz/invariants.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "hwmgr/manager.hpp"
+#include "mem/address_map.hpp"
+#include "nova/kmem.hpp"
+#include "pl/prr_controller.hpp"
+
+namespace minova::fuzz {
+
+using nova::kInvalidPd;
+using nova::PdId;
+using nova::ProtectionDomain;
+
+const char* oracle_name(Oracle o) {
+  switch (o) {
+    case Oracle::kFrameExclusivity: return "frame-exclusivity";
+    case Oracle::kDacrMode: return "dacr-mode";
+    case Oracle::kIrqMaskDiscipline: return "irq-mask-discipline";
+    case Oracle::kIrqUnmaskDiscipline: return "irq-unmask-discipline";
+    case Oracle::kSchedPartition: return "sched-partition";
+    case Oracle::kQuantumBound: return "quantum-bound";
+    case Oracle::kPortalCaps: return "portal-caps";
+    case Oracle::kPrrOwnership: return "prr-ownership";
+    case Oracle::kHwMmuWindow: return "hwmmu-window";
+    case Oracle::kTlbCoherence: return "tlb-coherence";
+    case Oracle::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::string hex(u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void add(std::vector<Violation>& out, Oracle o, std::string detail) {
+  out.push_back(Violation{o, std::move(detail)});
+}
+
+/// Guest-reachable VA range the mapping scans sweep: guest kernel + user
+/// images, the hardware-task data section, and the chaos scratch window —
+/// everything below the first guaranteed-unmapped megabyte. The hardware
+/// task interface window is scanned separately (16 pages is enough to cover
+/// the manager's device windows and any client's register-group page).
+constexpr vaddr_t kScanLimit = 0x00D0'0000u;
+constexpr u32 kIfaceScanPages = 16;
+
+bool in_range(paddr_t pa, paddr_t base, u64 size) {
+  return pa >= base && pa < base + size;
+}
+
+}  // namespace
+
+bool InvariantSuite::is_heavy(Oracle o) {
+  switch (o) {
+    case Oracle::kFrameExclusivity:
+    case Oracle::kPrrOwnership:
+    case Oracle::kTlbCoherence:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void InvariantSuite::check(Oracle o, std::vector<Violation>& out) const {
+  switch (o) {
+    case Oracle::kFrameExclusivity: check_frame_exclusivity(out); break;
+    case Oracle::kDacrMode: check_dacr_mode(out); break;
+    case Oracle::kIrqMaskDiscipline: check_irq_mask(out); break;
+    case Oracle::kIrqUnmaskDiscipline: check_irq_unmask(out); break;
+    case Oracle::kSchedPartition: check_sched_partition(out); break;
+    case Oracle::kQuantumBound: check_quantum_bound(out); break;
+    case Oracle::kPortalCaps: check_portal_caps(out); break;
+    case Oracle::kPrrOwnership: check_prr_ownership(out); break;
+    case Oracle::kHwMmuWindow: check_hwmmu_window(out); break;
+    case Oracle::kTlbCoherence: check_tlb_coherence(out); break;
+    case Oracle::kCount: break;
+  }
+}
+
+std::vector<Violation> InvariantSuite::check_cheap() const {
+  std::vector<Violation> out;
+  for (u32 i = 0; i < kNumOracles; ++i)
+    if (!is_heavy(Oracle(i))) check(Oracle(i), out);
+  return out;
+}
+
+std::vector<Violation> InvariantSuite::check_heavy() const {
+  std::vector<Violation> out;
+  for (u32 i = 0; i < kNumOracles; ++i)
+    if (is_heavy(Oracle(i))) check(Oracle(i), out);
+  return out;
+}
+
+std::vector<Violation> InvariantSuite::check_all() const {
+  std::vector<Violation> out = check_cheap();
+  for (auto& v : check_heavy()) out.push_back(std::move(v));
+  return out;
+}
+
+// ---- (1) frame exclusivity --------------------------------------------------
+//
+// Sweep every PD's guest-reachable VA range and classify each mapped frame:
+// a VM may only reach its own physical slab, the manager only its image and
+// the bitstream store, and no two PDs may map the same private DRAM frame.
+// Deferred while the manager service is mid-update inside a client call.
+void InvariantSuite::check_frame_exclusivity(std::vector<Violation>& out) const {
+  if (insp_.in_manager_service()) return;
+  const ProtectionDomain* manager = insp_.manager();
+  // First mapper of each private DRAM frame (page number -> pd index).
+  std::map<paddr_t, u32> frame_owner;
+
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    const bool is_mgr = pd == manager;
+    const auto& space = pd->space();
+    for (vaddr_t va = 0; va < kScanLimit; va += mmu::kPageSize) {
+      if ((va & (kMiB - 1)) == 0 && !space.l1_present(va)) {
+        va += kMiB - mmu::kPageSize;  // skip the unmapped megabyte
+        continue;
+      }
+      const auto pa = space.translate_raw(va);
+      if (!pa) continue;
+      const bool ok =
+          is_mgr ? (in_range(*pa, nova::kManagerBase, nova::kManagerSize) ||
+                    in_range(*pa, nova::kBitstreamBase, nova::kBitstreamSize))
+                 : in_range(*pa, nova::vm_phys_base(pd->vm_index),
+                            nova::kVmPhysSize);
+      if (!ok) {
+        add(out, Oracle::kFrameExclusivity,
+            "pd '" + pd->name() + "' maps foreign frame pa=" + hex(*pa) +
+                " at va=" + hex(va));
+        continue;
+      }
+      if (is_mgr) continue;  // the manager's regions are exclusively its own
+      const paddr_t page = *pa >> 12;
+      const auto [it, inserted] = frame_owner.emplace(page, i);
+      if (!inserted && it->second != i)
+        add(out, Oracle::kFrameExclusivity,
+            "frame pa=" + hex(*pa) + " mapped by both '" +
+                insp_.pd(it->second)->name() + "' and '" + pd->name() +
+                "' (va=" + hex(va) + ")");
+    }
+  }
+}
+
+// ---- (2) DACR matches privilege mode (paper Table II) -----------------------
+void InvariantSuite::check_dacr_mode(std::vector<Violation>& out) const {
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    const u32 want =
+        pd->guest_in_kernel ? nova::dacr_guest_kernel() : nova::dacr_guest_user();
+    if (pd->vcpu().dacr() != want)
+      add(out, Oracle::kDacrMode,
+          "pd '" + pd->name() + "' " +
+              (pd->guest_in_kernel ? "in guest-kernel" : "in guest-user") +
+              " but saved dacr=" + hex(pd->vcpu().dacr()) + " (want " +
+              hex(want) + ")");
+  }
+  // The live MMU must carry the current PD's DACR (the hypercall gate runs
+  // on the host DACR but restores the caller's before the trap-exit event).
+  const ProtectionDomain* cur = insp_.current();
+  if (cur != nullptr) {
+    const u32 live = insp_.platform().cpu().mmu().dacr();
+    if (live != cur->vcpu().dacr())
+      add(out, Oracle::kDacrMode,
+          "live mmu dacr=" + hex(live) + " != current '" + cur->name() +
+              "' dacr=" + hex(cur->vcpu().dacr()));
+  }
+}
+
+// ---- (3) outgoing VMs' IRQ sources are masked -------------------------------
+//
+// Every physical source registered by a descheduled PD must be disabled at
+// the GIC — unless the *current* PD also has it registered and virtually
+// enabled (a legitimately shared source, e.g. after a PL IRQ reassignment
+// leaves the old client's record stale), or it is the devcfg/PCAP IRQ,
+// which stays boot-enabled so transfer completions arrive while the PCAP
+// owner is descheduled (completion routing, paper §IV.E stage 6).
+void InvariantSuite::check_irq_mask(std::vector<Violation>& out) const {
+  const ProtectionDomain* cur = insp_.current();
+  auto& gic = insp_.platform().gic();
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == cur) continue;
+    for (const auto& rec : pd->vgic().records()) {
+      if (rec.irq == 0 || rec.irq >= mem::kNumIrqs) continue;  // virtual-only
+      if (rec.irq == mem::kIrqDevcfg) continue;
+      if (!gic.is_enabled(rec.irq)) continue;
+      const bool shared_with_current =
+          cur != nullptr && cur->vgic().is_registered(rec.irq) &&
+          cur->vgic().is_enabled(rec.irq);
+      if (!shared_with_current)
+        add(out, Oracle::kIrqMaskDiscipline,
+            "irq " + std::to_string(rec.irq) + " of descheduled pd '" +
+                pd->name() + "' is unmasked at the GIC");
+    }
+  }
+}
+
+// ---- (4) current VM's enabled sources are unmasked --------------------------
+void InvariantSuite::check_irq_unmask(std::vector<Violation>& out) const {
+  const ProtectionDomain* cur = insp_.current();
+  if (cur == nullptr) return;
+  auto& gic = insp_.platform().gic();
+  for (const auto& rec : cur->vgic().records()) {
+    if (rec.irq == 0 || rec.irq >= mem::kNumIrqs) continue;
+    if (rec.irq == mem::kIrqDevcfg) continue;  // boot-enabled, shared routing
+    if (rec.enabled != gic.is_enabled(rec.irq))
+      add(out, Oracle::kIrqUnmaskDiscipline,
+          "current pd '" + cur->name() + "' irq " + std::to_string(rec.irq) +
+              (rec.enabled ? " virtually enabled but masked at the GIC"
+                           : " virtually disabled but unmasked at the GIC"));
+  }
+}
+
+// ---- (5) scheduler queues partition live PDs --------------------------------
+void InvariantSuite::check_sched_partition(std::vector<Violation>& out) const {
+  const auto& sched = insp_.scheduler();
+  std::map<const ProtectionDomain*, u32> seen;  // pd -> queue appearances
+  for (u32 prio = 0; prio < nova::Scheduler::kNumPriorities; ++prio)
+    for (const ProtectionDomain* pd : sched.level_queue(prio)) {
+      ++seen[pd];
+      if (pd->priority() != prio)
+        add(out, Oracle::kSchedPartition,
+            "pd '" + pd->name() + "' (prio " + std::to_string(pd->priority()) +
+                ") queued at level " + std::to_string(prio));
+    }
+  for (const ProtectionDomain* pd : sched.suspended_queue()) ++seen[pd];
+
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    const u32 n = seen.count(pd) ? seen[pd] : 0;
+    if (pd->state() == nova::PdState::kHalted) {
+      if (n != 0)
+        add(out, Oracle::kSchedPartition,
+            "halted pd '" + pd->name() + "' still queued");
+    } else if (n != 1) {
+      add(out, Oracle::kSchedPartition,
+          "pd '" + pd->name() + "' appears " + std::to_string(n) +
+              " times across run+suspend queues (want 1)");
+    }
+  }
+}
+
+// ---- (6) remaining quantum never exceeds the default slice ------------------
+void InvariantSuite::check_quantum_bound(std::vector<Violation>& out) const {
+  const cycles_t def = insp_.scheduler().default_quantum();
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    if (pd->quantum_left > def)
+      add(out, Oracle::kQuantumBound,
+          "pd '" + pd->name() + "' quantum_left=" +
+              std::to_string(pd->quantum_left) + " > default=" +
+              std::to_string(def));
+  }
+}
+
+// ---- (7) portal denial flags match capabilities -----------------------------
+void InvariantSuite::check_portal_caps(std::vector<Violation>& out) const {
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    for (u32 n = 0; n < nova::kNumHypercalls; ++n) {
+      const u32 need = nova::portal_required_caps(nova::Hypercall(n));
+      const bool should_deny = (pd->caps() & need) != need;
+      if (pd->portals().at(n).denied() != should_deny)
+        add(out, Oracle::kPortalCaps,
+            "pd '" + pd->name() + "' portal " + std::to_string(n) +
+                (should_deny ? " not denied despite missing caps (need "
+                             : " denied despite holding caps (need ") +
+                hex(need) + ", has " + hex(pd->caps()) + ")");
+    }
+  }
+}
+
+// ---- (8) PRR interface pages belong to exactly the client -------------------
+void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
+  if (mgr_ == nullptr || insp_.in_manager_service()) return;
+  const ProtectionDomain* manager = insp_.manager();
+  auto& ctl = insp_.platform().prr_controller();
+
+  // Per-entry checks: the client's interface VA resolves to this PRR's
+  // register-group page and the allocated PL IRQ routes to the client.
+  for (u32 idx = 0; idx < mgr_->num_prrs(); ++idx) {
+    const auto& e = mgr_->prr_entry(idx);
+    if (e.client == kInvalidPd) continue;  // released regions may keep state
+    const ProtectionDomain* client = nullptr;
+    for (u32 i = 0; i < insp_.pd_count(); ++i)
+      if (insp_.pd(i)->id() == e.client) client = insp_.pd(i);
+    if (client == nullptr || client == manager) {
+      add(out, Oracle::kPrrOwnership,
+          "prr " + std::to_string(idx) + " client id " +
+              std::to_string(e.client) + " is not a VM");
+      continue;
+    }
+    if (e.irq_index != 0xFFFF'FFFFu) {
+      const u32 gic_irq = pl::PrrController::gic_irq_for(e.irq_index);
+      if (insp_.irq_owner(gic_irq) != e.client)
+        add(out, Oracle::kPrrOwnership,
+            "prr " + std::to_string(idx) + " PL irq " +
+                std::to_string(gic_irq) + " routed to pd id " +
+                std::to_string(insp_.irq_owner(gic_irq)) + ", not client " +
+                std::to_string(e.client));
+    }
+  }
+
+  // Live-binding checks: for every (client, VA) -> PRR binding the manager
+  // holds, the client's VA must resolve to exactly that PRR's register-group
+  // page, and the PRR table must agree on who owns the region. (The per-PRR
+  // table may keep stale client/VA records for warm released regions, so the
+  // forward mapping check anchors here, not on the table.)
+  for (const auto& [key, idx] : mgr_->iface_bindings()) {
+    const auto [client_id, va] = key;
+    const ProtectionDomain* client = nullptr;
+    for (u32 i = 0; i < insp_.pd_count(); ++i)
+      if (insp_.pd(i)->id() == client_id) client = insp_.pd(i);
+    if (client == nullptr || client == manager) {
+      add(out, Oracle::kPrrOwnership,
+          "iface binding for pd id " + std::to_string(client_id) +
+              " which is not a VM");
+      continue;
+    }
+    if (idx >= mgr_->num_prrs() || mgr_->prr_entry(idx).client != client_id) {
+      add(out, Oracle::kPrrOwnership,
+          "iface binding '" + client->name() + "' va=" + hex(va) + " -> prr " +
+              std::to_string(idx) + " but table says client id " +
+              std::to_string(idx < mgr_->num_prrs()
+                                 ? u64(mgr_->prr_entry(idx).client)
+                                 : u64(kInvalidPd)));
+      continue;
+    }
+    const auto pa = client->space().translate_raw(va);
+    if (!pa || (*pa >> 12) != (ctl.reg_group_pa(idx) >> 12))
+      add(out, Oracle::kPrrOwnership,
+          "iface binding '" + client->name() + "' va=" + hex(va) +
+              (pa ? " maps " + hex(*pa) : " unmapped") + " (want " +
+              hex(ctl.reg_group_pa(idx)) + ")");
+  }
+
+  // Global scan: no PD may map a register-group page it does not own, and
+  // the global-control/PCAP device pages are manager-only.
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    for (u32 p = 0; p < kIfaceScanPages; ++p) {
+      const vaddr_t va = nova::kGuestHwIfaceVa + p * mmu::kPageSize;
+      const auto pa = pd->space().translate_raw(va);
+      if (!pa) continue;
+      if (in_range(*pa, mem::kPrrCtrlBase,
+                   mem::kPrrMaxRegions * mem::kPrrRegGroupStride)) {
+        const u32 idx = u32((*pa - mem::kPrrCtrlBase) / mem::kPrrRegGroupStride);
+        if (idx >= mgr_->num_prrs() || mgr_->prr_entry(idx).client != pd->id())
+          add(out, Oracle::kPrrOwnership,
+              "pd '" + pd->name() + "' maps register group of prr " +
+                  std::to_string(idx) + " it does not own (va=" + hex(va) +
+                  ")");
+      } else if ((in_range(*pa, mem::kPrrGlobalRegsBase, mmu::kPageSize) ||
+                  in_range(*pa, mem::kDevcfgBase, mem::kDevcfgSize)) &&
+                 pd != manager) {
+        add(out, Oracle::kPrrOwnership,
+            "pd '" + pd->name() + "' maps manager-only device page pa=" +
+                hex(*pa));
+      }
+    }
+  }
+}
+
+// ---- (9) hwMMU windows stay inside the client's data section ----------------
+void InvariantSuite::check_hwmmu_window(std::vector<Violation>& out) const {
+  if (mgr_ == nullptr || insp_.in_manager_service()) return;
+  auto& ctl = insp_.platform().prr_controller();
+  for (u32 idx = 0; idx < mgr_->num_prrs() && idx < ctl.num_prrs(); ++idx) {
+    const auto& e = mgr_->prr_entry(idx);
+    if (e.client == kInvalidPd) continue;  // release zeroes lazily
+    const ProtectionDomain* client = nullptr;
+    for (u32 i = 0; i < insp_.pd_count(); ++i)
+      if (insp_.pd(i)->id() == e.client) client = insp_.pd(i);
+    if (client == nullptr) continue;  // reported by the ownership oracle
+    const auto& p = ctl.prr(idx);
+    if (p.hwmmu_size == 0) continue;
+    if (p.hwmmu_base < client->hw_data_pa ||
+        paddr_t(p.hwmmu_base) + p.hwmmu_size >
+            paddr_t(client->hw_data_pa) + client->hw_data_size)
+      add(out, Oracle::kHwMmuWindow,
+          "prr " + std::to_string(idx) + " hwMMU window [" + hex(p.hwmmu_base) +
+              ", +" + hex(p.hwmmu_size) + ") outside client '" +
+              client->name() + "' data section [" + hex(client->hw_data_pa) +
+              ", +" + hex(client->hw_data_size) + ")");
+  }
+}
+
+// ---- (10) TLB contents agree with the page tables ---------------------------
+void InvariantSuite::check_tlb_coherence(std::vector<Violation>& out) const {
+  // ASID uniqueness first: the replay below needs asid -> PD to be a function.
+  std::map<u32, const ProtectionDomain*> by_asid;
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    const auto [it, inserted] = by_asid.emplace(pd->vcpu().asid(), pd);
+    if (!inserted)
+      add(out, Oracle::kTlbCoherence,
+          "asid " + std::to_string(pd->vcpu().asid()) + " shared by '" +
+              it->second->name() + "' and '" + pd->name() + "'");
+  }
+
+  const auto* kspace = insp_.kernel_space();
+  for (const auto& e : insp_.platform().cpu().tlb().entry_array()) {
+    if (!e.valid) continue;
+    const mmu::AddressSpace* space = nullptr;
+    std::string owner;
+    if (e.global) {
+      space = kspace;  // global mappings are identical in every space
+      owner = "kernel";
+    } else {
+      const auto it = by_asid.find(e.asid);
+      if (it == by_asid.end()) {
+        add(out, Oracle::kTlbCoherence,
+            "tlb entry vpage=" + hex(e.vpage) + " carries unknown asid " +
+                std::to_string(e.asid));
+        continue;
+      }
+      space = &it->second->space();
+      owner = it->second->name();
+    }
+    if (space == nullptr) continue;
+    // For a section entry, vpage/ppage hold the section base's 4K pages.
+    const vaddr_t va = e.vpage << 12;
+    const auto pa = space->translate_raw(va);
+    if (!pa || (*pa >> 12) != e.ppage)
+      add(out, Oracle::kTlbCoherence,
+          "tlb entry (" + owner + ") va=" + hex(va) + " caches ppage=" +
+              hex(e.ppage) + " but tables say " +
+              (pa ? hex(*pa >> 12) : std::string("unmapped")));
+  }
+}
+
+}  // namespace minova::fuzz

@@ -1,0 +1,135 @@
+// mininova_fuzz — scenario-fuzzing driver.
+//
+// Campaign mode (default): run `--seeds` scenarios starting at
+// `--seed-base`, checking the invariant suite after every kernel event.
+// Replay mode: `--seed N` runs exactly one scenario and prints its report.
+// `--shrink` reduces any failure to a minimal reproducer and verifies
+// bit-identical replay; `--out DIR` writes failing reports + shrunk
+// reproducers as files (CI artifact upload).
+//
+// Exit status: 0 when every scenario held all invariants, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+using minova::fuzz::FuzzResult;
+using minova::fuzz::ScenarioOptions;
+
+struct Args {
+  minova::u64 seed_base = 1000;
+  minova::u32 seeds = 20;
+  bool single = false;  // --seed given: replay exactly one scenario
+  minova::u64 seed = 0;
+  minova::u64 steps = 5000;
+  minova::u64 heavy = 64;
+  minova::u64 sabotage = 0;
+  bool do_shrink = false;
+  bool verbose = false;
+  std::string out_dir;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed-base") {
+      if (const char* v = val()) a.seed_base = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--seeds") {
+      if (const char* v = val()) a.seeds = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--seed") {
+      if (const char* v = val()) {
+        a.seed = std::strtoull(v, nullptr, 0);
+        a.single = true;
+      }
+    } else if (arg == "--steps") {
+      if (const char* v = val()) a.steps = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--heavy") {
+      if (const char* v = val()) a.heavy = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--sabotage") {
+      // Corrupt scheduler state at the given step: a self-test hook that
+      // demonstrates detection, replay, and shrinking on a known-bad run.
+      if (const char* v = val()) a.sabotage = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--shrink") {
+      a.do_shrink = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      a.verbose = true;
+    } else if (arg == "--out") {
+      if (const char* v = val()) a.out_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "mininova_fuzz [--seed-base N] [--seeds N] [--seed N] [--steps N]\n"
+          "              [--heavy N] [--sabotage STEP] [--shrink] [--out DIR]\n"
+          "              [--verbose]");
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_artifact(const std::string& dir, const std::string& name,
+                    const std::string& body) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream f(dir + "/" + name);
+  f << body;
+}
+
+int handle_failure(const Args& a, const ScenarioOptions& opts,
+                   const FuzzResult& res) {
+  std::fputs(res.report.c_str(), stdout);
+  std::string body = res.report;
+  if (a.do_shrink) {
+    const auto sh = minova::fuzz::shrink(opts, res);
+    std::printf(
+        "shrunk after %u runs -> %s\n  step=%llu digest=%016llx "
+        "bit_identical=%s\n",
+        sh.runs, describe(sh.minimal).c_str(),
+        (unsigned long long)sh.repro.step, (unsigned long long)sh.repro.digest,
+        sh.bit_identical ? "yes" : "NO");
+    body += "\nshrunk reproducer (" + std::to_string(sh.runs) +
+            " runs):\n  " + describe(sh.minimal) + "\n" + sh.repro.report;
+  }
+  write_artifact(a.out_dir, "seed-" + std::to_string(opts.seed) + ".txt", body);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return 2;
+
+  int rc = 0;
+  const minova::u64 first = a.single ? a.seed : a.seed_base;
+  const minova::u32 count = a.single ? 1 : a.seeds;
+  minova::u32 failures = 0;
+  for (minova::u32 i = 0; i < count; ++i) {
+    ScenarioOptions opts;
+    opts.seed = first + i;
+    opts.max_steps = a.steps;
+    opts.heavy_interval = a.heavy;
+    opts.sabotage_step = a.sabotage;
+    const FuzzResult res = minova::fuzz::run_scenario(opts);
+    if (res.failed) {
+      ++failures;
+      rc = handle_failure(a, opts, res);
+    } else if (a.verbose || a.single) {
+      std::fputs(res.report.c_str(), stdout);
+    }
+  }
+  std::printf("fuzz: %u scenario(s), %u failure(s)\n", count, failures);
+  return rc;
+}

@@ -1,0 +1,268 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "hwmgr/manager.hpp"
+#include "nova/kernel.hpp"
+#include "workloads/chaos.hpp"
+
+namespace minova::fuzz {
+
+namespace {
+
+// ---- FNV-1a ----------------------------------------------------------------
+
+struct Digest {
+  u64 h = 0xCBF2'9CE4'8422'2325ull;
+  void mix(u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFFu;
+      h *= 0x0000'0100'0000'01B3ull;
+    }
+  }
+  void mix(const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x0000'0100'0000'01B3ull;
+    }
+    mix(s.size());
+  }
+};
+
+/// Independent derivation stream keyed on (seed, lane). Used so that one
+/// lane's draws (e.g. VM 3's parameters) never depend on whether another
+/// lane was consulted — the property VM pruning needs.
+class Derive {
+ public:
+  Derive(u64 seed, u64 lane) : s_(seed ^ (0x9E37'79B9'7F4A'7C15ull * (lane + 1))) {}
+  u64 next() { return util::splitmix64(s_); }
+  u64 below(u64 bound) { return next() % bound; }
+
+ private:
+  u64 s_;
+};
+
+// Derivation lanes (keep stable: changing a lane re-derives old seeds).
+constexpr u64 kLaneGlobal = 0;
+constexpr u64 kLaneFaults = 1;
+constexpr u64 kLaneVmBase = 16;  // VM i uses lane kLaneVmBase + i
+
+std::string fmt_trace_tail(Platform& platform, std::size_t max_events) {
+  const auto events = platform.trace().snapshot();
+  const std::size_t n = std::min(events.size(), max_events);
+  std::string out;
+  char line[128];
+  for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+    const auto& e = events[i];
+    std::snprintf(line, sizeof line, "  %10.2fus  %-12s a=%u b=%u\n",
+                  platform.clock().cycles_to_us(e.when),
+                  sim::trace_kind_name(e.kind), e.a, e.b);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioOptions normalized(const ScenarioOptions& opts) {
+  ScenarioOptions o = opts;
+  if (o.num_vms == 0) {
+    Derive d(o.seed, kLaneGlobal);
+    o.num_vms = 2 + u32(d.below(7));  // 2..8
+  }
+  o.num_vms = std::min<u32>(o.num_vms, 8);
+  if ((o.active_mask & ((1u << o.num_vms) - 1)) == 0) o.active_mask = 1;
+  return o;
+}
+
+std::string describe(const ScenarioOptions& opts) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu steps=%llu vms=%u mask=0x%02x faults=%d hwtask=%d "
+                "ivc=%d mem=%d heavy=%llu sabotage=%llu",
+                (unsigned long long)opts.seed,
+                (unsigned long long)opts.max_steps, opts.num_vms,
+                opts.active_mask, opts.faults ? 1 : 0, opts.hwtask ? 1 : 0,
+                opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0,
+                (unsigned long long)opts.heavy_interval,
+                (unsigned long long)opts.sabotage_step);
+  return buf;
+}
+
+FuzzResult run_scenario(const ScenarioOptions& in) {
+  const ScenarioOptions opts = normalized(in);
+
+  // ---- platform: fault-injection schedule derived from the seed ----
+  PlatformConfig pcfg;
+  if (opts.faults) {
+    Derive d(opts.seed, kLaneFaults);
+    pcfg.fault.enabled = true;
+    pcfg.fault.seed = opts.seed ^ 0xFA17'0000ull;
+    for (u32 s = 0; s < sim::kNumFaultSites; ++s)
+      pcfg.fault.sites[s].probability = double(d.below(16)) / 100.0;  // 0..15%
+    pcfg.fault.stall_cycles = 50'000 + d.below(4) * 50'000;
+  }
+  Platform platform(pcfg);
+  platform.trace().set_enabled(true);
+
+  // ---- kernel: randomized quantum so switch interleavings vary ----
+  nova::KernelConfig kcfg;
+  {
+    Derive d(opts.seed, kLaneGlobal);
+    (void)d.next();  // consumed by normalized() for num_vms
+    kcfg.quantum_ms = 0.5 + double(d.below(101)) * 0.05;  // 0.5 .. 5.5 ms
+  }
+  nova::Kernel kernel(platform, kcfg);
+
+  hwmgr::ManagerService manager(kernel);
+  manager.install(/*priority=*/6);  // above every guest (levels 1..5)
+
+  // ---- chaos VMs (parameters per (seed, vm index), active set aside) ----
+  std::vector<nova::ProtectionDomain*> pds;
+  std::vector<workloads::ChaosGuest*> guests;
+  for (u32 i = 0; i < opts.num_vms; ++i) {
+    if (((opts.active_mask >> i) & 1) == 0) continue;
+    Derive d(opts.seed, kLaneVmBase + i);
+    workloads::ChaosConfig cfg;
+    cfg.seed = d.next();
+    cfg.mem_ops = opts.mem_ops;
+    cfg.hwtask_ops = opts.hwtask;
+    cfg.ivc_ops = opts.ivc;
+    cfg.max_ops_per_step = 2 + u32(d.below(4));
+    cfg.vtimer_period_us = 400 + u32(d.below(2400));
+    const u32 ntasks = 1 + u32(d.below(3));
+    for (u32 t = 0; t < ntasks; ++t)
+      cfg.tasks.push_back(hwtask::TaskId(1 + d.below(9)));
+    const u32 priority = 1 + u32(d.below(5));
+    auto guest = std::make_unique<workloads::ChaosGuest>(cfg);
+    workloads::ChaosGuest* raw = guest.get();
+    auto& pd = kernel.create_vm("chaos" + std::to_string(i), priority,
+                                std::move(guest));
+    pds.push_back(&pd);
+    guests.push_back(raw);
+  }
+
+  // ---- IVC ring over the instantiated VMs ----
+  if (opts.ivc && pds.size() >= 2) {
+    const u32 nch = pds.size() == 2 ? 1 : u32(pds.size());
+    for (u32 k = 0; k < nch; ++k) {
+      auto& ch = kernel.create_channel(*pds[k], *pds[(k + 1) % pds.size()]);
+      guests[k]->add_ivc_channel(ch.id());
+      guests[(k + 1) % pds.size()]->add_ivc_channel(ch.id());
+    }
+  }
+
+  // ---- invariant hook ----
+  nova::KernelInspector insp(kernel);
+  InvariantSuite suite(insp, &manager);
+
+  FuzzResult res;
+  res.seed = opts.seed;
+  bool done = false;
+  u64 step = 0;
+
+  auto record_failure = [&](std::vector<Violation> v) {
+    res.failed = true;
+    res.step = step;
+    res.violations = std::move(v);
+    // Failure digest: captured *at the violating step*, before any further
+    // simulation — this is the value replays must reproduce bit-identically.
+    Digest dg;
+    dg.mix(opts.seed);
+    dg.mix(step);
+    dg.mix(platform.clock().now());
+    dg.mix(insp.vm_switches());
+    dg.mix(insp.hypercalls());
+    for (const auto& v2 : res.violations) {
+      dg.mix(u64(v2.oracle));
+      dg.mix(v2.detail);
+    }
+    res.digest = dg.h;
+    done = true;
+  };
+
+  kernel.set_introspection_hook([&](nova::KernelEvent, nova::TrapKind) {
+    if (done) return;
+    ++step;
+    if (opts.sabotage_step != 0 && step == opts.sabotage_step && !pds.empty())
+      pds.front()->quantum_left =
+          insp.scheduler().default_quantum() * 2 + 12345;
+    std::vector<Violation> v = suite.check_cheap();
+    const bool last = step >= opts.max_steps;
+    if (step % opts.heavy_interval == 0 || last)
+      for (auto& hv : suite.check_heavy()) v.push_back(std::move(hv));
+    if (!v.empty()) {
+      record_failure(std::move(v));
+      return;
+    }
+    if (last) done = true;
+  });
+
+  // Drive in fixed simulated-time slices; the hook flags completion. Slice
+  // size only affects how much tail simulation runs after `done` — the
+  // failure state itself is captured inside the hook.
+  const double limit_us = opts.max_sim_ms * 1000.0;
+  double t = 0;
+  while (!done && t < limit_us) {
+    kernel.run_for_us(100.0);
+    t += 100.0;
+  }
+  kernel.set_introspection_hook({});
+
+  res.steps = step;
+  res.vm_switches = insp.vm_switches();
+  res.hypercalls = insp.hypercalls();
+
+  if (!res.failed) {
+    // Clean-run digest over end-of-run counters: replaying the same options
+    // must land on exactly this value.
+    Digest dg;
+    dg.mix(opts.seed);
+    dg.mix(step);
+    dg.mix(res.vm_switches);
+    dg.mix(res.hypercalls);
+    dg.mix(platform.fault().injected());
+    for (const auto* g : guests) {
+      const auto& s = g->stats();
+      dg.mix(s.ops);
+      dg.mix(s.hypercalls);
+      dg.mix(s.ok);
+      dg.mix(s.rejected);
+      dg.mix(s.faults);
+      dg.mix(s.virqs);
+      dg.mix(s.maps);
+      dg.mix(s.hw_grants);
+      dg.mix(s.hw_releases);
+      dg.mix(s.jobs_started);
+      dg.mix(s.ivc_sends);
+      dg.mix(s.ivc_recvs);
+    }
+    res.digest = dg.h;
+  }
+
+  // ---- report ----
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "[%s] %s\n  steps=%llu vm_switches=%llu hypercalls=%llu "
+                "faults_injected=%llu digest=%016llx\n",
+                res.failed ? "FAIL" : "ok", describe(opts).c_str(),
+                (unsigned long long)res.steps,
+                (unsigned long long)res.vm_switches,
+                (unsigned long long)res.hypercalls,
+                (unsigned long long)platform.fault().injected(),
+                (unsigned long long)res.digest);
+  res.report = head;
+  if (res.failed) {
+    res.report += "  first violation at step " + std::to_string(res.step) +
+                  ":\n";
+    for (const auto& v : res.violations)
+      res.report +=
+          std::string("    [") + oracle_name(v.oracle) + "] " + v.detail + "\n";
+    res.report += "  trace tail:\n" + fmt_trace_tail(platform, 30);
+  }
+  return res;
+}
+
+}  // namespace minova::fuzz

@@ -1,0 +1,84 @@
+// Seeded scenario generation and execution.
+//
+// One scenario = one seed. Everything about the run — VM count, per-VM
+// priorities and chaos-guest behaviour, the kernel's quantum, IVC wiring
+// and the fault-injection schedule — derives deterministically from the
+// seed, so a failing {seed, step} pair is a complete reproducer: rerunning
+// the same options replays the identical instruction-for-instruction
+// simulation and fails at the same step with the same digest.
+//
+// The shrinker relies on two structural properties of the derivation:
+//   * per-VM parameters come from independent splitmix streams keyed on
+//     (seed, vm index), so deactivating one VM (active_mask) does not
+//     change the remaining VMs' derived behaviour;
+//   * feature gates (faults / hwtask / ivc / mem_ops) prune whole event
+//     classes without re-deriving anything else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/invariants.hpp"
+
+namespace minova::fuzz {
+
+struct ScenarioOptions {
+  u64 seed = 1;
+  /// Trap-exit/VM-switch events to observe before declaring the run clean.
+  u64 max_steps = 5000;
+  /// Cadence of the scan-tier oracles (every N steps + once at the end).
+  u64 heavy_interval = 64;
+
+  // Feature gates — the shrinker clears these to prune event classes.
+  bool faults = true;   // seed-derived fault-injection probabilities (PR 1)
+  bool hwtask = true;   // chaos guests issue DPR task traffic
+  bool ivc = true;      // wire IVC channels between the VMs
+  bool mem_ops = true;  // chaos guests issue map/unmap/protect traffic
+
+  /// 0 derives 2..8 from the seed; the shrinker pins the derived value via
+  /// `normalized` before pruning.
+  u32 num_vms = 0;
+  /// Which of the derived VM slots to instantiate (bit i = VM i).
+  u32 active_mask = 0xFF;
+
+  /// Self-test hook: at this step (1-based, 0 = never) the runner corrupts
+  /// a scheduler field from inside the introspection hook, so an invariant
+  /// failure is *guaranteed* at exactly that step — the mechanism behind
+  /// the injected-failure replay and shrink acceptance tests.
+  u64 sabotage_step = 0;
+
+  /// Simulated-time ceiling: a scenario whose guests go quiet ends here
+  /// even if `max_steps` events never accumulate.
+  double max_sim_ms = 400.0;
+};
+
+/// Pin every seed-derived top-level choice (currently `num_vms`) so later
+/// option edits (pruning) cannot re-derive them differently.
+ScenarioOptions normalized(const ScenarioOptions& opts);
+
+struct FuzzResult {
+  bool failed = false;
+  u64 seed = 0;
+  /// 1-based index of the kernel event (trap exit / VM switch) at which the
+  /// first violation was observed.
+  u64 step = 0;
+  std::vector<Violation> violations;
+  /// FNV-1a digest: for failing runs, over the failure state captured at
+  /// the violating step (bit-identical across replays of the same options);
+  /// for clean runs, over the end-of-run counters.
+  u64 digest = 0;
+
+  u64 steps = 0;  // events observed
+  u64 vm_switches = 0;
+  u64 hypercalls = 0;
+  std::string report;  // human-readable summary (failure: includes trace)
+};
+
+/// Build the scenario for `opts` and run it to completion (violation,
+/// max_steps, or the simulated-time ceiling — whichever first).
+FuzzResult run_scenario(const ScenarioOptions& opts);
+
+/// One-line description of a scenario's options (reports / CI artifacts).
+std::string describe(const ScenarioOptions& opts);
+
+}  // namespace minova::fuzz

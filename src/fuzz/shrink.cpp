@@ -1,0 +1,89 @@
+#include "fuzz/shrink.hpp"
+
+namespace minova::fuzz {
+
+namespace {
+
+/// The shrink preserves the *first* oracle of the anchoring failure: a
+/// candidate only counts when it still trips that oracle (failing earlier
+/// or with extra violations is fine — failing with a different oracle is a
+/// different bug).
+bool same_oracle(const FuzzResult& a, const FuzzResult& b) {
+  if (!a.failed || !b.failed) return false;
+  if (a.violations.empty() || b.violations.empty()) return false;
+  for (const auto& v : b.violations)
+    if (v.oracle == a.violations.front().oracle) return true;
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioOptions& opts, const FuzzResult& failure) {
+  ShrinkResult out;
+  // Pin seed-derived choices so pruning edits can't re-derive them.
+  ScenarioOptions best = normalized(opts);
+  FuzzResult best_res = failure;
+
+  auto attempt = [&](const ScenarioOptions& cand) {
+    ++out.runs;
+    FuzzResult r = run_scenario(cand);
+    if (same_oracle(failure, r)) {
+      best = normalized(cand);
+      best_res = std::move(r);
+      return true;
+    }
+    return false;
+  };
+
+  auto bisect_steps = [&]() {
+    // The failure step is a hard lower bound: the run is deterministic, so
+    // any budget >= best_res.step reproduces it and any smaller budget
+    // cannot. One confirming run pins the exact-budget replay.
+    if (best.max_steps > best_res.step) {
+      ScenarioOptions cand = best;
+      cand.max_steps = best_res.step;
+      attempt(cand);
+    }
+  };
+
+  bisect_steps();
+
+  // Deactivate VMs one at a time (highest slot first so surviving indices
+  // keep their derivation lanes).
+  for (u32 i = best.num_vms; i-- > 0;) {
+    if (((best.active_mask >> i) & 1) == 0) continue;
+    ScenarioOptions cand = best;
+    cand.active_mask &= ~(1u << i);
+    if ((cand.active_mask & ((1u << cand.num_vms) - 1)) == 0)
+      continue;  // keep at least one VM
+    attempt(cand);
+  }
+
+  // Prune whole event classes.
+  for (int f = 0; f < 4; ++f) {
+    ScenarioOptions cand = best;
+    bool* gate = f == 0   ? &cand.faults
+                 : f == 1 ? &cand.hwtask
+                 : f == 2 ? &cand.ivc
+                          : &cand.mem_ops;
+    if (!*gate) continue;
+    *gate = false;
+    attempt(cand);
+  }
+
+  // Pruning may have moved the failure earlier: re-tighten the budget.
+  bisect_steps();
+
+  // Double replay: the acceptance property — the minimal reproducer fails
+  // at the same step with the same digest, twice.
+  const FuzzResult r1 = run_scenario(best);
+  const FuzzResult r2 = run_scenario(best);
+  out.runs += 2;
+  out.bit_identical = r1.failed && r2.failed && r1.step == r2.step &&
+                      r1.digest == r2.digest && same_oracle(failure, r1);
+  out.minimal = best;
+  out.repro = out.bit_identical ? r1 : best_res;
+  return out;
+}
+
+}  // namespace minova::fuzz

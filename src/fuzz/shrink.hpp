@@ -1,0 +1,29 @@
+// Reproducer shrinking.
+//
+// Given a failing scenario, find a smaller one that still fails with the
+// same oracle: bisect the step budget, deactivate VMs one at a time, prune
+// whole event classes (fault injection, DPR traffic, IVC, memory traffic),
+// then re-bisect. Every candidate is judged by a full deterministic re-run,
+// so the output is not a guess — it is a scenario that *was just observed*
+// to fail. The final reproducer is replayed twice and the two failure
+// digests compared, pinning bit-identical replayability.
+#pragma once
+
+#include "fuzz/scenario.hpp"
+
+namespace minova::fuzz {
+
+struct ShrinkResult {
+  ScenarioOptions minimal;  // smallest still-failing options found
+  FuzzResult repro;         // the failure that minimal scenario produces
+  u32 runs = 0;             // scenario executions spent shrinking
+  /// Two back-to-back replays of `minimal` failed at the same step with the
+  /// same digest.
+  bool bit_identical = false;
+};
+
+/// Shrink a known-failing scenario. `failure` must be the FuzzResult of
+/// running `opts` (used to anchor the oracle the shrink preserves).
+ShrinkResult shrink(const ScenarioOptions& opts, const FuzzResult& failure);
+
+}  // namespace minova::fuzz

@@ -272,11 +272,13 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
       kernel_.platform().prr_controller().reg_group_pa(u32(prr));
   const auto key = std::make_pair(req.client, req.iface_va);
   auto it = iface_map_.find(key);
+  bool fresh_map = false;
   if (it == iface_map_.end() || it->second != u32(prr)) {
     const HcStatus map_status =
         kernel_.svc_map_into(*pd_, req.client, req.iface_va, reg_pa);
     if (map_status != HcStatus::kSuccess) return map_status;
     iface_map_[key] = u32(prr);
+    fresh_map = true;
   }
 
   // Stage 4: load the hwMMU with the client's data section.
@@ -294,6 +296,15 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
   if (entry.task != req.task || needs_reconfig_forces_pcap(u32(prr), req.task)) {
     kernel_.svc_set_pcap_owner(*pd_, req.client);
     if (!launch_pcap(ctx, u32(prr), req.task)) {
+      // The grant dies here without reaching stage 6, so the PRR table never
+      // records this client — the interface page mapped in stage 3 must not
+      // survive, or a Busy-rejected applicant keeps reaching a register
+      // group the table says is free (and a later grant of the same region
+      // to another VM would share it).
+      if (fresh_map) {
+        kernel_.svc_unmap_from(*pd_, req.client, req.iface_va);
+        iface_map_.erase(key);
+      }
       ++stats_.busy_rejections;
       return HcStatus::kBusy;
     }

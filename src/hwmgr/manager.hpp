@@ -149,6 +149,14 @@ class ManagerService final : public nova::HwService {
   u32 num_prrs() const { return u32(prr_table_.size()); }
   const ManagerStats& stats() const { return stats_; }
 
+  /// Live (client, interface VA) -> PRR bindings. A PRR table entry may keep
+  /// a stale client/VA record after the same client re-grants through the
+  /// same window (warm-region cache); this map is the authoritative view of
+  /// which register-group page each client VA maps right now. Read-only —
+  /// used by the fuzzer's ownership oracle.
+  using IfaceBindings = std::map<std::pair<nova::PdId, vaddr_t>, u32>;
+  const IfaceBindings& iface_bindings() const { return iface_map_; }
+
  private:
   /// One in-flight (or decided) reconfiguration per client.
   struct PendingReconfig {

@@ -144,4 +144,8 @@ std::optional<paddr_t> AddressSpace::translate_raw(vaddr_t va) const {
   return std::nullopt;
 }
 
+bool AddressSpace::l1_present(vaddr_t va) const {
+  return L1Desc::decode(read_l1(l1_index(va))).type != L1Type::kFault;
+}
+
 }  // namespace minova::mmu

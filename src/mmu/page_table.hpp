@@ -77,6 +77,11 @@ class AddressSpace {
   /// debugging aid; also used by the kernel to validate guest arguments).
   std::optional<paddr_t> translate_raw(vaddr_t va) const;
 
+  /// True when the L1 entry covering `va` is present (a section or an L2
+  /// table pointer). Lets read-only scanners (fuzzer oracles) skip empty
+  /// megabytes without issuing per-page walks.
+  bool l1_present(vaddr_t va) const;
+
   /// Words of descriptor memory this space has touched; the VM-switch and
   /// map hypercall cost models charge cache accesses against these writes.
   u32 descriptor_writes() const { return descriptor_writes_; }

@@ -1,0 +1,63 @@
+// KernelInspector — a read-only facade over live kernel state.
+//
+// The fuzzer's invariant oracles (src/fuzz/invariants.*) need to see the
+// kernel's internals — protection domains, scheduler queues, IRQ routing
+// tables, the current PD — without any ability to mutate them and without
+// charging simulated cycles. This facade is the one sanctioned window:
+// every accessor is const and returns const views, so an oracle physically
+// cannot perturb the run it is observing. That property is what makes
+// invariant checks safe to run after *every* trap exit and VM switch
+// without breaking bit-identical seed replay.
+//
+// The facade is a friend of Kernel rather than a pile of public accessors:
+// introspection needs stay in one audited place instead of widening the
+// kernel's real interface.
+#pragma once
+
+#include "nova/kernel.hpp"
+
+namespace minova::nova {
+
+class KernelInspector {
+ public:
+  explicit KernelInspector(const Kernel& kernel) : k_(kernel) {}
+
+  u32 pd_count() const { return u32(k_.pds_.size()); }
+  const ProtectionDomain* pd(u32 idx) const {
+    return idx < k_.pds_.size() ? k_.pds_[idx].get() : nullptr;
+  }
+  const ProtectionDomain* current() const { return k_.current_; }
+  const ProtectionDomain* manager() const { return k_.manager_pd_; }
+
+  /// True while the synchronous manager service runs inside a client's
+  /// hardware-task hypercall: mapping/PRR tables are legitimately mid-update
+  /// in this window, so mapping-level oracles defer until the switch back.
+  bool in_manager_service() const {
+    return k_.manager_pd_ != nullptr && k_.current_ == k_.manager_pd_;
+  }
+
+  PdId irq_owner(u32 irq) const {
+    return irq < mem::kNumIrqs ? k_.irq_owner_[irq] : kInvalidPd;
+  }
+  PdId pcap_owner() const { return k_.pcap_owner_; }
+  PdId vfp_owner() const { return k_.vfp_owner_; }
+
+  const Scheduler& scheduler() const { return k_.sched_; }
+  const mmu::AddressSpace* kernel_space() const {
+    return k_.kernel_space_.get();
+  }
+  const KernelConfig& config() const { return k_.cfg_; }
+
+  // `platform_` is a reference member, so this stays non-const through a
+  // const Kernel. Oracles use it strictly for const queries (GIC enable
+  // bits, TLB entry array, PRR state); nothing here charges cycles.
+  Platform& platform() const { return k_.platform_; }
+
+  u64 vm_switches() const { return k_.vm_switches_; }
+  u64 hypercalls() const { return k_.hypercalls_; }
+
+ private:
+  const Kernel& k_;
+};
+
+}  // namespace minova::nova

@@ -226,6 +226,7 @@ u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
   platform_.trace().emit(platform_.clock().now(),
                          sim::TraceKind::kGuestFault, fault.fsr_status(),
                          pd.id());
+  notify_introspection(KernelEvent::kTrapExit, TrapKind::kGuestFault);
   return guest_faults_;
 }
 
@@ -246,6 +247,7 @@ void Kernel::vfp_access(ProtectionDomain& pd) {
     vfp_owner_ = pd.id();
   }
   c_vfp_lazy_.inc();
+  notify_introspection(KernelEvent::kTrapExit, TrapKind::kVfpSwitch);
 }
 
 // ---- the hypercall gate ------------------------------------------------------
@@ -265,6 +267,7 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
     trap.exec(rg_hc_exit_);
     HypercallResult res;
     res.status = HcStatus::kNotSupported;
+    notify_introspection(KernelEvent::kTrapExit, TrapKind::kHypercall);
     return res;
   }
   hw_req_t0_ = 0;
@@ -307,6 +310,7 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
     hwmgr_lat_.total_us.add(us(core.clock().now() - t0));
     hw_req_t0_ = 0;
   }
+  notify_introspection(KernelEvent::kTrapExit, TrapKind::kHypercall);
   return res;
 }
 
@@ -316,11 +320,14 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
 // hc_irq.cpp, svc_set_pcap_owner/svc_write_client_data in hc_hwtask.cpp.)
 
 void Kernel::charge_service_call() {
-  // A manager->kernel service call is a nested hypercall: full trap cost.
-  TrapGuard trap(platform_.cpu(), trap_counters_,
-                 cpu::Exception::kSupervisorCall, rg_vector_,
-                 TrapKind::kServiceCall);
-  trap.exec(rg_service_call_);
+  {
+    // A manager->kernel service call is a nested hypercall: full trap cost.
+    TrapGuard trap(platform_.cpu(), trap_counters_,
+                   cpu::Exception::kSupervisorCall, rg_vector_,
+                   TrapKind::kServiceCall);
+    trap.exec(rg_service_call_);
+  }
+  notify_introspection(KernelEvent::kTrapExit, TrapKind::kServiceCall);
 }
 
 }  // namespace minova::nova

@@ -20,6 +20,7 @@
 // (manager entry / execution / exit, PL IRQ entry).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,6 +90,18 @@ struct KernelConfig {
   u32 sz_handler_hw = 224;     // hardware-task request path
   u32 sz_service_call = 160;   // manager->kernel nested service calls
 };
+
+/// Introspection events: where an observer hook fires relative to kernel
+/// execution. Trap exits cover all five TrapKind paths; VM switches fire
+/// separately because a switch can happen inside a hypercall (the
+/// synchronous manager invocation) as well as from the run loop.
+enum class KernelEvent : u8 { kTrapExit = 0, kVmSwitch };
+
+/// Observer invoked after every trap exit and VM switch (fuzzer invariant
+/// oracles). The hook must be read-only with respect to simulated state:
+/// it runs outside all TrapGuard scopes and charges nothing, so installing
+/// it never perturbs simulated time or replay determinism.
+using IntrospectionHook = std::function<void(KernelEvent, TrapKind)>;
 
 /// Table III instrumentation: averages are computed over a run.
 struct HwMgrLatencies {
@@ -173,10 +186,17 @@ class Kernel {
   u64 vm_switch_count() const { return vm_switches_; }
   u64 hypercall_count() const { return hypercalls_; }
 
+  /// Install (or clear, with an empty function) the introspection hook.
+  void set_introspection_hook(IntrospectionHook hook) {
+    hook_ = std::move(hook);
+  }
+
  private:
   // KernelOps is the one window handler units get onto kernel state; its
   // accessor bodies live in kernel.cpp next to the state they expose.
   friend class KernelOps;
+  // Read-only facade over kernel state for the fuzzer's invariant oracles.
+  friend class KernelInspector;
 
   // -- run-loop pieces --
   void boot();
@@ -191,6 +211,9 @@ class Kernel {
   void charge_service_call();
   GuestContext make_ctx(ProtectionDomain& pd) {
     return GuestContext(*this, pd, platform_.cpu());
+  }
+  void notify_introspection(KernelEvent ev, TrapKind kind) {
+    if (hook_) hook_(ev, kind);
   }
 
   Platform& platform_;
@@ -254,6 +277,7 @@ class Kernel {
   cycles_t hw_entry_end_ = 0;
   cycles_t hw_exec_end_ = 0;
 
+  IntrospectionHook hook_;
   std::string console_;
   std::vector<u8> sd_image_;
   u32 next_asid_ = 1;

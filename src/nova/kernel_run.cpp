@@ -96,6 +96,7 @@ void Kernel::handle_pending_irqs() {
       }
     }
     if (spurious) break;
+    notify_introspection(KernelEvent::kTrapExit, TrapKind::kIrq);
     platform_.pump();
   }
 }
@@ -197,6 +198,7 @@ void Kernel::vm_switch(ProtectionDomain* to) {
   to->vgic().unmask_enabled_physical(core);
   current_ = to;
   ++vm_switches_;
+  notify_introspection(KernelEvent::kVmSwitch, TrapKind::kCount);
 }
 
 }  // namespace minova::nova

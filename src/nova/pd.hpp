@@ -67,7 +67,15 @@ class ProtectionDomain {
   Vcpu& vcpu() { return vcpu_; }
   const Vcpu& vcpu() const { return vcpu_; }
   VGic& vgic() { return vgic_; }
+  const VGic& vgic() const { return vgic_; }
   mmu::AddressSpace& space() { return *space_; }
+  const mmu::AddressSpace& space() const { return *space_; }
+
+  /// Mutation hook for oracle sanity tests ONLY: overwrites the capability
+  /// mask *without* rebuilding the portal table, deliberately seeding a
+  /// caps/portal inconsistency for the fuzzer's invariant suite to catch.
+  /// Production code must never call this.
+  void set_caps_for_test(u32 caps) { caps_ = caps; }
 
   void attach_guest(std::unique_ptr<GuestOs> guest) {
     guest_ = std::move(guest);

@@ -56,6 +56,14 @@ class Scheduler {
 
   std::size_t runnable_count() const;
 
+  /// Read-only queue views (KernelInspector / fuzzer oracles).
+  const std::list<ProtectionDomain*>& level_queue(u32 prio) const {
+    return levels_[prio];
+  }
+  const std::list<ProtectionDomain*>& suspended_queue() const {
+    return suspended_;
+  }
+
  private:
   std::list<ProtectionDomain*>& level(u32 prio) { return levels_[prio]; }
 

@@ -26,8 +26,13 @@ void Vcpu::save_active(cpu::Core& core) {
   for (unsigned i = 0; i < 16; ++i)
     regs_[i] = core.regs().get(cpu::Mode::kUsr, i);
   psr_ = core.cpsr();
-  ttbr0_ = core.mmu().ttbr0();
-  dacr_ = core.mmu().dacr();
+  // TTBR/DACR/ASID are NOT captured from the live MMU: a guest cannot
+  // change them (privilege flips go through kSetGuestMode, which updates
+  // this mirror directly), and a VM switch can happen mid-hypercall while
+  // the *host* DACR is loaded — snapshotting CP15 there would leak the
+  // kernel's all-domains DACR into a guest-user vCPU (Table II violation;
+  // found by the fuzzer's dacr-mode oracle). The mirrors stay authoritative;
+  // the save still streams the full frame through the cache model below.
   touch_area(core, kActiveWords, /*write=*/true);
   core.spend(kActiveWords / 2);  // STM pipeline overhead
 }

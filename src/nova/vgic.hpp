@@ -72,6 +72,12 @@ class VGic {
 
   u32 registered_count() const;
 
+  /// Read-only view of the record list (introspection / fuzzer oracles).
+  /// Slots with `irq == 0` are empty.
+  const std::array<VirqRecord, kMaxEntries>& records() const {
+    return records_;
+  }
+
  private:
   const VirqRecord* find(u32 irq) const;
   VirqRecord* find(u32 irq);

@@ -1,0 +1,138 @@
+// Scenario engine properties: determinism, failure replay, and shrinking.
+//
+// The fuzzer's contract is that {seed, step} is a complete reproducer.
+// These tests pin the three pieces that make that true: a scenario replays
+// bit-identically (same digest) from its options alone; an injected failure
+// reproduces at exactly its recorded step with the same digest; and the
+// shrinker's minimal reproducer still fails with the anchoring oracle and
+// replays bit-identically twice.
+#include "fuzz/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fuzz/shrink.hpp"
+
+namespace minova::fuzz {
+namespace {
+
+ScenarioOptions smoke_opts(u64 seed, u64 steps = 1200) {
+  ScenarioOptions o;
+  o.seed = seed;
+  o.max_steps = steps;
+  return o;
+}
+
+TEST(FuzzScenario, CleanRunReplaysBitIdentically) {
+  const ScenarioOptions opts = smoke_opts(42);
+  const FuzzResult a = run_scenario(opts);
+  const FuzzResult b = run_scenario(opts);
+  ASSERT_FALSE(a.failed) << a.report;
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.vm_switches, b.vm_switches);
+  EXPECT_EQ(a.hypercalls, b.hypercalls);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(FuzzScenario, DistinctSeedsDiverge) {
+  // Not a tautology: a digest that ignored the run would pass the replay
+  // test above. Two seeds agreeing on every counter is astronomically
+  // unlikely with live randomization.
+  const FuzzResult a = run_scenario(smoke_opts(1));
+  const FuzzResult b = run_scenario(smoke_opts(2));
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(FuzzScenario, NormalizedPinsSeedDerivedVmCount) {
+  const ScenarioOptions opts = smoke_opts(7);
+  const ScenarioOptions n1 = normalized(opts);
+  EXPECT_GE(n1.num_vms, 2u);
+  EXPECT_LE(n1.num_vms, 8u);
+  // Pinning is idempotent, and editing unrelated options cannot re-derive.
+  ScenarioOptions edited = n1;
+  edited.faults = false;
+  edited.max_steps = 17;
+  EXPECT_EQ(normalized(edited).num_vms, n1.num_vms);
+}
+
+TEST(FuzzScenario, InjectedFailureReproducesFromSeedAndStep) {
+  // The sabotage hook corrupts scheduler state at a chosen step, so the
+  // quantum oracle *must* fire there — this is the fuzzer detecting a
+  // genuinely seeded kernel-state mutant end-to-end.
+  ScenarioOptions opts = smoke_opts(77, 1500);
+  opts.sabotage_step = 300;
+  const FuzzResult a = run_scenario(opts);
+  ASSERT_TRUE(a.failed) << a.report;
+  EXPECT_EQ(a.step, 300u);
+  ASSERT_FALSE(a.violations.empty());
+  EXPECT_EQ(a.violations.front().oracle, Oracle::kQuantumBound);
+  EXPECT_FALSE(a.report.find("trace tail") == std::string::npos);
+
+  // Bit-identical replay from {seed, step}: same failing step, same digest.
+  const FuzzResult b = run_scenario(opts);
+  ASSERT_TRUE(b.failed);
+  EXPECT_EQ(b.step, a.step);
+  EXPECT_EQ(b.digest, a.digest);
+}
+
+TEST(FuzzScenario, ShrinkerProducesMinimalBitIdenticalReproducer) {
+  ScenarioOptions opts = smoke_opts(91, 2000);
+  opts.sabotage_step = 450;
+  const FuzzResult failure = run_scenario(opts);
+  ASSERT_TRUE(failure.failed) << failure.report;
+
+  const ShrinkResult sh = shrink(opts, failure);
+  EXPECT_TRUE(sh.bit_identical);
+  EXPECT_GT(sh.runs, 0u);
+  // Step budget tightened to the failing step, and the reproducer still
+  // trips the anchoring oracle.
+  EXPECT_EQ(sh.minimal.max_steps, sh.repro.step);
+  ASSERT_TRUE(sh.repro.failed);
+  ASSERT_FALSE(sh.repro.violations.empty());
+  EXPECT_EQ(sh.repro.violations.front().oracle,
+            failure.violations.front().oracle);
+  // The sabotage targets one PD's state: every VM the mutation doesn't
+  // touch is prunable, so the shrinker must have dropped at least one
+  // (every derived scenario has >= 2 VMs).
+  const u32 live = u32(__builtin_popcount(
+      sh.minimal.active_mask & ((1u << sh.minimal.num_vms) - 1)));
+  EXPECT_LT(live, sh.minimal.num_vms);
+}
+
+TEST(FuzzScenario, ShrunkReproducerStableUnderPrunedFeatureGates) {
+  // Feature gates prune independent derivation lanes: a gate the failure
+  // doesn't depend on can be cleared without moving the failing step.
+  ScenarioOptions opts = smoke_opts(123, 1000);
+  opts.sabotage_step = 200;
+  const FuzzResult base = run_scenario(opts);
+  ASSERT_TRUE(base.failed);
+
+  ScenarioOptions pruned = normalized(opts);
+  pruned.faults = false;  // sabotage is hook-level; fault lane independent
+  const FuzzResult r = run_scenario(pruned);
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.step, 200u);
+  EXPECT_EQ(r.violations.front().oracle, base.violations.front().oracle);
+}
+
+TEST(FuzzScenario, ScenariosExerciseTheWholeSystem) {
+  // The corpus is only worth its runtime if scenarios actually compose
+  // mechanisms: VM switches, hypercalls and injected faults must all be
+  // live in an ordinary run.
+  const FuzzResult r = run_scenario(smoke_opts(5, 3000));
+  ASSERT_FALSE(r.failed) << r.report;
+  EXPECT_EQ(r.steps, 3000u);
+  EXPECT_GT(r.vm_switches, 50u);
+  EXPECT_GT(r.hypercalls, 500u);
+}
+
+TEST(FuzzScenario, DescribeRoundTripsTheKnobs) {
+  ScenarioOptions opts = smoke_opts(9, 77);
+  opts.hwtask = false;
+  const std::string d = describe(opts);
+  EXPECT_NE(d.find("seed=9"), std::string::npos);
+  EXPECT_NE(d.find("steps=77"), std::string::npos);
+  EXPECT_NE(d.find("hwtask=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace minova::fuzz

@@ -166,6 +166,64 @@ TEST_F(SchedPropertyTest, PreemptionByHigherPriorityKeepsVictimSlice) {
   EXPECT_EQ(low->quantum_left, 250u);  // resumes exactly where it left off
 }
 
+TEST_F(SchedPropertyTest, QuantumPreservedAtEveryCycleOffset) {
+  // Exhaustive preemption-offset sweep (§III.D): preempt the PD after every
+  // possible number c of consumed cycles, 0..kQuantum. At every offset the
+  // remainder must survive both preemption mechanisms — suspension and a
+  // higher-priority arrival — so consumed + remaining == kQuantum holds
+  // throughout; only c == kQuantum (expiry) re-arms the slice.
+  auto high_space = builder_.build_kernel_space();
+  ProtectionDomain high(PdId(99), "high", /*priority=*/5, heap_,
+                        platform_.gic(), 42, std::move(high_space), kCapNone);
+  for (cycles_t c = 0; c <= kQuantum; ++c) {
+    Scheduler sched(kQuantum);
+    ProtectionDomain* pd = pds_[0].get();
+    pd->quantum_left = 0;  // no slice pending from the previous offset
+    sched.enqueue(pd);
+    ASSERT_EQ(pd->quantum_left, kQuantum);
+
+    pd->quantum_left -= c;  // the kernel charged c cycles of the slice
+    if (c == kQuantum) {
+      // Expiry: the one re-arm point.
+      sched.rotate(pd);
+      ASSERT_EQ(pd->quantum_left, kQuantum) << "offset " << c;
+      continue;
+    }
+    // Preemption by suspension (yield/park) and resume.
+    sched.suspend(pd);
+    sched.enqueue(pd);
+    ASSERT_EQ(c + pd->quantum_left, kQuantum) << "offset " << c;
+    // Preemption by a higher-priority arrival; the victim stays queued.
+    sched.enqueue(&high);
+    ASSERT_EQ(sched.pick(), &high);
+    ASSERT_EQ(c + pd->quantum_left, kQuantum) << "offset " << c;
+    sched.remove(&high);
+    ASSERT_EQ(sched.pick(), pd);
+    ASSERT_EQ(c + pd->quantum_left, kQuantum) << "offset " << c;
+  }
+}
+
+TEST_F(SchedPropertyTest, ExpiryReArmsFullQuantumAtBackOfLevel) {
+  // The rotate contract, checked against the queue structure itself: an
+  // expired PD leaves the head, re-arms the *full* quantum, and re-enters
+  // at the back of its own level — behind every peer, never mid-queue.
+  constexpr u32 kPrio = 2;  // all fixture PDs share this level
+  for (auto& pd : pds_) {
+    pd->quantum_left = 0;
+    sched_.enqueue(pd.get());
+  }
+  for (u32 round = 0; round < 4 * u32(pds_.size()); ++round) {
+    ProtectionDomain* head = sched_.pick();
+    ASSERT_NE(head, nullptr);
+    ASSERT_EQ(head, sched_.level_queue(kPrio).front());
+    head->quantum_left = 0;
+    sched_.rotate(head);
+    EXPECT_EQ(head->quantum_left, kQuantum) << "round " << round;
+    EXPECT_EQ(sched_.level_queue(kPrio).back(), head) << "round " << round;
+    EXPECT_NE(sched_.pick(), head);  // the other five are all ahead now
+  }
+}
+
 TEST_F(SchedPropertyTest, NoStarvationWithinNQuantaAtOneLevel) {
   // Round-robin fairness: with N runnable equal-priority PDs, every PD must
   // be dispatched at least once within any window of N quantum expiries.

@@ -20,8 +20,14 @@ TEST_F(VcpuTest, SaveRestoreRoundTripsRegisters) {
   auto& core = platform_.cpu();
 
   for (unsigned i = 0; i < 16; ++i) core.regs().set(cpu::Mode::kUsr, i, 100 + i);
-  core.mmu().set_ttbr0(0x4000);
-  core.mmu().set_dacr(0x5);
+  // TTBR/DACR live in the vCPU mirror (kernel updates it via kSetGuestMode /
+  // address-space setup); save_active deliberately does NOT snapshot the live
+  // MMU — a save can run mid-hypercall while the host DACR is loaded, and
+  // snapshotting there would leak the kernel's all-domains DACR into the
+  // guest frame.
+  a.set_mmu_context(0x4000, 0x5);
+  core.mmu().set_ttbr0(0xDEAD'0000);  // host values a save must not capture
+  core.mmu().set_dacr(0xFFFF'FFFF);
   a.save_active(core);
 
   // Clobber with b's (zero) state, then restore a.
