@@ -6,13 +6,46 @@
 // modeled kernel text bytes, kernel heap / page-table consumption and the
 // physical-memory reservation per subsystem.
 //
+// It also prints the per-VM kernel-object footprint (density tentpole):
+// what one more VM costs in kernel heap and page-table pool bytes, eager
+// vs lazy boot, measured by differencing live accounting around create_vm.
+//
 // Usage: bench_footprint
 #include <cstdio>
+#include <memory>
 
+#include "density.hpp"
 #include "ucos/system.hpp"
 #include "util/table.hpp"
 
 using namespace minova;
+
+namespace {
+
+struct PerVmCost {
+  u32 heap_bytes = 0;  // vCPU save area + vGIC list + IVC-free objects
+  u32 pt_bytes = 0;    // L1 + L2 tables
+};
+
+/// Marginal cost of the (n+1)-th VM: difference of live accounting around
+/// one create_vm. `materialize` forces a lazy VM's first touch first.
+PerVmCost marginal_vm_cost(bool lazy, bool materialize) {
+  Platform platform;
+  nova::KernelConfig kcfg;
+  kcfg.lazy_vm_boot = lazy;
+  nova::Kernel kernel(platform, kcfg);
+  kernel.create_vm("base", 1, std::make_unique<bench::DensityGuest>());
+
+  const u32 heap0 = kernel.heap().bytes_live();
+  const u32 pt0 = kernel.pt_pool().bytes_live();
+  auto& pd =
+      kernel.create_vm("probe", 1, std::make_unique<bench::DensityGuest>());
+  if (materialize) kernel.ensure_space(pd);
+  return {kernel.heap().bytes_live() - heap0,
+          kernel.pt_pool().bytes_live() - pt0};
+}
+
+}  // namespace
 
 int main() {
   ucos::SystemConfig cfg;
@@ -43,5 +76,22 @@ int main() {
                  " KiB",
              "n/a"});
   std::fputs(t.to_string().c_str(), stdout);
+
+  const PerVmCost eager = marginal_vm_cost(/*lazy=*/false, false);
+  const PerVmCost lazy = marginal_vm_cost(/*lazy=*/true, false);
+  const PerVmCost mat = marginal_vm_cost(/*lazy=*/true, true);
+  std::printf("\n=== per-VM kernel-object footprint (density) ===\n\n");
+  util::TextTable pv({"configuration", "kernel heap B/VM", "page tables B/VM"});
+  pv.add_row({"eager boot", std::to_string(eager.heap_bytes),
+              std::to_string(eager.pt_bytes)});
+  pv.add_row({"lazy boot, before first touch", std::to_string(lazy.heap_bytes),
+              std::to_string(lazy.pt_bytes)});
+  pv.add_row({"lazy boot, after first touch", std::to_string(mat.heap_bytes),
+              std::to_string(mat.pt_bytes)});
+  std::fputs(pv.to_string().c_str(), stdout);
+  std::printf(
+      "\n(plus one %u B control-block carve per VM and, for VMs inside the\n"
+      "slab window, a %u MiB physical memory reservation)\n",
+      nova::kPdCtrlBytes, nova::kVmPhysSize / kMiB);
   return 0;
 }

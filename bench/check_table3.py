@@ -18,11 +18,39 @@ import pathlib
 import sys
 
 REL_TOL = 1e-9
+# Density acceptance: per-switch cost flat within 10% across 8 -> 1024 VMs.
+DENSITY_SPREAD_MAX = 0.10
 
 
 def fail(msg: str) -> None:
     print(f"check_table3: FAIL: {msg}")
     sys.exit(1)
+
+
+def check_density(density: dict) -> None:
+    """Validate the VM-density section: O(1) switch cost and leak-free churn.
+
+    These are acceptance thresholds rather than golden values: the curve
+    shape is the claim, exact cycle counts may legitimately shift when the
+    switch path itself changes (the Table III golden catches that).
+    """
+    vms = density.get("vms", [])
+    cyc = density.get("sim_cycles_per_switch", [])
+    if len(vms) < 2 or len(cyc) != len(vms):
+        fail("density section malformed (need matched vms/cycles arrays)")
+    lo, hi = min(cyc), max(cyc)
+    if lo <= 0:
+        fail("density sweep measured no switches")
+    spread = hi / lo - 1.0
+    if spread >= DENSITY_SPREAD_MAX:
+        fail(f"switch cost not flat: {spread:.2%} spread across "
+             f"{vms[0]} -> {vms[-1]} VMs (max {DENSITY_SPREAD_MAX:.0%})")
+    churn = density.get("churn", {})
+    if churn.get("heap_flat") is not True:
+        fail(f"churn cycles grew the kernel heap: {churn}")
+    print(f"check_table3: density OK — {spread:.2%} switch-cost spread over "
+          f"{vms[0]}..{vms[-1]} VMs, churn heap flat "
+          f"({churn.get('vms_destroyed')} VMs destroyed)")
 
 
 def main() -> None:
@@ -69,6 +97,10 @@ def main() -> None:
         fail(f"{bad} simulated value(s) diverged from golden")
     print(f"check_table3: OK — {len(golden['sim_rows'])} rows bit-identical "
           f"to {golden_path.name}")
+
+    density = results.get("density")
+    if density is not None:
+        check_density(density)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "density.hpp"
 #include "harness.hpp"
 #include "selftime.hpp"
 
@@ -43,6 +44,12 @@ int main(int argc, char** argv) {
 
   std::printf("run_all: self-timing mixes ...\n");
   const auto mixes = bench::run_all_mixes();
+
+  std::printf("run_all: density sweep 8 -> 1024 VMs ...\n");
+  std::vector<bench::DensityPoint> density;
+  for (u32 n : bench::density_sweep())
+    density.push_back(bench::measure_density(n));
+  const bench::ChurnResult churn = bench::run_churn(1024, 3);
 
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -113,7 +120,39 @@ int main(int argc, char** argv) {
                  jd(m.sim_us_per_host_s).c_str(),
                  i + 1 < mixes.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"density\": {\n");
+  const auto density_row = [&](const char* name, auto get, bool last = false) {
+    std::fprintf(f, "    \"%s\": [", name);
+    for (std::size_t i = 0; i < density.size(); ++i)
+      std::fprintf(f, "%s%s", get(density[i]).c_str(),
+                   i + 1 < density.size() ? ", " : "");
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+  };
+  density_row("vms", [](const bench::DensityPoint& p) {
+    return std::to_string(p.vms);
+  });
+  density_row("switches", [](const bench::DensityPoint& p) {
+    return std::to_string(p.switches);
+  });
+  density_row("sim_cycles_per_switch", [&](const bench::DensityPoint& p) {
+    return jd(p.sim_cycles_per_switch);
+  });
+  density_row("heap_bytes_per_vm", [&](const bench::DensityPoint& p) {
+    return jd(p.heap_bytes_per_vm);
+  });
+  density_row("asid_generation", [](const bench::DensityPoint& p) {
+    return std::to_string(p.asid_generation);
+  });
+  density_row("host_ns_per_switch", [&](const bench::DensityPoint& p) {
+    return jd(p.host_ns_per_switch);
+  });
+  std::fprintf(f,
+               "    \"churn\": {\"vms\": %u, \"cycles\": %u, "
+               "\"heap_flat\": %s, \"vms_destroyed\": %llu, "
+               "\"asid_generation\": %u}\n",
+               churn.vms, churn.cycles, churn.heap_flat ? "true" : "false",
+               (unsigned long long)churn.vms_destroyed, churn.asid_generation);
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
 
   std::printf("run_all: wrote %s\n", out_path);

@@ -26,6 +26,8 @@ const char* oracle_name(Oracle o) {
     case Oracle::kPrrOwnership: return "prr-ownership";
     case Oracle::kHwMmuWindow: return "hwmmu-window";
     case Oracle::kTlbCoherence: return "tlb-coherence";
+    case Oracle::kObjectLeak: return "object-leak";
+    case Oracle::kAsidUniqueness: return "asid-uniqueness";
     case Oracle::kCount: break;
   }
   return "?";
@@ -80,6 +82,8 @@ void InvariantSuite::check(Oracle o, std::vector<Violation>& out) const {
     case Oracle::kPrrOwnership: check_prr_ownership(out); break;
     case Oracle::kHwMmuWindow: check_hwmmu_window(out); break;
     case Oracle::kTlbCoherence: check_tlb_coherence(out); break;
+    case Oracle::kObjectLeak: check_object_leak(out); break;
+    case Oracle::kAsidUniqueness: check_asid_uniqueness(out); break;
     case Oracle::kCount: break;
   }
 }
@@ -118,6 +122,8 @@ void InvariantSuite::check_frame_exclusivity(std::vector<Violation>& out) const 
 
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;         // destroyed VM left an empty slot
+    if (!pd->has_space()) continue;      // lazy VM: nothing mapped yet
     const bool is_mgr = pd == manager;
     const auto& space = pd->space();
     for (vaddr_t va = 0; va < kScanLimit; va += mmu::kPageSize) {
@@ -154,6 +160,7 @@ void InvariantSuite::check_frame_exclusivity(std::vector<Violation>& out) const 
 void InvariantSuite::check_dacr_mode(std::vector<Violation>& out) const {
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;
     const u32 want =
         pd->guest_in_kernel ? nova::dacr_guest_kernel() : nova::dacr_guest_user();
     if (pd->vcpu().dacr() != want)
@@ -188,7 +195,7 @@ void InvariantSuite::check_irq_mask(std::vector<Violation>& out) const {
   auto& gic = insp_.platform().gic();
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
-    if (pd == cur) continue;
+    if (pd == nullptr || pd == cur) continue;
     for (const auto& rec : pd->vgic().records()) {
       if (rec.irq == 0 || rec.irq >= mem::kNumIrqs) continue;  // virtual-only
       if (rec.irq == mem::kIrqDevcfg) continue;
@@ -236,6 +243,7 @@ void InvariantSuite::check_sched_partition(std::vector<Violation>& out) const {
 
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;
     const u32 n = seen.count(pd) ? seen[pd] : 0;
     if (pd->state() == nova::PdState::kHalted) {
       if (n != 0)
@@ -254,6 +262,7 @@ void InvariantSuite::check_quantum_bound(std::vector<Violation>& out) const {
   const cycles_t def = insp_.scheduler().default_quantum();
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;
     if (pd->quantum_left > def)
       add(out, Oracle::kQuantumBound,
           "pd '" + pd->name() + "' quantum_left=" +
@@ -266,6 +275,7 @@ void InvariantSuite::check_quantum_bound(std::vector<Violation>& out) const {
 void InvariantSuite::check_portal_caps(std::vector<Violation>& out) const {
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;
     for (u32 n = 0; n < nova::kNumHypercalls; ++n) {
       const u32 need = nova::portal_required_caps(nova::Hypercall(n));
       const bool should_deny = (pd->caps() & need) != need;
@@ -292,7 +302,8 @@ void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
     if (e.client == kInvalidPd) continue;  // released regions may keep state
     const ProtectionDomain* client = nullptr;
     for (u32 i = 0; i < insp_.pd_count(); ++i)
-      if (insp_.pd(i)->id() == e.client) client = insp_.pd(i);
+      if (insp_.pd(i) != nullptr && insp_.pd(i)->id() == e.client)
+        client = insp_.pd(i);
     if (client == nullptr || client == manager) {
       add(out, Oracle::kPrrOwnership,
           "prr " + std::to_string(idx) + " client id " +
@@ -319,7 +330,8 @@ void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
     const auto [client_id, va] = key;
     const ProtectionDomain* client = nullptr;
     for (u32 i = 0; i < insp_.pd_count(); ++i)
-      if (insp_.pd(i)->id() == client_id) client = insp_.pd(i);
+      if (insp_.pd(i) != nullptr && insp_.pd(i)->id() == client_id)
+        client = insp_.pd(i);
     if (client == nullptr || client == manager) {
       add(out, Oracle::kPrrOwnership,
           "iface binding for pd id " + std::to_string(client_id) +
@@ -335,6 +347,12 @@ void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
                                  : u64(kInvalidPd)));
       continue;
     }
+    if (!client->has_space()) {
+      add(out, Oracle::kPrrOwnership,
+          "iface binding '" + client->name() + "' va=" + hex(va) +
+              " but client has no address space");
+      continue;
+    }
     const auto pa = client->space().translate_raw(va);
     if (!pa || (*pa >> 12) != (ctl.reg_group_pa(idx) >> 12))
       add(out, Oracle::kPrrOwnership,
@@ -347,6 +365,7 @@ void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
   // the global-control/PCAP device pages are manager-only.
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr || !pd->has_space()) continue;
     for (u32 p = 0; p < kIfaceScanPages; ++p) {
       const vaddr_t va = nova::kGuestHwIfaceVa + p * mmu::kPageSize;
       const auto pa = pd->space().translate_raw(va);
@@ -379,7 +398,8 @@ void InvariantSuite::check_hwmmu_window(std::vector<Violation>& out) const {
     if (e.client == kInvalidPd) continue;  // release zeroes lazily
     const ProtectionDomain* client = nullptr;
     for (u32 i = 0; i < insp_.pd_count(); ++i)
-      if (insp_.pd(i)->id() == e.client) client = insp_.pd(i);
+      if (insp_.pd(i) != nullptr && insp_.pd(i)->id() == e.client)
+        client = insp_.pd(i);
     if (client == nullptr) continue;  // reported by the ownership oracle
     const auto& p = ctl.prr(idx);
     if (p.hwmmu_size == 0) continue;
@@ -396,10 +416,17 @@ void InvariantSuite::check_hwmmu_window(std::vector<Violation>& out) const {
 
 // ---- (10) TLB contents agree with the page tables ---------------------------
 void InvariantSuite::check_tlb_coherence(std::vector<Violation>& out) const {
-  // ASID uniqueness first: the replay below needs asid -> PD to be a function.
+  // asid -> PD must be a function for the replay below. Only PDs holding a
+  // *current-generation* tag can own TLB entries: the rollover path flushes
+  // the whole TLB, and stale-generation PDs are retagged before they run
+  // again (ensure_asid_current), so their old numeric ASID may legitimately
+  // be reissued to another PD meanwhile. (Full (asid, generation) uniqueness
+  // across all live PDs is the kAsidUniqueness oracle.)
+  const u32 gen = insp_.asid_generation();
   std::map<u32, const ProtectionDomain*> by_asid;
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr || pd->vcpu().asid_gen() != gen) continue;
     const auto [it, inserted] = by_asid.emplace(pd->vcpu().asid(), pd);
     if (!inserted)
       add(out, Oracle::kTlbCoherence,
@@ -423,6 +450,12 @@ void InvariantSuite::check_tlb_coherence(std::vector<Violation>& out) const {
                 std::to_string(e.asid));
         continue;
       }
+      if (!it->second->has_space()) {
+        add(out, Oracle::kTlbCoherence,
+            "tlb entry vpage=" + hex(e.vpage) + " carries asid of lazy pd '" +
+                it->second->name() + "' which has no address space");
+        continue;
+      }
       space = &it->second->space();
       owner = it->second->name();
     }
@@ -435,6 +468,60 @@ void InvariantSuite::check_tlb_coherence(std::vector<Violation>& out) const {
           "tlb entry (" + owner + ") va=" + hex(va) + " caches ppage=" +
               hex(e.ppage) + " but tables say " +
               (pa ? hex(*pa >> 12) : std::string("unmapped")));
+  }
+}
+
+// ---- (11) kernel-heap accounting matches the live object population ---------
+//
+// Every heap object is owned by a live kernel object: one vCPU save area per
+// PD, one vGIC record list per PD that has materialized it, one ring buffer
+// per IVC channel, one control block per PD. Any destroy path that forgets a
+// free — or frees twice without the heap noticing — breaks the equality.
+// This is the churn-leak oracle: create/destroy storms must hold it at every
+// trap exit.
+void InvariantSuite::check_object_leak(std::vector<Violation>& out) const {
+  const nova::KernelHeap& heap = insp_.heap();
+  u64 want_blocks = insp_.channel_count();  // one ring buffer per channel
+  u64 want_ctrl = 0;
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;
+    want_blocks += 1;  // vCPU save area
+    if (pd->vgic().has_area()) ++want_blocks;
+    ++want_ctrl;  // PD descriptor control block
+  }
+  if (heap.live_blocks() != want_blocks)
+    add(out, Oracle::kObjectLeak,
+        "heap holds " + std::to_string(heap.live_blocks()) +
+            " live blocks but live objects account for " +
+            std::to_string(want_blocks));
+  if (heap.ctrl_live() != want_ctrl)
+    add(out, Oracle::kObjectLeak,
+        "heap control region holds " + std::to_string(heap.ctrl_live()) +
+            " live blocks but " + std::to_string(want_ctrl) +
+            " PDs are alive");
+}
+
+// ---- (12) live (ASID, generation) tags are unique and non-null --------------
+void InvariantSuite::check_asid_uniqueness(std::vector<Violation>& out) const {
+  std::map<std::pair<u32, u32>, const ProtectionDomain*> seen;
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr) continue;
+    const u32 asid = pd->vcpu().asid();
+    const u32 gen = pd->vcpu().asid_gen();
+    if (asid == 0 || asid > 255) {
+      add(out, Oracle::kAsidUniqueness,
+          "live pd '" + pd->name() + "' carries invalid asid " +
+              std::to_string(asid));
+      continue;
+    }
+    const auto [it, inserted] = seen.emplace(std::make_pair(asid, gen), pd);
+    if (!inserted)
+      add(out, Oracle::kAsidUniqueness,
+          "(asid " + std::to_string(asid) + ", gen " + std::to_string(gen) +
+              ") shared by live pds '" + it->second->name() + "' and '" +
+              pd->name() + "'");
   }
 }
 

@@ -26,6 +26,10 @@
 //                      the client's hardware-task data section
 //   kTlbCoherence      ASIDs are unique per PD and every valid TLB entry
 //                      agrees with the owning space's page tables
+//   kObjectLeak        kernel-heap accounting matches the live object
+//                      population exactly (destroying a VM leaks nothing)
+//   kAsidUniqueness    no two live PDs share an (ASID, generation) tag and
+//                      no live PD carries the null ASID
 //
 // Mapping-level oracles (frames, PRR ownership, hwMMU) are deferred while
 // the manager service runs inside a client's hypercall: its tables are
@@ -55,6 +59,8 @@ enum class Oracle : u8 {
   kPrrOwnership,
   kHwMmuWindow,
   kTlbCoherence,
+  kObjectLeak,
+  kAsidUniqueness,
   kCount,
 };
 
@@ -98,6 +104,8 @@ class InvariantSuite {
   void check_prr_ownership(std::vector<Violation>& out) const;
   void check_hwmmu_window(std::vector<Violation>& out) const;
   void check_tlb_coherence(std::vector<Violation>& out) const;
+  void check_object_leak(std::vector<Violation>& out) const;
+  void check_asid_uniqueness(std::vector<Violation>& out) const;
 
   const nova::KernelInspector& insp_;
   const hwmgr::ManagerService* mgr_;

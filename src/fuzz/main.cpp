@@ -30,6 +30,7 @@ struct Args {
   minova::u64 steps = 5000;
   minova::u64 heavy = 64;
   minova::u64 sabotage = 0;
+  bool lifecycle = false;
   bool do_shrink = false;
   bool verbose = false;
   std::string out_dir;
@@ -58,6 +59,10 @@ bool parse(int argc, char** argv, Args& a) {
       // Corrupt scheduler state at the given step: a self-test hook that
       // demonstrates detection, replay, and shrinking on a known-bad run.
       if (const char* v = val()) a.sabotage = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--lifecycle") {
+      // VM create/destroy churn between time slices (lazy boot, slab
+      // recycling, ASID generations) on top of the usual chaos traffic.
+      a.lifecycle = true;
     } else if (arg == "--shrink") {
       a.do_shrink = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -67,8 +72,8 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
           "mininova_fuzz [--seed-base N] [--seeds N] [--seed N] [--steps N]\n"
-          "              [--heavy N] [--sabotage STEP] [--shrink] [--out DIR]\n"
-          "              [--verbose]");
+          "              [--heavy N] [--sabotage STEP] [--lifecycle]\n"
+          "              [--shrink] [--out DIR] [--verbose]");
       return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -122,6 +127,7 @@ int main(int argc, char** argv) {
     opts.max_steps = a.steps;
     opts.heavy_interval = a.heavy;
     opts.sabotage_step = a.sabotage;
+    opts.lifecycle = a.lifecycle;
     const FuzzResult res = minova::fuzz::run_scenario(opts);
     if (res.failed) {
       ++failures;

@@ -47,7 +47,12 @@ class Derive {
 // Derivation lanes (keep stable: changing a lane re-derives old seeds).
 constexpr u64 kLaneGlobal = 0;
 constexpr u64 kLaneFaults = 1;
-constexpr u64 kLaneVmBase = 16;  // VM i uses lane kLaneVmBase + i
+constexpr u64 kLaneLifecycle = 2;  // create/destroy schedule draws
+constexpr u64 kLaneVmBase = 16;    // VM i uses lane kLaneVmBase + i
+constexpr u64 kLaneDynBase = 256;  // dynamic VM k uses kLaneDynBase + k
+
+/// Ceiling on concurrently live dynamic VMs in lifecycle mode.
+constexpr u32 kMaxDynamicVms = 4;
 
 std::string fmt_trace_tail(Platform& platform, std::size_t max_events) {
   const auto events = platform.trace().snapshot();
@@ -81,11 +86,11 @@ std::string describe(const ScenarioOptions& opts) {
   char buf[192];
   std::snprintf(buf, sizeof buf,
                 "seed=%llu steps=%llu vms=%u mask=0x%02x faults=%d hwtask=%d "
-                "ivc=%d mem=%d heavy=%llu sabotage=%llu",
+                "ivc=%d mem=%d lc=%d heavy=%llu sabotage=%llu",
                 (unsigned long long)opts.seed,
                 (unsigned long long)opts.max_steps, opts.num_vms,
                 opts.active_mask, opts.faults ? 1 : 0, opts.hwtask ? 1 : 0,
-                opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0,
+                opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0, opts.lifecycle ? 1 : 0,
                 (unsigned long long)opts.heavy_interval,
                 (unsigned long long)opts.sabotage_step);
   return buf;
@@ -114,6 +119,9 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     (void)d.next();  // consumed by normalized() for num_vms
     kcfg.quantum_ms = 0.5 + double(d.below(101)) * 0.05;  // 0.5 .. 5.5 ms
   }
+  // Lifecycle churn runs the kernel in lazy-boot mode: dynamic VMs
+  // materialize their address space and vGIC table on first touch.
+  kcfg.lazy_vm_boot = opts.lifecycle;
   nova::Kernel kernel(platform, kcfg);
 
   hwmgr::ManagerService manager(kernel);
@@ -200,12 +208,69 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     if (last) done = true;
   });
 
+  // ---- lifecycle churn state (dynamic VMs, created/destroyed between
+  // slices so no destroy ever lands mid-hypercall) ----
+  struct DynVm {
+    nova::PdId id = nova::kInvalidPd;
+    workloads::ChaosGuest* guest = nullptr;
+  };
+  std::vector<DynVm> dynamic;
+  Derive lifecycle_d(opts.seed, kLaneLifecycle);
+  u64 dyn_created = 0, dyn_destroyed = 0;
+  // Stats of destroyed dynamic guests, folded in before their PD (and the
+  // attached guest) is deleted; live dynamic guests are added at the end.
+  workloads::ChaosStats dyn_acc{};
+  auto fold_stats = [&dyn_acc](const workloads::ChaosStats& s) {
+    dyn_acc.ops += s.ops;
+    dyn_acc.hypercalls += s.hypercalls;
+    dyn_acc.ok += s.ok;
+    dyn_acc.rejected += s.rejected;
+    dyn_acc.faults += s.faults;
+    dyn_acc.virqs += s.virqs;
+    dyn_acc.maps += s.maps;
+    dyn_acc.hw_grants += s.hw_grants;
+    dyn_acc.hw_releases += s.hw_releases;
+    dyn_acc.jobs_started += s.jobs_started;
+    dyn_acc.ivc_sends += s.ivc_sends;
+    dyn_acc.ivc_recvs += s.ivc_recvs;
+  };
+  auto churn = [&]() {
+    const u64 roll = lifecycle_d.below(4);
+    if (roll == 0 && dynamic.size() < kMaxDynamicVms) {
+      Derive d(opts.seed, kLaneDynBase + dyn_created);
+      workloads::ChaosConfig cfg;
+      cfg.seed = d.next();
+      cfg.mem_ops = opts.mem_ops;
+      cfg.hwtask_ops = opts.hwtask;
+      cfg.ivc_ops = false;  // dynamic VMs never join IVC channels
+      cfg.max_ops_per_step = 2 + u32(d.below(4));
+      cfg.vtimer_period_us = 400 + u32(d.below(2400));
+      const u32 ntasks = 1 + u32(d.below(3));
+      for (u32 t2 = 0; t2 < ntasks; ++t2)
+        cfg.tasks.push_back(hwtask::TaskId(1 + d.below(9)));
+      const u32 priority = 1 + u32(d.below(5));
+      auto guest = std::make_unique<workloads::ChaosGuest>(cfg);
+      workloads::ChaosGuest* raw = guest.get();
+      auto& pd = kernel.create_vm("dyn" + std::to_string(dyn_created),
+                                  priority, std::move(guest));
+      dynamic.push_back(DynVm{pd.id(), raw});
+      ++dyn_created;
+    } else if (roll == 1 && !dynamic.empty()) {
+      const std::size_t victim = std::size_t(lifecycle_d.below(dynamic.size()));
+      fold_stats(dynamic[victim].guest->stats());
+      kernel.destroy_vm(dynamic[victim].id);
+      dynamic.erase(dynamic.begin() + long(victim));
+      ++dyn_destroyed;
+    }
+  };
+
   // Drive in fixed simulated-time slices; the hook flags completion. Slice
   // size only affects how much tail simulation runs after `done` — the
   // failure state itself is captured inside the hook.
   const double limit_us = opts.max_sim_ms * 1000.0;
   double t = 0;
   while (!done && t < limit_us) {
+    if (opts.lifecycle) churn();
     kernel.run_for_us(100.0);
     t += 100.0;
   }
@@ -238,6 +303,27 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
       dg.mix(s.jobs_started);
       dg.mix(s.ivc_sends);
       dg.mix(s.ivc_recvs);
+    }
+    if (opts.lifecycle) {
+      // Fold still-live dynamic guests, then mix the accumulated totals so
+      // destroyed VMs' work stays part of the replay contract.
+      for (const auto& dv : dynamic) fold_stats(dv.guest->stats());
+      dg.mix(dyn_created);
+      dg.mix(dyn_destroyed);
+      dg.mix(insp.vms_destroyed());
+      dg.mix(insp.asid_generation());
+      dg.mix(dyn_acc.ops);
+      dg.mix(dyn_acc.hypercalls);
+      dg.mix(dyn_acc.ok);
+      dg.mix(dyn_acc.rejected);
+      dg.mix(dyn_acc.faults);
+      dg.mix(dyn_acc.virqs);
+      dg.mix(dyn_acc.maps);
+      dg.mix(dyn_acc.hw_grants);
+      dg.mix(dyn_acc.hw_releases);
+      dg.mix(dyn_acc.jobs_started);
+      dg.mix(dyn_acc.ivc_sends);
+      dg.mix(dyn_acc.ivc_recvs);
     }
     res.digest = dg.h;
   }

@@ -34,6 +34,12 @@ struct ScenarioOptions {
   bool hwtask = true;   // chaos guests issue DPR task traffic
   bool ivc = true;      // wire IVC channels between the VMs
   bool mem_ops = true;  // chaos guests issue map/unmap/protect traffic
+  /// VM lifecycle churn: dynamic VMs are created lazily and destroyed
+  /// between time slices (kernel runs with lazy_vm_boot), exercising slab
+  /// recycling, ASID generations, and the object-leak oracle. Dynamic VMs
+  /// get no IVC channels — a recycled PdId must not inherit channel
+  /// membership from a destroyed predecessor.
+  bool lifecycle = false;
 
   /// 0 derives 2..8 from the seed; the shrinker pins the derived value via
   /// `normalized` before pruning.

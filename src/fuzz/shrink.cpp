@@ -60,12 +60,13 @@ ShrinkResult shrink(const ScenarioOptions& opts, const FuzzResult& failure) {
   }
 
   // Prune whole event classes.
-  for (int f = 0; f < 4; ++f) {
+  for (int f = 0; f < 5; ++f) {
     ScenarioOptions cand = best;
     bool* gate = f == 0   ? &cand.faults
                  : f == 1 ? &cand.hwtask
                  : f == 2 ? &cand.ivc
-                          : &cand.mem_ops;
+                 : f == 3 ? &cand.mem_ops
+                          : &cand.lifecycle;
     if (!*gate) continue;
     *gate = false;
     attempt(cand);

@@ -553,4 +553,34 @@ HcStatus ManagerService::handle_release(GuestContext& ctx, PdId client,
   return HcStatus::kNotFound;
 }
 
+void ManagerService::handle_client_destroyed(PdId client) {
+  auto& ctl = kernel_.platform().prr_controller();
+  const u32 glob = mem::kPrrMaxRegions * mem::kPrrRegGroupStride;
+  for (u32 prr = 0; prr < num_prrs(); ++prr) {
+    PrrTableEntry& entry = prr_table_[prr];
+    if (entry.client != client) continue;
+    // Clear the hwMMU window at the device: the client's physical slab can
+    // be handed to a future VM, and a stale window would let the region
+    // keep scribbling into it.
+    ctl.mmio_write(glob + pl::kGlobPrrSelect, prr);
+    ctl.mmio_write(glob + pl::kGlobHwmmuBase, 0);
+    ctl.mmio_write(glob + pl::kGlobHwmmuSize, 0);
+    entry.client = nova::kInvalidPd;
+    entry.client_iface_va = 0;
+    // Like handle_release: the configured task stays resident so a future
+    // grant of the same task re-dispatches without a PCAP transfer.
+    log_.info("PRR%u reclaimed from destroyed client %u", prr, client);
+  }
+  // Interface-page mappings died with the client's address space; no unmap
+  // hypercall is needed (or possible) — just drop the records.
+  for (auto it = iface_map_.begin(); it != iface_map_.end();) {
+    if (it->first.first == client)
+      it = iface_map_.erase(it);
+    else
+      ++it;
+  }
+  pending_.erase(client);
+  if (inflight_client_ == client) inflight_client_ = nova::kInvalidPd;
+}
+
 }  // namespace minova::hwmgr

@@ -133,6 +133,11 @@ class ManagerService final : public nova::HwService {
   nova::HcStatus handle_release(nova::GuestContext& ctx, nova::PdId client,
                                 hwtask::TaskId task) override;
   u32 query_reconfig(nova::PdId client) override;
+  /// Kernel notification: `client`'s PD was destroyed. Host-side cleanup
+  /// only — the guest context is gone, so nothing is charged; regions held
+  /// by the client are reclaimed (task stays resident for warm re-dispatch)
+  /// and all per-client bookkeeping is dropped.
+  void handle_client_destroyed(nova::PdId client) override;
 
   void set_policy(AllocPolicy p) { policy_ = p; }
   AllocPolicy policy() const { return policy_; }

@@ -10,21 +10,59 @@ PageTableAllocator::PageTableAllocator(mem::PhysMem& ram, paddr_t base,
   MINOVA_CHECK(ram.contains(base, size));
 }
 
-paddr_t PageTableAllocator::alloc(u32 bytes, u32 align) {
-  const paddr_t start = paddr_t(align_up(next_, align));
-  MINOVA_CHECK_MSG(u64(start) + bytes <= u64(base_) + size_,
-                   "page-table pool exhausted");
-  next_ = start + bytes;
-  // Tables must start out as fault entries.
+paddr_t PageTableAllocator::alloc(u32 bytes, u32 align, bool is_l1) {
+  paddr_t start = 0;
+  auto& pool = is_l1 ? free_l1_ : free_l2_;
+  if (!pool.empty()) {
+    start = pool.back();
+    pool.pop_back();
+    tables_.at(start).live = true;
+  } else {
+    start = paddr_t(align_up(next_, align));
+    MINOVA_CHECK_MSG(u64(start) + bytes <= u64(base_) + size_,
+                     "page-table pool exhausted");
+    next_ = start + bytes;
+    tables_[start] = Table{is_l1, /*live=*/true};
+  }
+  // Tables must start out as fault entries (recycled ones still hold their
+  // previous owner's descriptors).
   for (u32 off = 0; off < bytes; off += 4) ram_.write32(start + off, 0);
+  bytes_live_ += bytes;
+  ++live_tables_;
   return start;
 }
 
-paddr_t PageTableAllocator::alloc_l1() { return alloc(kL1TableBytes, 16 * kKiB); }
-paddr_t PageTableAllocator::alloc_l2() { return alloc(kL2TableBytes, 1 * kKiB); }
+void PageTableAllocator::free_table(paddr_t pa, bool is_l1, u32 bytes) {
+  auto it = tables_.find(pa);
+  MINOVA_CHECK_MSG(it != tables_.end() && it->second.is_l1 == is_l1,
+                   "free of address not allocated from page-table pool");
+  MINOVA_CHECK_MSG(it->second.live, "page-table double free");
+  it->second.live = false;
+  (is_l1 ? free_l1_ : free_l2_).push_back(pa);
+  bytes_live_ -= bytes;
+  --live_tables_;
+}
+
+paddr_t PageTableAllocator::alloc_l1() {
+  return alloc(kL1TableBytes, 16 * kKiB, /*is_l1=*/true);
+}
+paddr_t PageTableAllocator::alloc_l2() {
+  return alloc(kL2TableBytes, 1 * kKiB, /*is_l1=*/false);
+}
+void PageTableAllocator::free_l1(paddr_t pa) {
+  free_table(pa, /*is_l1=*/true, kL1TableBytes);
+}
+void PageTableAllocator::free_l2(paddr_t pa) {
+  free_table(pa, /*is_l1=*/false, kL2TableBytes);
+}
 
 AddressSpace::AddressSpace(mem::PhysMem& ram, PageTableAllocator& alloc)
     : ram_(ram), alloc_(alloc), l1_base_(alloc.alloc_l1()) {}
+
+AddressSpace::~AddressSpace() {
+  for (const paddr_t l2 : l2_tables_) alloc_.free_l2(l2);
+  alloc_.free_l1(l1_base_);
+}
 
 u32 AddressSpace::read_l1(u32 index) const {
   return ram_.read32(l1_base_ + index * 4);
@@ -60,6 +98,7 @@ void AddressSpace::map_page(vaddr_t va, paddr_t pa, const MapAttrs& attrs) {
     l1.type = L1Type::kPageTable;
     l1.l2_base = alloc_.alloc_l2();
     l1.domain = attrs.domain;
+    l2_tables_.push_back(l1.l2_base);
     write_l1(idx1, l1.encode());
   }
   L2Desc l2;
@@ -110,6 +149,7 @@ bool AddressSpace::ensure_l2(vaddr_t va, u32 domain) {
   fresh.type = L1Type::kPageTable;
   fresh.l2_base = alloc_.alloc_l2();
   fresh.domain = domain;
+  l2_tables_.push_back(fresh.l2_base);
   write_l1(idx1, fresh.encode());
   return true;
 }

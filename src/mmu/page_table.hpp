@@ -7,7 +7,9 @@
 // the software built.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "mem/phys_mem.hpp"
 #include "mmu/descriptors.hpp"
@@ -15,7 +17,10 @@
 
 namespace minova::mmu {
 
-/// Bump allocator over a physical window reserved for translation tables.
+/// Pool allocator over a physical window reserved for translation tables.
+/// Freed L1/L2 tables recycle LIFO through per-kind free lists; the bump
+/// watermark only moves when the lists are empty, so allocation order (and
+/// therefore table placement) is unchanged for workloads that never free.
 class PageTableAllocator {
  public:
   PageTableAllocator(mem::PhysMem& ram, paddr_t base, u32 size);
@@ -24,17 +29,36 @@ class PageTableAllocator {
   paddr_t alloc_l1();
   /// Allocate a zeroed, 1 KB-aligned second-level table.
   paddr_t alloc_l2();
+  /// Return a table to its pool. Aborts on a pointer not allocated here, a
+  /// kind mismatch, or a double free.
+  void free_l1(paddr_t pa);
+  void free_l2(paddr_t pa);
 
+  /// Pool watermark (never decreases; churn with recycling keeps it flat).
   u32 bytes_used() const { return next_ - base_; }
   u32 bytes_total() const { return size_; }
+  /// Bytes held by live (allocated, not freed) tables — the leak oracle.
+  u32 bytes_live() const { return bytes_live_; }
+  u32 live_tables() const { return live_tables_; }
 
  private:
-  paddr_t alloc(u32 bytes, u32 align);
+  paddr_t alloc(u32 bytes, u32 align, bool is_l1);
+  void free_table(paddr_t pa, bool is_l1, u32 bytes);
+
+  struct Table {
+    bool is_l1 = false;
+    bool live = false;
+  };
 
   mem::PhysMem& ram_;
   paddr_t base_;
   u32 size_;
   paddr_t next_;
+  std::map<paddr_t, Table> tables_;
+  std::vector<paddr_t> free_l1_;
+  std::vector<paddr_t> free_l2_;
+  u32 bytes_live_ = 0;
+  u32 live_tables_ = 0;
 };
 
 struct MapAttrs {
@@ -44,10 +68,16 @@ struct MapAttrs {
   bool xn = false;
 };
 
-/// Handle over one translation table tree rooted at an L1 table.
+/// Handle over one translation table tree rooted at an L1 table. The space
+/// owns its tables: destruction returns the L1 and every materialized L2 to
+/// the allocator's pools (the allocator must outlive the space).
 class AddressSpace {
  public:
   AddressSpace(mem::PhysMem& ram, PageTableAllocator& alloc);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
 
   paddr_t root() const { return l1_base_; }
 
@@ -93,6 +123,7 @@ class AddressSpace {
   mem::PhysMem& ram_;
   PageTableAllocator& alloc_;
   paddr_t l1_base_;
+  std::vector<paddr_t> l2_tables_;  // L2s materialized by this space
   mutable u32 descriptor_writes_ = 0;
 };
 

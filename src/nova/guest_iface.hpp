@@ -38,17 +38,14 @@ class GuestContext {
 
   /// User-mode memory access in the VM's address space. A fault traps to
   /// the kernel (data abort) which, per the paper's model, forwards it to
-  /// the guest; the access returns failure here.
-  cpu::Core::MemResult read32(vaddr_t va) { return core_.vread32(va); }
-  cpu::Core::MemResult write32(vaddr_t va, u32 v) {
-    return core_.vwrite32(va, v);
-  }
-  cpu::Core::MemResult read_block(vaddr_t va, std::span<u8> out) {
-    return core_.vread_block(va, out);
-  }
-  cpu::Core::MemResult write_block(vaddr_t va, std::span<const u8> in) {
-    return core_.vwrite_block(va, in);
-  }
+  /// the guest; the access returns failure here. For a lazily-booted VM the
+  /// first guest-memory touch instead materializes the address space
+  /// (charged as one abort-class kernel trap) and the access is retried —
+  /// defined out of line in kernel.cpp for that reason.
+  cpu::Core::MemResult read32(vaddr_t va);
+  cpu::Core::MemResult write32(vaddr_t va, u32 v);
+  cpu::Core::MemResult read_block(vaddr_t va, std::span<u8> out);
+  cpu::Core::MemResult write_block(vaddr_t va, std::span<const u8> in);
 
   /// Execute guest code: fetches the region through the I-cache.
   void exec(const cpu::CodeRegion& region, double fraction = 1.0) {

@@ -58,11 +58,14 @@ HypercallResult irq_set_entry(KernelOps&, ProtectionDomain& caller,
 HypercallResult vtimer_config(KernelOps& ops, ProtectionDomain& caller,
                               const HypercallArgs& args) {
   VtimerState& vt = caller.vcpu().vtimer();
+  const bool was_enabled = vt.enabled;
   if (args.r[1] == 0) {
     vt.enabled = false;
+    ops.vtimer_armed_changed(was_enabled, false);
     return {};
   }
   vt.enabled = true;
+  ops.vtimer_armed_changed(was_enabled, true);
   vt.period_us = args.r[1];
   vt.next_deadline = ops.core().clock().now() +
                      ops.platform().clock().us_to_cycles(args.r[1]);

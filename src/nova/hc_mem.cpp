@@ -85,6 +85,7 @@ HypercallResult map_insert(KernelOps& ops, ProtectionDomain& caller,
                           .ng = true,
                           .xn = false};
   }
+  ops.ensure_space(*target);
   target->space().map_page(va, pa, attrs);
   ops.core().mmu().tlb_flush_va(va);
   ops.core().spend(160);  // descriptor writes + DSB/ISB
@@ -105,6 +106,7 @@ HypercallResult map_remove(KernelOps& ops, ProtectionDomain& caller,
     res.status = HcStatus::kDenied;
     return res;
   }
+  ops.ensure_space(*target);
   if (!target->space().unmap_page(va)) {
     res.status = HcStatus::kNotFound;
     return res;
@@ -117,6 +119,7 @@ HypercallResult map_remove(KernelOps& ops, ProtectionDomain& caller,
 HypercallResult pt_create(KernelOps& ops, ProtectionDomain& caller,
                           const HypercallArgs& args) {
   HypercallResult res;
+  ops.ensure_space(caller);
   if (!caller.space().ensure_l2(args.r[1], kDomGuestUser))
     res.status = HcStatus::kInvalidArg;
   ops.core().spend(150);  // L2 table zeroing
@@ -130,6 +133,7 @@ HypercallResult mem_protect(KernelOps& ops, ProtectionDomain& caller,
   mmu::Ap ap = mmu::Ap::kFullAccess;
   if (args.r[2] == 1) ap = mmu::Ap::kReadOnly;
   if (args.r[2] == 2) ap = mmu::Ap::kNoAccess;
+  ops.ensure_space(caller);
   if (va >= kKernelVa || !caller.space().protect_page(va, ap)) {
     res.status = HcStatus::kInvalidArg;
     return res;
@@ -185,6 +189,7 @@ HcStatus Kernel::svc_map_into(ProtectionDomain& caller, PdId target,
   if (pd == nullptr || !is_aligned(va, mmu::kPageSize) || va >= kKernelVa)
     return HcStatus::kInvalidArg;
   charge_service_call();
+  ensure_space(*pd);
   pd->space().map_page(va, pa,
                        mmu::MapAttrs{.ap = mmu::Ap::kFullAccess,
                                      .domain = kDomDevice,
@@ -201,6 +206,7 @@ HcStatus Kernel::svc_unmap_from(ProtectionDomain& caller, PdId target,
   ProtectionDomain* pd = pd_by_id(target);
   if (pd == nullptr) return HcStatus::kInvalidArg;
   charge_service_call();
+  ensure_space(*pd);
   if (!pd->space().unmap_page(va)) return HcStatus::kNotFound;
   platform_.cpu().mmu().tlb_flush_va(va);
   platform_.cpu().spend(120);

@@ -56,6 +56,17 @@ class KernelInspector {
   u64 vm_switches() const { return k_.vm_switches_; }
   u64 hypercalls() const { return k_.hypercalls_; }
 
+  /// Kernel-heap accounting (slab pools): the object-leak oracle compares
+  /// live bytes across VM create/destroy cycles.
+  const KernelHeap& heap() const { return k_.heap_; }
+
+  /// Current ASID generation + allocator view (live-ASID uniqueness oracle).
+  u32 asid_generation() const { return k_.asid_alloc_.generation(); }
+  u64 asid_rollovers() const { return k_.asid_rollovers_; }
+  u64 vms_destroyed() const { return k_.vms_destroyed_; }
+
+  u32 channel_count() const { return u32(k_.channels_.size()); }
+
  private:
   const Kernel& k_;
 };

@@ -34,6 +34,34 @@ void GuestContext::take_fault(const mmu::Fault& fault) {
   kernel_.forward_guest_fault(pd_, fault);
 }
 
+// Guest memory accessors: one retry after a successful lazy-boot fixup.
+// For an eager VM (or any fault that is not a first touch of an
+// unmaterialized space) lazy_fault_fixup declines and the fault result is
+// returned unchanged.
+cpu::Core::MemResult GuestContext::read32(vaddr_t va) {
+  auto r = core_.vread32(va);
+  if (!r.ok && kernel_.lazy_fault_fixup(pd_, va)) return core_.vread32(va);
+  return r;
+}
+cpu::Core::MemResult GuestContext::write32(vaddr_t va, u32 v) {
+  auto r = core_.vwrite32(va, v);
+  if (!r.ok && kernel_.lazy_fault_fixup(pd_, va)) return core_.vwrite32(va, v);
+  return r;
+}
+cpu::Core::MemResult GuestContext::read_block(vaddr_t va, std::span<u8> out) {
+  auto r = core_.vread_block(va, out);
+  if (!r.ok && kernel_.lazy_fault_fixup(pd_, va))
+    return core_.vread_block(va, out);
+  return r;
+}
+cpu::Core::MemResult GuestContext::write_block(vaddr_t va,
+                                               std::span<const u8> in) {
+  auto r = core_.vwrite_block(va, in);
+  if (!r.ok && kernel_.lazy_fault_fixup(pd_, va))
+    return core_.vwrite_block(va, in);
+  return r;
+}
+
 // ---- KernelOps: the handler units' window onto kernel state -----------------
 
 Platform& KernelOps::platform() { return kernel_.platform_; }
@@ -44,6 +72,14 @@ GuestContext KernelOps::make_ctx(ProtectionDomain& pd) {
 ProtectionDomain* KernelOps::pd_by_id(PdId id) { return kernel_.pd_by_id(id); }
 ProtectionDomain* KernelOps::current() { return kernel_.current_; }
 void KernelOps::vm_switch_to(ProtectionDomain* to) { kernel_.vm_switch(to); }
+void KernelOps::ensure_space(ProtectionDomain& pd) { kernel_.ensure_space(pd); }
+void KernelOps::vtimer_armed_changed(bool was_enabled, bool now_enabled) {
+  if (was_enabled == now_enabled) return;
+  if (now_enabled)
+    ++kernel_.vtimers_enabled_;
+  else
+    --kernel_.vtimers_enabled_;
+}
 std::string& KernelOps::console_buffer() { return kernel_.console_; }
 std::vector<u8>& KernelOps::sd_image() { return kernel_.sd_image_; }
 IvcChannel* KernelOps::channel(u32 id) {
@@ -72,6 +108,8 @@ Kernel::Kernel(Platform& platform, const KernelConfig& cfg)
       space_builder_(platform.dram(), pt_alloc_),
       sched_(platform.clock().ms_to_cycles(cfg.quantum_ms)),
       code_(kKernelTextBase, kKernelTextSize) {
+  // Debug poisoning of freed kernel objects (host-side writes only).
+  heap_.attach_ram(&platform.dram());
   boot();
 }
 
@@ -151,39 +189,198 @@ Kernel::BitstreamLoc Kernel::find_bitstream(hwtask::TaskId task) const {
 
 ProtectionDomain& Kernel::create_vm(std::string name, u32 priority,
                                     std::unique_ptr<GuestOs> guest) {
-  const u32 vm_index = next_vm_index_++;
-  const PdId id = PdId(pds_.size());
-  auto space = space_builder_.build_vm_space(vm_index);
+  // Recycle identifiers from destroyed VMs before growing (O(1) pops; the
+  // fresh paths preserve the historical index/id/ASID sequences exactly).
+  u32 vm_index;
+  if (!free_vm_indices_.empty()) {
+    vm_index = free_vm_indices_.back();
+    free_vm_indices_.pop_back();
+  } else {
+    vm_index = next_vm_index_++;
+  }
+  const bool lazy = cfg_.lazy_vm_boot;
+  std::unique_ptr<mmu::AddressSpace> space;
+  if (!lazy) {
+    MINOVA_CHECK_MSG(vm_index < kVmMaxSlots,
+                     "VM physical slabs exhausted (eager boot)");
+    space = space_builder_.build_vm_space(vm_index);
+  }
+  PdId id;
+  if (!free_pd_slots_.empty()) {
+    id = free_pd_slots_.back();
+    free_pd_slots_.pop_back();
+  } else {
+    id = PdId(pds_.size());
+    pds_.emplace_back();
+  }
+  const AsidTag tag = alloc_asid();
   auto pd = std::make_unique<ProtectionDomain>(
-      id, std::move(name), priority, heap_, platform_.gic(), next_asid_++,
-      std::move(space), kCapHwClient);
-  pd->vcpu().set_mmu_context(pd->space().root(), dacr_guest_kernel());
-  pd->hw_data_pa = vm_phys_base(vm_index) + kGuestHwDataVa;
-  pd->hw_data_size = kGuestHwDataSize;
+      id, std::move(name), priority, heap_, platform_.gic(), tag.asid,
+      std::move(space), kCapHwClient, /*lazy_vgic=*/lazy);
+  pd->vcpu().set_asid_tag(tag.asid, tag.gen);
+  // A lazy VM starts on the kernel-only tables: its first guest-memory
+  // touch faults and lazy_fault_fixup installs the real space.
+  pd->vcpu().set_mmu_context(
+      lazy ? kernel_space_->root() : pd->space().root(), dacr_guest_kernel());
+  if (vm_index < kVmMaxSlots) {
+    pd->hw_data_pa = vm_phys_base(vm_index) + kGuestHwDataVa;
+    pd->hw_data_size = kGuestHwDataSize;
+  }
   pd->vm_index = vm_index;
   pd->attach_guest(std::move(guest));
   // Every VM owns a virtual timer interrupt line.
   pd->vgic().register_irq(kVtimerVirq);
-  pds_.push_back(std::move(pd));
-  sched_.enqueue(pds_.back().get());
-  return *pds_.back();
+  pds_[id] = std::move(pd);
+  sched_.enqueue(pds_[id].get());
+  return *pds_[id];
 }
 
 ProtectionDomain& Kernel::create_manager(std::string name, u32 priority,
                                          HwService& service) {
   MINOVA_CHECK_MSG(manager_pd_ == nullptr, "manager already exists");
-  const PdId id = PdId(pds_.size());
+  PdId id;
+  if (!free_pd_slots_.empty()) {
+    id = free_pd_slots_.back();
+    free_pd_slots_.pop_back();
+  } else {
+    id = PdId(pds_.size());
+    pds_.emplace_back();
+  }
   auto space = space_builder_.build_manager_space();
+  const AsidTag tag = alloc_asid();
   auto pd = std::make_unique<ProtectionDomain>(
-      id, std::move(name), priority, heap_, platform_.gic(), next_asid_++,
+      id, std::move(name), priority, heap_, platform_.gic(), tag.asid,
       std::move(space), kCapMapOther | kCapPlControl);
+  pd->vcpu().set_asid_tag(tag.asid, tag.gen);
   pd->vcpu().set_mmu_context(pd->space().root(), dacr_guest_kernel());
-  pds_.push_back(std::move(pd));
-  manager_pd_ = pds_.back().get();
+  pds_[id] = std::move(pd);
+  manager_pd_ = pds_[id].get();
   hw_service_ = &service;
   // User services wait in the suspend queue until invoked (paper §III.D).
   sched_.suspend(manager_pd_);
   return *manager_pd_;
+}
+
+bool Kernel::destroy_vm(PdId id) {
+  ProtectionDomain* pd = pd_by_id(id);
+  // Only VMs are destroyable; the manager service (no guest) is not.
+  if (pd == nullptr || pd->guest() == nullptr) return false;
+  auto& mmu = platform_.cpu().mmu();
+
+  sched_.remove(pd);
+  if (pd->parked) set_parked(*pd, false);
+  if (pd->vcpu().vtimer().enabled) {
+    MINOVA_CHECK(vtimers_enabled_ > 0);
+    --vtimers_enabled_;
+  }
+  if (current_ == pd) {
+    // The current VM's enabled sources are unmasked at the distributor;
+    // nothing would ever mask them once the vGIC is gone.
+    pd->vgic().mask_all_physical(platform_.cpu());
+    // Never leave TTBR pointing at tables about to be recycled: fall back
+    // to the kernel-only space until the next dispatch.
+    mmu.set_ttbr0(kernel_space_->root());
+    mmu.set_asid(0);
+    mmu.set_dacr(dacr_host_kernel());
+    current_ = nullptr;
+  }
+  for (auto& owner : irq_owner_)
+    if (owner == id) owner = kInvalidPd;
+  if (pcap_owner_ == id) pcap_owner_ = kInvalidPd;
+  if (vfp_owner_ == id) vfp_owner_ = kInvalidPd;
+  if (l2ctrl_owner_ == id) l2ctrl_owner_ = kInvalidPd;
+  if (hw_service_ != nullptr) hw_service_->handle_client_destroyed(id);
+
+  // The tag's next owner must not inherit this VM's translations.
+  mmu.tlb_flush_asid(pd->vcpu().asid());
+  mmu.utlb_flush();
+  asid_alloc_.release({pd->vcpu().asid(), pd->vcpu().asid_gen()});
+
+  free_vm_indices_.push_back(pd->vm_index);
+  pds_[id].reset();  // frees save area, vGIC list, ctrl block, page tables
+  free_pd_slots_.push_back(id);
+  ++vms_destroyed_;
+  return true;
+}
+
+AsidTag Kernel::alloc_asid() {
+  bool rolled = false;
+  AsidTag tag = asid_alloc_.allocate(rolled);
+  if (rolled) {
+    ++asid_rollovers_;
+    // One full TLB flush retires every prior-generation tag at once; the
+    // micro-TLBs revalidate against Tlb::generation() and die with it.
+    // Charged like the no-ASID ablation's switch-time flush.
+    platform_.cpu().mmu().tlb_flush_all();
+    platform_.cpu().spend(40);
+    if (current_ != nullptr) {
+      // The running VM still has its retired tag loaded in CONTEXTIDR and
+      // keeps inserting under it — move it into the new generation now so
+      // the recycler cannot hand its number to another VM.
+      bool nested = false;
+      const AsidTag cur = asid_alloc_.allocate(nested);
+      MINOVA_CHECK(!nested);
+      current_->vcpu().set_asid_tag(cur.asid, cur.gen);
+      platform_.cpu().mmu().set_asid(cur.asid);
+    }
+  }
+  return tag;
+}
+
+void Kernel::ensure_asid_current(ProtectionDomain& pd) {
+  if (asid_alloc_.current({pd.vcpu().asid(), pd.vcpu().asid_gen()})) return;
+  const AsidTag tag = alloc_asid();
+  pd.vcpu().set_asid_tag(tag.asid, tag.gen);
+}
+
+void Kernel::set_parked(ProtectionDomain& pd, bool parked) {
+  if (pd.parked == parked) return;
+  pd.parked = parked;
+  if (parked)
+    ++parked_count_;
+  else
+    --parked_count_;
+}
+
+// ---- lazy VM boot ------------------------------------------------------------
+
+bool Kernel::lazy_fault_fixup(ProtectionDomain& pd, vaddr_t va) {
+  if (pd.has_space() || pd.guest() == nullptr) return false;
+  // Guest kernel image, user space and hardware-task data section are
+  // contiguous from VA 0; anything beyond is a real fault even on first
+  // touch (e.g. unmapped scratch pages).
+  if (va >= kGuestHwDataVa + kGuestHwDataSize) return false;
+  MINOVA_CHECK_MSG(pd.vm_index < kVmMaxSlots,
+                   "lazy VM beyond the physical slab window touched memory");
+  auto& core = platform_.cpu();
+  {
+    // First-touch materialization, charged as one abort-class kernel trap;
+    // table construction itself is host-side, exactly as in eager boot.
+    TrapGuard trap(core, trap_counters_, cpu::Exception::kDataAbort,
+                   rg_vector_, TrapKind::kGuestFault);
+    trap.exec(rg_abt_);
+    pd.set_space(space_builder_.build_vm_space(pd.vm_index));
+    // Preserve the live DACR: the guest may have dropped to user mode
+    // before its first touch.
+    pd.vcpu().set_mmu_context(pd.space().root(), pd.vcpu().dacr());
+    if (current_ == &pd) core.mmu().set_ttbr0(pd.space().root());
+  }
+  ++lazy_space_faults_;
+  c_lazy_space_faults_.inc();
+  // No introspection notification here: a first touch can fire *inside* a
+  // hypercall gate (a handler reading guest memory), where the live DACR is
+  // legitimately the host's — trap-exit hooks must only observe states with
+  // the caller's context fully restored.
+  return true;
+}
+
+void Kernel::ensure_space(ProtectionDomain& pd) {
+  if (pd.has_space()) return;
+  MINOVA_CHECK_MSG(pd.vm_index < kVmMaxSlots,
+                   "lazy VM beyond the physical slab window needs a space");
+  pd.set_space(space_builder_.build_vm_space(pd.vm_index));
+  pd.vcpu().set_mmu_context(pd.space().root(), pd.vcpu().dacr());
+  if (current_ == &pd) platform_.cpu().mmu().set_ttbr0(pd.space().root());
 }
 
 IvcChannel& Kernel::create_channel(ProtectionDomain& a, ProtectionDomain& b) {

@@ -27,6 +27,7 @@
 
 #include "core/platform.hpp"
 #include "cpu/code_region.hpp"
+#include "nova/asid.hpp"
 #include "nova/guest_iface.hpp"
 #include "nova/hypercall.hpp"
 #include "nova/ivc.hpp"
@@ -63,6 +64,11 @@ class HwService {
   /// Reconfiguration state of `client`'s latest grant, as a kReconfig*
   /// value. Clients with nothing pending report kReconfigReady.
   virtual u32 query_reconfig(PdId client) = 0;
+  /// The kernel destroyed `client`'s PD (Kernel::destroy_vm). The service
+  /// must drop every reference to the id — PRR grants, pending requests —
+  /// because the id may be reissued to an unrelated VM. Host-side cleanup
+  /// only: no GuestContext exists for a dead VM, nothing may be charged.
+  virtual void handle_client_destroyed(PdId client) { (void)client; }
 };
 
 struct KernelConfig {
@@ -73,6 +79,11 @@ struct KernelConfig {
   bool lazy_vfp = true;        // Table I: lazy-switch the VFP bank
   bool lazy_l2ctrl = true;     // Table I: lazy-switch L2 control registers
   bool use_asid = true;        // §III.C: ASID reload vs full TLB flush
+  // Lazy VM construction (density): create_vm defers page-table population
+  // to the first guest-memory touch and the vGIC record list to the first
+  // charged IRQ operation, making VM creation O(1). Off by default: eager
+  // construction is the measured configuration of the paper's tables.
+  bool lazy_vm_boot = false;
 
   // Code-footprint model (bytes of kernel text per path); these sizes give
   // the 5.4 kLOC kernel its cache behaviour. Calibrated against Table III.
@@ -125,6 +136,15 @@ class Kernel {
                                    HwService& service);
   IvcChannel& create_channel(ProtectionDomain& a, ProtectionDomain& b);
 
+  /// Tear down a VM: dequeue it, strip its IRQ/VFP/PCAP ownership, notify
+  /// the hardware-task service, flush its ASID footprint from the TLB and
+  /// recycle ASID, PdId slot, physical slab index and every kernel object
+  /// (vCPU save area, vGIC list, control block, page tables) back to their
+  /// pools. Returns false for an unknown id or a non-VM PD (the manager
+  /// service cannot be destroyed). Must not be called from inside the
+  /// victim's own hypercall.
+  bool destroy_vm(PdId id);
+
   // ---- simulation driving ----
   void run_for_us(double us) {
     run_until(platform_.clock().now() + platform_.clock().us_to_cycles(us));
@@ -150,6 +170,27 @@ class Kernel {
   /// acknowledgement the guest can read).
   u64 forward_guest_fault(ProtectionDomain& pd, const mmu::Fault& fault);
   u64 guest_faults_forwarded() const { return guest_faults_; }
+
+  // ---- lazy VM boot (density) ----
+  /// A guest-memory access by `pd` faulted at `va` and the PD has no
+  /// address space yet: materialize it (charging one abort-class kernel
+  /// trap) so the caller can retry the access. Returns false when the fault
+  /// is not a lazy-boot first touch (real fault — take the normal path).
+  bool lazy_fault_fixup(ProtectionDomain& pd, vaddr_t va);
+  /// Materialize a lazily-booted PD's address space without charging
+  /// anything (hypercall handlers that operate *on* the space call this
+  /// before touching it; the cost is carried by the handler's own model).
+  void ensure_space(ProtectionDomain& pd);
+  u64 lazy_space_faults() const { return lazy_space_faults_; }
+
+  // ---- ASID generations (density) ----
+  u32 asid_generation() const { return asid_alloc_.generation(); }
+  u64 asid_rollovers() const { return asid_rollovers_; }
+
+  // ---- density instrumentation ----
+  u64 vms_destroyed() const { return vms_destroyed_; }
+  /// Simulated cycles accumulated inside vm_switch() (flatness curves).
+  u64 vm_switch_cycles_total() const { return vm_switch_cycles_; }
 
   // ---- kernel services used by the manager (capability-checked) ----
   HcStatus svc_map_into(ProtectionDomain& caller, PdId target, vaddr_t va,
@@ -177,6 +218,8 @@ class Kernel {
   Platform& platform() { return platform_; }
   Scheduler& scheduler() { return sched_; }
   KernelHeap& heap() { return heap_; }
+  /// Page-table pool accounting (footprint/density instrumentation).
+  const mmu::PageTableAllocator& pt_pool() const { return pt_alloc_; }
   const KernelConfig& config() const { return cfg_; }
   HwMgrLatencies& hwmgr_latencies() { return hwmgr_lat_; }
   const std::string& console() const { return console_; }
@@ -200,6 +243,15 @@ class Kernel {
 
   // -- run-loop pieces --
   void boot();
+  /// Allocate an ASID tag; on generation rollover performs the one full TLB
+  /// flush and immediately re-tags the running VM (its old tag is retired
+  /// but still loaded in CONTEXTIDR — leaving it would let the recycler
+  /// hand the same number to another VM of the new generation).
+  AsidTag alloc_asid();
+  /// Re-tag `pd` if its ASID tag belongs to a retired generation (called on
+  /// switch-in: the lazy revalidation half of the rollover scheme).
+  void ensure_asid_current(ProtectionDomain& pd);
+  void set_parked(ProtectionDomain& pd, bool parked);
   void stage_bitstreams();
   void handle_pending_irqs();
   void route_irq(u32 irq);
@@ -268,6 +320,8 @@ class Kernel {
       "kernel.unrouted_irq")};
   sim::CounterHandle c_virq_injected_{platform_.stats().handle(
       "kernel.virq_injected")};
+  sim::CounterHandle c_lazy_space_faults_{platform_.stats().handle(
+      "kernel.lazy_space_faults")};
   HwMgrLatencies hwmgr_lat_;
   u64 vm_switches_ = 0;
   u64 hypercalls_ = 0;
@@ -280,8 +334,19 @@ class Kernel {
   IntrospectionHook hook_;
   std::string console_;
   std::vector<u8> sd_image_;
-  u32 next_asid_ = 1;
+  AsidAllocator asid_alloc_;
   u32 next_vm_index_ = 0;
+  // Recycled identifiers (destroy_vm feeds these, create_vm drains them).
+  std::vector<u32> free_vm_indices_;
+  std::vector<PdId> free_pd_slots_;
+  // Density bookkeeping: run-loop scans are gated on these counts so a
+  // thousand idle VMs cost nothing per tick.
+  u32 parked_count_ = 0;
+  u32 vtimers_enabled_ = 0;
+  u64 lazy_space_faults_ = 0;
+  u64 asid_rollovers_ = 0;
+  u64 vms_destroyed_ = 0;
+  u64 vm_switch_cycles_ = 0;
   util::Logger log_{"nova.kernel"};
 };
 

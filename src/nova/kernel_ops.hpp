@@ -39,6 +39,12 @@ class KernelOps {
   ProtectionDomain* current();
   /// Synchronous PD switch (full vCPU/vGIC save-restore; §IV.E).
   void vm_switch_to(ProtectionDomain* to);
+  /// Materialize a lazily-booted PD's address space before a handler
+  /// operates on it (no-op for eager PDs).
+  void ensure_space(ProtectionDomain& pd);
+  /// Keep the kernel's count of armed vtimers in sync (the tick path skips
+  /// its PD sweep entirely when the count is zero — VM-density requirement).
+  void vtimer_armed_changed(bool was_enabled, bool now_enabled);
 
   // ---- kernel-owned shared-device state (hc_io) ----
   std::string& console_buffer();

@@ -16,9 +16,14 @@ void Kernel::run_until(cycles_t deadline) {
     platform_.pump();
     handle_pending_irqs();
 
-    // Wake parked PDs that now have deliverable virtual interrupts.
-    for (auto& p : pds_)
-      if (p->parked && p->vgic().any_deliverable()) p->parked = false;
+    // Wake parked PDs that now have deliverable virtual interrupts. Gated
+    // on the parked count so a dense population of runnable VMs never pays
+    // the sweep; destroyed PDs leave null slots behind.
+    if (parked_count_ != 0) {
+      for (auto& p : pds_)
+        if (p != nullptr && p->parked && p->vgic().any_deliverable())
+          set_parked(*p, false);
+    }
 
     ProtectionDomain* pd = sched_.pick_eligible(
         [](const ProtectionDomain* p) { return !p->parked; });
@@ -60,7 +65,7 @@ void Kernel::run_until(cycles_t deadline) {
     } else if (exit == StepExit::kYield) {
       // Nothing to do until an event: park so lower-priority PDs (or the
       // idle loop) get the CPU. A deliverable vIRQ unparks it above.
-      pd->parked = true;
+      set_parked(*pd, true);
     }
   }
 }
@@ -120,7 +125,7 @@ void Kernel::route_irq(u32 irq) {
     // are cold — the cache effect behind the PL IRQ entry row of Table III.
     ProtectionDomain* owner = nullptr;
     for (auto& pd : pds_) {
-      if (pd->guest() == nullptr) continue;  // services own no vIRQs
+      if (pd == nullptr || pd->guest() == nullptr) continue;  // services/dead
       pd->vgic().charge_lookup(core);
       if (pd->id() == irq_owner_[irq]) {
         owner = pd.get();
@@ -140,8 +145,12 @@ void Kernel::kernel_tick() {
   core.exec_code(rg_tick_);
   platform_.private_timer().clear_event_flag();
   core.spend(core.caches().access_device());  // timer status ack
+  // Skip the PD sweep when no vtimer is armed: at density (thousands of
+  // idle VMs) the per-tick walk would dominate host time.
+  if (vtimers_enabled_ == 0) return;
   const cycles_t now = core.clock().now();
   for (auto& pd : pds_) {
+    if (pd == nullptr) continue;
     VtimerState& vt = pd->vcpu().vtimer();
     if (!vt.enabled) continue;
     if (now >= vt.next_deadline) {
@@ -180,6 +189,7 @@ void Kernel::vm_switch(ProtectionDomain* to) {
   platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kVmSwitch,
                          current_ ? current_->id() : 0xFFFF'FFFFu, to->id());
   auto& core = platform_.cpu();
+  const cycles_t sw_t0 = core.clock().now();
   core.exec_code(rg_vm_switch_);
   if (current_ != nullptr) {
     current_->vcpu().save_active(core);
@@ -187,6 +197,9 @@ void Kernel::vm_switch(ProtectionDomain* to) {
     if (!cfg_.lazy_vfp) current_->vcpu().save_vfp(core);
     if (!cfg_.lazy_l2ctrl) current_->vcpu().save_l2ctrl(core);
   }
+  // Lazy ASID revalidation: a VM holding a tag from a retired generation
+  // gets a fresh one before its ASID is loaded (rollover already flushed).
+  ensure_asid_current(*to);
   to->vcpu().restore_active(core);
   if (!cfg_.use_asid) {
     // Ablation: without ASIDs every switch flushes the whole TLB.
@@ -198,6 +211,7 @@ void Kernel::vm_switch(ProtectionDomain* to) {
   to->vgic().unmask_enabled_physical(core);
   current_ = to;
   ++vm_switches_;
+  vm_switch_cycles_ += core.clock().now() - sw_t0;
   notify_introspection(KernelEvent::kVmSwitch, TrapKind::kCount);
 }
 

@@ -72,6 +72,12 @@ constexpr paddr_t vm_phys_base(u32 vm_index) {
   return kVmPhysBase + vm_index * kVmPhysStride;
 }
 
+/// Number of 16 MB VM slabs that fit in the 512 MB DDR above kVmPhysBase.
+/// VMs created beyond this count (density/churn workloads) can exist as
+/// schedulable kernel objects but must never materialize guest memory.
+inline constexpr u32 kVmMaxSlots =
+    (mem::kDdrSize - kVmPhysBase) / kVmPhysStride;
+
 // ---- Per-VM virtual layout ----
 inline constexpr vaddr_t kGuestKernelVa = 0x0000'0000u;
 inline constexpr u32 kGuestKernelSize = 4 * kMiB;

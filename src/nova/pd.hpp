@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <list>
 #include <memory>
 #include <string>
 
@@ -19,6 +20,7 @@
 #include "nova/portal.hpp"
 #include "nova/vcpu.hpp"
 #include "nova/vgic.hpp"
+#include "util/assert.hpp"
 #include "util/types.hpp"
 
 namespace minova::nova {
@@ -49,11 +51,24 @@ struct HwTaskRequest {
 
 enum class PdState : u8 { kReady, kSuspended, kHalted };
 
+/// Kernel-heap footprint of the PD descriptor + portal table control block
+/// (carved from the heap's control region; recycled on PD destruction).
+inline constexpr u32 kPdCtrlBytes = 256;
+
 class ProtectionDomain {
  public:
+  /// `space` may be null for a lazily-booted VM: the kernel materializes
+  /// the address space on first touch (see Kernel::lazy_fault_fixup) and
+  /// installs it with set_space(). `lazy_vgic` defers the vGIC record-list
+  /// allocation the same way.
   ProtectionDomain(PdId id, std::string name, u32 priority, KernelHeap& heap,
                    irq::Gic& gic, u32 asid,
-                   std::unique_ptr<mmu::AddressSpace> space, u32 caps);
+                   std::unique_ptr<mmu::AddressSpace> space, u32 caps,
+                   bool lazy_vgic = false);
+  ~ProtectionDomain();
+
+  ProtectionDomain(const ProtectionDomain&) = delete;
+  ProtectionDomain& operator=(const ProtectionDomain&) = delete;
 
   PdId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -68,8 +83,18 @@ class ProtectionDomain {
   const Vcpu& vcpu() const { return vcpu_; }
   VGic& vgic() { return vgic_; }
   const VGic& vgic() const { return vgic_; }
-  mmu::AddressSpace& space() { return *space_; }
-  const mmu::AddressSpace& space() const { return *space_; }
+  mmu::AddressSpace& space() {
+    MINOVA_CHECK_MSG(space_ != nullptr, "lazy PD has no address space yet");
+    return *space_;
+  }
+  const mmu::AddressSpace& space() const {
+    MINOVA_CHECK_MSG(space_ != nullptr, "lazy PD has no address space yet");
+    return *space_;
+  }
+  bool has_space() const { return space_ != nullptr; }
+  void set_space(std::unique_ptr<mmu::AddressSpace> s) {
+    space_ = std::move(s);
+  }
 
   /// Mutation hook for oracle sanity tests ONLY: overwrites the capability
   /// mask *without* rebuilding the portal table, deliberately seeding a
@@ -85,9 +110,20 @@ class ProtectionDomain {
   PdState state() const { return state_; }
   void set_state(PdState s) { state_ = s; }
 
+  /// Control-block address in the heap's control region (footprint benches).
+  paddr_t ctrl_block() const { return ctrl_pa_; }
+
   // Scheduling bookkeeping (owned by the scheduler/kernel).
   cycles_t quantum_left = 0;
   bool booted = false;
+  // O(1) queue membership: the scheduler stores this PD's position in its
+  // run-queue level (or the suspended list) so enqueue/suspend/remove need
+  // no list scans at VM density. `sched_owner` scopes the membership to one
+  // scheduler instance — a PD handed to a different scheduler starts clean.
+  std::list<ProtectionDomain*>::iterator sched_it{};
+  u64 sched_owner = 0;
+  bool in_run_queue = false;
+  bool in_suspended = false;
   // Parked: yielded with nothing to do; skipped by dispatch until a virtual
   // interrupt becomes deliverable. Lets lower-priority PDs run while a
   // high-priority VM sleeps.
@@ -116,6 +152,8 @@ class ProtectionDomain {
   u32 priority_;
   u32 caps_;
   PortalTable portals_;
+  KernelHeap* heap_;
+  paddr_t ctrl_pa_;
   std::unique_ptr<mmu::AddressSpace> space_;
   Vcpu vcpu_;
   VGic vgic_;

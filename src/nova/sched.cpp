@@ -1,39 +1,71 @@
 #include "nova/sched.hpp"
 
-#include <algorithm>
-
 #include "util/assert.hpp"
 
 namespace minova::nova {
 
-namespace {
-bool contains(const std::list<ProtectionDomain*>& l,
-              const ProtectionDomain* pd) {
-  return std::find(l.begin(), l.end(), pd) != l.end();
+// All queue mutations are O(1): each PD carries its own list iterator
+// (`sched_it`) plus membership flags, so membership tests and removals need
+// no scans — a hard requirement once thousands of VMs churn through the
+// run queue. FIFO order within a level is unchanged from the list-scan
+// implementation.
+
+u64 Scheduler::next_stamp() {
+  static u64 counter = 0;
+  return ++counter;
 }
-}  // namespace
+
+// Claim the PD's membership bookkeeping for this scheduler instance; flags
+// left behind by another (possibly destroyed) scheduler are stale.
+void Scheduler::adopt(ProtectionDomain* pd) const {
+  if (pd->sched_owner != stamp_) {
+    pd->sched_owner = stamp_;
+    pd->in_run_queue = false;
+    pd->in_suspended = false;
+  }
+}
 
 void Scheduler::enqueue(ProtectionDomain* pd) {
   MINOVA_CHECK(pd != nullptr);
   MINOVA_CHECK(pd->priority() < kNumPriorities);
-  if (is_runnable(pd)) return;
-  suspended_.remove(pd);
+  adopt(pd);
+  if (pd->in_run_queue) return;
+  if (pd->in_suspended) {
+    suspended_.erase(pd->sched_it);
+    pd->in_suspended = false;
+  }
   if (pd->quantum_left == 0) pd->quantum_left = default_quantum_;
-  level(pd->priority()).push_back(pd);
+  auto& lvl = level(pd->priority());
+  pd->sched_it = lvl.insert(lvl.end(), pd);
+  pd->in_run_queue = true;
   pd->set_state(PdState::kReady);
 }
 
 void Scheduler::suspend(ProtectionDomain* pd) {
   MINOVA_CHECK(pd != nullptr);
-  level(pd->priority()).remove(pd);
-  if (!contains(suspended_, pd)) suspended_.push_back(pd);
+  adopt(pd);
+  if (pd->in_run_queue) {
+    level(pd->priority()).erase(pd->sched_it);
+    pd->in_run_queue = false;
+  }
+  if (!pd->in_suspended) {
+    pd->sched_it = suspended_.insert(suspended_.end(), pd);
+    pd->in_suspended = true;
+  }
   pd->set_state(PdState::kSuspended);
 }
 
 void Scheduler::remove(ProtectionDomain* pd) {
   MINOVA_CHECK(pd != nullptr);
-  level(pd->priority()).remove(pd);
-  suspended_.remove(pd);
+  adopt(pd);
+  if (pd->in_run_queue) {
+    level(pd->priority()).erase(pd->sched_it);
+    pd->in_run_queue = false;
+  }
+  if (pd->in_suspended) {
+    suspended_.erase(pd->sched_it);
+    pd->in_suspended = false;
+  }
   pd->set_state(PdState::kHalted);
 }
 
@@ -56,20 +88,19 @@ ProtectionDomain* Scheduler::pick_eligible(
 void Scheduler::rotate(ProtectionDomain* pd) {
   MINOVA_CHECK(pd != nullptr);
   auto& lvl = level(pd->priority());
-  if (lvl.front() == pd) {
+  if (pd->sched_owner == stamp_ && pd->in_run_queue && lvl.front() == pd) {
     lvl.pop_front();
-    lvl.push_back(pd);
+    pd->sched_it = lvl.insert(lvl.end(), pd);
   }
   pd->quantum_left = default_quantum_;
 }
 
 bool Scheduler::is_runnable(const ProtectionDomain* pd) const {
-  return contains(levels_[pd->priority()],
-                  const_cast<ProtectionDomain*>(pd));
+  return pd->sched_owner == stamp_ && pd->in_run_queue;
 }
 
 bool Scheduler::is_suspended(const ProtectionDomain* pd) const {
-  return contains(suspended_, const_cast<ProtectionDomain*>(pd));
+  return pd->sched_owner == stamp_ && pd->in_suspended;
 }
 
 bool Scheduler::higher_priority_ready(const ProtectionDomain* pd) {

@@ -24,7 +24,9 @@ class Scheduler {
   static constexpr u32 kNumPriorities = 8;
 
   explicit Scheduler(cycles_t default_quantum)
-      : default_quantum_(default_quantum), levels_(kNumPriorities) {}
+      : default_quantum_(default_quantum),
+        stamp_(next_stamp()),
+        levels_(kNumPriorities) {}
 
   /// Add a PD to the run queue (at the back of its priority level). Arms a
   /// fresh quantum when none is pending.
@@ -67,7 +69,15 @@ class Scheduler {
  private:
   std::list<ProtectionDomain*>& level(u32 prio) { return levels_[prio]; }
 
+  /// Process-unique instance stamp. PDs scope their membership flags to one
+  /// scheduler via this stamp rather than the instance address: a fresh
+  /// scheduler constructed at a recycled address must not inherit stale
+  /// membership claims.
+  static u64 next_stamp();
+  void adopt(ProtectionDomain* pd) const;
+
   cycles_t default_quantum_;
+  u64 stamp_;
   std::vector<std::list<ProtectionDomain*>> levels_;
   std::list<ProtectionDomain*> suspended_;
 };

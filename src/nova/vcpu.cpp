@@ -3,11 +3,14 @@
 namespace minova::nova {
 
 Vcpu::Vcpu(KernelHeap& heap, u32 asid)
-    : save_area_(heap.alloc((kActiveWords + kVfpWords + kL2CtrlWords) * 4, 64)),
+    : heap_(&heap),
+      save_area_(heap.alloc((kActiveWords + kVfpWords + kL2CtrlWords) * 4, 64)),
       asid_(asid) {
   psr_.mode = cpu::Mode::kUsr;
   psr_.irq_masked = false;
 }
+
+Vcpu::~Vcpu() { heap_->free(save_area_); }
 
 void Vcpu::touch_area(cpu::Core& core, u32 words, bool write) const {
   // Stream the save area through the kernel's global mapping; faults are

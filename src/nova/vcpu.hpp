@@ -28,8 +28,13 @@ struct VtimerState {
 
 class Vcpu {
  public:
-  /// Allocates the save area from the kernel heap.
+  /// Allocates the save area from the kernel heap; returns it on
+  /// destruction (the heap must outlive the vCPU).
   Vcpu(KernelHeap& heap, u32 asid);
+  ~Vcpu();
+
+  Vcpu(const Vcpu&) = delete;
+  Vcpu& operator=(const Vcpu&) = delete;
 
   // ---- actively switched state ----
   /// Capture the running state of `core` into this vCPU (charging the
@@ -60,6 +65,14 @@ class Vcpu {
   u32 dacr() const { return dacr_; }
   void set_dacr(u32 d) { dacr_ = d; }
   u32 asid() const { return asid_; }
+  /// ASID generation (see nova/asid.hpp). A vCPU whose generation is older
+  /// than the allocator's holds a retired tag and must be re-tagged before
+  /// it runs again.
+  u32 asid_gen() const { return asid_gen_; }
+  void set_asid_tag(u32 asid, u32 gen) {
+    asid_ = asid;
+    asid_gen_ = gen;
+  }
 
   VtimerState& vtimer() { return vtimer_; }
   const VtimerState& vtimer() const { return vtimer_; }
@@ -75,8 +88,10 @@ class Vcpu {
  private:
   void touch_area(cpu::Core& core, u32 words, bool write) const;
 
+  KernelHeap* heap_;
   paddr_t save_area_;
   u32 asid_;
+  u32 asid_gen_ = 0;
 
   // Mirrored architectural values (the data also "lives" in the save area;
   // the mirror avoids re-serializing on every kernel inspection).

@@ -6,8 +6,18 @@
 
 namespace minova::nova {
 
-VGic::VGic(KernelHeap& heap, irq::Gic& gic)
-    : gic_(gic), list_area_(heap.alloc(kMaxEntries * 8, 64)) {}
+VGic::VGic(KernelHeap& heap, irq::Gic& gic, bool lazy_area)
+    : gic_(gic),
+      heap_(&heap),
+      list_area_(lazy_area ? 0 : heap.alloc(kMaxEntries * 8, 64)) {}
+
+VGic::~VGic() {
+  if (list_area_ != 0) heap_->free(list_area_);
+}
+
+void VGic::ensure_area() const {
+  if (list_area_ == 0) list_area_ = heap_->alloc(kMaxEntries * 8, 64);
+}
 
 const VirqRecord* VGic::find(u32 irq) const {
   for (const auto& r : records_)
@@ -53,6 +63,7 @@ void VGic::set_pending(u32 irq) {
 }
 
 void VGic::set_pending_charged(cpu::Core& core, u32 irq) {
+  ensure_area();
   // Locate the record (scan) and mark it pending (write).
   for (u32 i = 0; i < kMaxEntries; ++i) {
     if (records_[i].irq == 0) continue;
@@ -66,6 +77,7 @@ void VGic::set_pending_charged(cpu::Core& core, u32 irq) {
 }
 
 bool VGic::take_pending_charged(cpu::Core& core, u32& irq_out) {
+  ensure_area();
   for (u32 i = 0; i < kMaxEntries; ++i) {
     if (records_[i].irq == 0) continue;
     (void)core.vread32(kernel_va(list_area_) + i * 8);
@@ -94,11 +106,13 @@ bool VGic::take_pending(u32& irq_out) {
 }
 
 void VGic::charge_lookup(cpu::Core& core) const {
+  ensure_area();
   (void)core.vread32(kernel_va(list_area_));
   (void)core.vread32(kernel_va(list_area_) + 32);
 }
 
 void VGic::touch_list(cpu::Core& core) const {
+  ensure_area();
   // Walk the record list in kernel memory: one word per occupied slot (the
   // state readback of Fig. 2's "values are read back to vGIC on exit").
   for (u32 i = 0; i < kMaxEntries; ++i) {

@@ -30,7 +30,15 @@ class VGic {
  public:
   static constexpr u32 kMaxEntries = 16;
 
-  VGic(KernelHeap& heap, irq::Gic& gic);
+  /// When `lazy_area` is set, the kernel-memory record list is not
+  /// allocated until the first charged operation touches it (lazy VM boot:
+  /// a VM that never takes an interrupt never pays for the table). The
+  /// area is returned to the heap on destruction.
+  VGic(KernelHeap& heap, irq::Gic& gic, bool lazy_area = false);
+  ~VGic();
+
+  VGic(const VGic&) = delete;
+  VGic& operator=(const VGic&) = delete;
 
   /// Register an IRQ source for this VM (idempotent). Returns false when
   /// the record list is full.
@@ -78,13 +86,20 @@ class VGic {
     return records_;
   }
 
+  /// Lazy-boot introspection: has the kernel-memory record list been
+  /// materialized yet? (Leak oracles count one heap block per built vGIC.)
+  bool has_area() const { return list_area_ != 0; }
+
  private:
   const VirqRecord* find(u32 irq) const;
   VirqRecord* find(u32 irq);
   void touch_list(cpu::Core& core) const;
+  /// Materialize the record list on first charged use (no-op when eager).
+  void ensure_area() const;
 
   irq::Gic& gic_;
-  paddr_t list_area_;
+  KernelHeap* heap_;
+  mutable paddr_t list_area_;
   std::array<VirqRecord, kMaxEntries> records_{};
   vaddr_t entry_ = 0;
 };

@@ -242,6 +242,40 @@ TEST_F(OracleMutationTest, TlbCoherenceCatchesUnknownAsid) {
   expect_fires(Oracle::kTlbCoherence);
 }
 
+TEST_F(OracleMutationTest, ObjectLeakCatchesOrphanHeapBlock) {
+  expect_clean_baseline();
+  // A kernel object allocated but owned by nothing — what a destroy path
+  // that forgot one free would leave behind (the density leak oracle).
+  kernel_.heap().alloc(64);
+  expect_fires(Oracle::kObjectLeak);
+}
+
+TEST_F(OracleMutationTest, ObjectLeakCatchesOrphanControlBlock) {
+  expect_clean_baseline();
+  // Same for the downward-carved control region: ctrl blocks must match
+  // live PDs one-to-one.
+  kernel_.heap().alloc_ctrl(64);
+  expect_fires(Oracle::kObjectLeak);
+}
+
+TEST_F(OracleMutationTest, AsidUniquenessCatchesAliasedLiveVms) {
+  expect_clean_baseline();
+  // Two live VMs sharing one (ASID, generation): their TLB entries become
+  // indistinguishable — the exact corruption a bump allocator reaches
+  // after 255 creates.
+  vm1_->vcpu().set_asid_tag(vm0_->vcpu().asid(), vm0_->vcpu().asid_gen());
+  expect_fires(Oracle::kAsidUniqueness);
+}
+
+TEST_F(OracleMutationTest, AsidUniquenessCatchesOutOfRangeTag) {
+  expect_clean_baseline();
+  // ASID 0 is the kernel's; an 8-bit CONTEXTIDR cannot hold 300 either.
+  vm1_->vcpu().set_asid_tag(0, vm1_->vcpu().asid_gen());
+  expect_fires(Oracle::kAsidUniqueness);
+  vm1_->vcpu().set_asid_tag(300, vm1_->vcpu().asid_gen());
+  expect_fires(Oracle::kAsidUniqueness);
+}
+
 TEST_F(OracleMutationTest, CatalogueCoversAtLeastEightOracles) {
   // The acceptance floor: the catalogue holds >= 8 distinct oracles and
   // every one is classified into exactly one cost tier.

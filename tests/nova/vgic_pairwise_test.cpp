@@ -16,6 +16,7 @@
 
 #include <array>
 #include <memory>
+#include <deque>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -35,7 +36,6 @@ class PairRig {
   static constexpr u32 kSourcesPerVm = 6;
 
   PairRig() : heap_(kKernelHeapBase + 3 * kMiB, 2 * kMiB) {
-    vgics_.reserve(kNumVms);
     for (u32 v = 0; v < kNumVms; ++v) {
       vgics_.emplace_back(heap_, platform_.gic());
       VGic& vg = vgics_.back();
@@ -77,7 +77,7 @@ class PairRig {
 
   Platform platform_;
   KernelHeap heap_;
-  std::vector<VGic> vgics_;
+  std::deque<VGic> vgics_;
 };
 
 TEST(VGicPairwiseSweep, EveryOrderedSwitchPairYieldsExactMaskUnmaskSets) {

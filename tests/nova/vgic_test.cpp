@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <deque>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -133,7 +134,6 @@ class VGicSwitchTest : public ::testing::Test {
   }};
 
   VGicSwitchTest() : heap_(kKernelHeapBase + 3 * kMiB, 2 * kMiB) {
-    vgics_.reserve(kNumVms);
     for (u32 v = 0; v < kNumVms; ++v) {
       vgics_.emplace_back(heap_, platform_.gic());
       for (u32 irq : kSources[v]) vgics_[v].register_irq(irq);
@@ -160,7 +160,7 @@ class VGicSwitchTest : public ::testing::Test {
 
   Platform platform_;
   KernelHeap heap_;
-  std::vector<VGic> vgics_;
+  std::deque<VGic> vgics_;
 };
 
 TEST_F(VGicSwitchTest, ExactlyIncomingVmsEnabledIrqsUnmaskedAfterSwitch) {
