@@ -53,6 +53,46 @@ def check_density(density: dict) -> None:
           f"({churn.get('vms_destroyed')} VMs destroyed)")
 
 
+def check_smp(smp: dict, t3: dict) -> None:
+    """Validate the SMP section against the unicore Table III results.
+
+    The cores=1 point runs the exact Table III 4-guest configuration on a
+    one-core kernel, so every latency row must be bit-identical to the
+    table3 section's last column — the SMP refactor's no-regression gate.
+    Multi-core points must show live protocol machinery (IPIs, shootdowns).
+    """
+    cores = smp.get("cores", [])
+    if not cores or cores[0] != 1:
+        fail("smp section must lead with a cores=1 point")
+    rows = t3.get("sim_rows", {})
+    bad = 0
+    for name in ("entry", "exit", "irq_entry", "exec", "total", "samples"):
+        got = smp.get(name, [None])[0]
+        want = rows.get(name, [None])[-1]  # table3's 4-guest column
+        if got is None or want is None:
+            print(f"  smp row '{name}' missing")
+            bad += 1
+            continue
+        if not math.isclose(float(got), float(want), rel_tol=REL_TOL,
+                            abs_tol=1e-12):
+            print(f"  smp cores=1 '{name}': got {got}, table3 4-guest {want}")
+            bad += 1
+    for name in ("ipis_sent", "shootdowns_sent", "steals"):
+        if smp.get(name, [None])[0] != 0:
+            print(f"  smp cores=1 '{name}' nonzero: unicore ran SMP paths")
+            bad += 1
+    for i, n in enumerate(cores[1:], start=1):
+        for name in ("ipis_sent", "shootdowns_sent", "shootdown_acks"):
+            vals = smp.get(name, [])
+            if i >= len(vals) or vals[i] == 0:
+                print(f"  smp cores={n} '{name}' is zero: protocol dead")
+                bad += 1
+    if bad:
+        fail(f"{bad} SMP value(s) violated the scaling gates")
+    print(f"check_table3: smp OK — cores=1 bit-identical to the 4-guest "
+          f"row; protocol live at cores={cores[1:]}")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
         fail("usage: check_table3.py BENCH_results.json [golden.json]")
@@ -101,6 +141,10 @@ def main() -> None:
     density = results.get("density")
     if density is not None:
         check_density(density)
+
+    smp = results.get("smp")
+    if smp is not None:
+        check_smp(smp, t3)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@
 #include "density.hpp"
 #include "harness.hpp"
 #include "selftime.hpp"
+#include "smp.hpp"
 
 using namespace minova;
 
@@ -41,6 +42,10 @@ int main(int argc, char** argv) {
   rows[0] = bench::run_native(sim_ms, 42);
   for (u32 g = 1; g <= 4; ++g)
     rows[g] = bench::run_virtualized(g, sim_ms, 42);
+
+  std::printf("run_all: SMP scaling 1/2/4 cores ...\n");
+  std::vector<bench::SmpPoint> smp;
+  for (u32 c : {1u, 2u, 4u}) smp.push_back(bench::run_smp_point(c, sim_ms));
 
   std::printf("run_all: self-timing mixes ...\n");
   const auto mixes = bench::run_all_mixes();
@@ -106,6 +111,45 @@ int main(int argc, char** argv) {
                  jd(host_s).c_str(),
                  jd(host_s > 0 ? sim_us / host_s : 0.0).c_str());
   }
+  // SMP section: the same 4-guest configuration at 1/2/4 cores. The
+  // cores=1 latency row is golden-gated: check_table3.py asserts it is
+  // bit-identical to the table3 4-guest column above (the unicore kernel
+  // takes none of the SMP paths).
+  std::fprintf(f, "  },\n  \"smp\": {\n    \"cores\": [1, 2, 4],\n");
+  const auto smp_d = [&](const char* name,
+                         double bench::Measurement::* m, bool last = false) {
+    std::fprintf(f, "    \"%s\": [", name);
+    for (std::size_t i = 0; i < smp.size(); ++i)
+      std::fprintf(f, "%s%s", jd(smp[i].m.*m).c_str(),
+                   i + 1 < smp.size() ? ", " : "");
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+  };
+  const auto smp_u = [&](const char* name, u64 bench::SmpPoint::* m,
+                         bool last = false) {
+    std::fprintf(f, "    \"%s\": [", name);
+    for (std::size_t i = 0; i < smp.size(); ++i)
+      std::fprintf(f, "%llu%s", (unsigned long long)(smp[i].*m),
+                   i + 1 < smp.size() ? ", " : "");
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+  };
+  smp_d("entry", &bench::Measurement::entry);
+  smp_d("exit", &bench::Measurement::exit);
+  smp_d("irq_entry", &bench::Measurement::irq_entry);
+  smp_d("exec", &bench::Measurement::exec);
+  smp_d("total", &bench::Measurement::total);
+  {
+    std::fprintf(f, "    \"samples\": [");
+    for (std::size_t i = 0; i < smp.size(); ++i)
+      std::fprintf(f, "%zu%s", smp[i].m.samples,
+                   i + 1 < smp.size() ? ", " : "");
+    std::fprintf(f, "],\n");
+  }
+  smp_u("ipis_sent", &bench::SmpPoint::ipis_sent);
+  smp_u("steals", &bench::SmpPoint::steals);
+  smp_u("shootdowns_sent", &bench::SmpPoint::shootdowns_sent);
+  smp_u("shootdown_acks", &bench::SmpPoint::shootdown_acks);
+  smp_u("cross_core_irqs", &bench::SmpPoint::cross_core_irqs);
+  smp_u("vm_switches", &bench::SmpPoint::vm_switches, true);
   std::fprintf(f, "  },\n  \"selftime\": [\n");
   for (std::size_t i = 0; i < mixes.size(); ++i) {
     const auto& m = mixes[i];

@@ -1,5 +1,6 @@
 #include "fuzz/invariants.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -28,6 +29,9 @@ const char* oracle_name(Oracle o) {
     case Oracle::kTlbCoherence: return "tlb-coherence";
     case Oracle::kObjectLeak: return "object-leak";
     case Oracle::kAsidUniqueness: return "asid-uniqueness";
+    case Oracle::kCorePartition: return "core-partition";
+    case Oracle::kShootdownComplete: return "shootdown-complete";
+    case Oracle::kCoreExclusivity: return "core-exclusivity";
     case Oracle::kCount: break;
   }
   return "?";
@@ -84,6 +88,9 @@ void InvariantSuite::check(Oracle o, std::vector<Violation>& out) const {
     case Oracle::kTlbCoherence: check_tlb_coherence(out); break;
     case Oracle::kObjectLeak: check_object_leak(out); break;
     case Oracle::kAsidUniqueness: check_asid_uniqueness(out); break;
+    case Oracle::kCorePartition: check_core_partition(out); break;
+    case Oracle::kShootdownComplete: check_shootdown_complete(out); break;
+    case Oracle::kCoreExclusivity: check_core_exclusivity(out); break;
     case Oracle::kCount: break;
   }
 }
@@ -191,18 +198,28 @@ void InvariantSuite::check_dacr_mode(std::vector<Violation>& out) const {
 // which stays boot-enabled so transfer completions arrive while the PCAP
 // owner is descheduled (completion routing, paper §IV.E stage 6).
 void InvariantSuite::check_irq_mask(std::vector<Violation>& out) const {
-  const ProtectionDomain* cur = insp_.current();
+  // "Descheduled" under SMP means current on *no* core: a VM on-CPU on any
+  // core legitimately keeps its enabled sources unmasked at the shared GIC.
+  std::vector<const ProtectionDomain*> on_cpu;
+  for (u32 c = 0; c < insp_.num_cores(); ++c)
+    if (const ProtectionDomain* cv = insp_.core(c).current_vm())
+      on_cpu.push_back(cv);
   auto& gic = insp_.platform().gic();
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
-    if (pd == nullptr || pd == cur) continue;
+    if (pd == nullptr) continue;
+    if (std::find(on_cpu.begin(), on_cpu.end(), pd) != on_cpu.end()) continue;
     for (const auto& rec : pd->vgic().records()) {
       if (rec.irq == 0 || rec.irq >= mem::kNumIrqs) continue;  // virtual-only
       if (rec.irq == mem::kIrqDevcfg) continue;
       if (!gic.is_enabled(rec.irq)) continue;
-      const bool shared_with_current =
-          cur != nullptr && cur->vgic().is_registered(rec.irq) &&
-          cur->vgic().is_enabled(rec.irq);
+      bool shared_with_current = false;
+      for (const ProtectionDomain* cur : on_cpu)
+        if (cur->vgic().is_registered(rec.irq) &&
+            cur->vgic().is_enabled(rec.irq)) {
+          shared_with_current = true;
+          break;
+        }
       if (!shared_with_current)
         add(out, Oracle::kIrqMaskDiscipline,
             "irq " + std::to_string(rec.irq) + " of descheduled pd '" +
@@ -219,27 +236,48 @@ void InvariantSuite::check_irq_unmask(std::vector<Violation>& out) const {
   for (const auto& rec : cur->vgic().records()) {
     if (rec.irq == 0 || rec.irq >= mem::kNumIrqs) continue;
     if (rec.irq == mem::kIrqDevcfg) continue;  // boot-enabled, shared routing
-    if (rec.enabled != gic.is_enabled(rec.irq))
-      add(out, Oracle::kIrqUnmaskDiscipline,
-          "current pd '" + cur->name() + "' irq " + std::to_string(rec.irq) +
-              (rec.enabled ? " virtually enabled but masked at the GIC"
-                           : " virtually disabled but unmasked at the GIC"));
+    if (rec.enabled == gic.is_enabled(rec.irq)) continue;
+    if (!rec.enabled) {
+      // Under SMP the GIC enable bit is the OR over all on-CPU VMs' wishes:
+      // a source this VM disabled legitimately stays unmasked while a
+      // sibling core's current VM holds it registered and enabled (per-IRQ
+      // targeting routes it to that core, not here).
+      bool shared_enabled = false;
+      for (u32 c = 0; c < insp_.num_cores() && !shared_enabled; ++c) {
+        const ProtectionDomain* oc = insp_.core(c).current_vm();
+        if (oc == nullptr || oc == cur) continue;
+        shared_enabled =
+            oc->vgic().is_registered(rec.irq) && oc->vgic().is_enabled(rec.irq);
+      }
+      if (shared_enabled) continue;
+    }
+    add(out, Oracle::kIrqUnmaskDiscipline,
+        "current pd '" + cur->name() + "' irq " + std::to_string(rec.irq) +
+            (rec.enabled ? " virtually enabled but masked at the GIC"
+                         : " virtually disabled but unmasked at the GIC"));
   }
 }
 
 // ---- (5) scheduler queues partition live PDs --------------------------------
 void InvariantSuite::check_sched_partition(std::vector<Violation>& out) const {
-  const auto& sched = insp_.scheduler();
+  // Under SMP the partition property is global: every live non-halted PD
+  // appears exactly once across the union of *all* cores' run + suspend
+  // queues. Work stealing and migration move PDs between queues but must
+  // never duplicate or drop one.
   std::map<const ProtectionDomain*, u32> seen;  // pd -> queue appearances
-  for (u32 prio = 0; prio < nova::Scheduler::kNumPriorities; ++prio)
-    for (const ProtectionDomain* pd : sched.level_queue(prio)) {
-      ++seen[pd];
-      if (pd->priority() != prio)
-        add(out, Oracle::kSchedPartition,
-            "pd '" + pd->name() + "' (prio " + std::to_string(pd->priority()) +
-                ") queued at level " + std::to_string(prio));
-    }
-  for (const ProtectionDomain* pd : sched.suspended_queue()) ++seen[pd];
+  for (u32 c = 0; c < insp_.num_cores(); ++c) {
+    const auto& sched = insp_.core(c).runqueue();
+    for (u32 prio = 0; prio < nova::Scheduler::kNumPriorities; ++prio)
+      for (const ProtectionDomain* pd : sched.level_queue(prio)) {
+        ++seen[pd];
+        if (pd->priority() != prio)
+          add(out, Oracle::kSchedPartition,
+              "pd '" + pd->name() + "' (prio " +
+                  std::to_string(pd->priority()) + ") queued at level " +
+                  std::to_string(prio) + " on core " + std::to_string(c));
+      }
+    for (const ProtectionDomain* pd : sched.suspended_queue()) ++seen[pd];
+  }
 
   for (u32 i = 0; i < insp_.pd_count(); ++i) {
     const ProtectionDomain* pd = insp_.pd(i);
@@ -522,6 +560,94 @@ void InvariantSuite::check_asid_uniqueness(std::vector<Violation>& out) const {
           "(asid " + std::to_string(asid) + ", gen " + std::to_string(gen) +
               ") shared by live pds '" + it->second->name() + "' and '" +
               pd->name() + "'");
+  }
+}
+
+// ---- (13) queue membership agrees with core affinity ------------------------
+//
+// Work stealing and migration are the only paths that move a PD between
+// cores, and both update run_core under the same "lock" (the take/enqueue
+// pair). A PD sitting in core i's queues with run_core != i means one of
+// those paths half-completed — the SMP analogue of a lost queue lock.
+void InvariantSuite::check_core_partition(std::vector<Violation>& out) const {
+  const ProtectionDomain* manager = insp_.manager();
+  for (u32 c = 0; c < insp_.num_cores(); ++c) {
+    const auto cv = insp_.core(c);
+    const auto& sched = cv.runqueue();
+    for (u32 prio = 0; prio < nova::Scheduler::kNumPriorities; ++prio)
+      for (const ProtectionDomain* pd : sched.level_queue(prio))
+        if (pd->run_core != c)
+          add(out, Oracle::kCorePartition,
+              "pd '" + pd->name() + "' (run_core " +
+                  std::to_string(pd->run_core) + ") queued on core " +
+                  std::to_string(c));
+    for (const ProtectionDomain* pd : sched.suspended_queue())
+      if (pd->run_core != c)
+        add(out, Oracle::kCorePartition,
+            "pd '" + pd->name() + "' (run_core " +
+                std::to_string(pd->run_core) + ") suspended on core " +
+                std::to_string(c));
+    // The manager executes synchronously on whichever core invoked it while
+    // parked in core 0's suspend queue, so it is exempt from the current
+    // check (its queue residency is still covered above).
+    const ProtectionDomain* cur = cv.current_vm();
+    if (cur != nullptr && cur != manager && cur->run_core != c)
+      add(out, Oracle::kCorePartition,
+          "pd '" + cur->name() + "' (run_core " +
+              std::to_string(cur->run_core) + ") is current on core " +
+              std::to_string(c));
+  }
+}
+
+// ---- (14) shootdown completion accounting balances --------------------------
+//
+// Every kIpiTlbShootdown the initiator sends is eventually acked by exactly
+// one drain on the target, and acks never run ahead of the global epoch.
+// A core whose mailbox holds no shootdown IPIs has processed everything
+// sent to it, so its ack epoch must equal the latest epoch (every epoch
+// bump broadcasts to every other core; the initiator self-acks at send).
+void InvariantSuite::check_shootdown_complete(std::vector<Violation>& out) const {
+  const u64 epoch = insp_.tlb_epoch();
+  u64 acked = 0;
+  u64 in_flight = 0;
+  for (u32 c = 0; c < insp_.num_cores(); ++c) {
+    const auto cv = insp_.core(c);
+    acked += cv.shootdowns_acked();
+    in_flight += cv.pending_shootdowns();
+    if (cv.shootdown_ack_epoch() > epoch)
+      add(out, Oracle::kShootdownComplete,
+          "core " + std::to_string(c) + " ack epoch " +
+              std::to_string(cv.shootdown_ack_epoch()) +
+              " ahead of global epoch " + std::to_string(epoch));
+    if (insp_.num_cores() > 1 && cv.pending_shootdowns() == 0 &&
+        cv.shootdown_ack_epoch() != epoch)
+      add(out, Oracle::kShootdownComplete,
+          "core " + std::to_string(c) + " idle mailbox but ack epoch " +
+              std::to_string(cv.shootdown_ack_epoch()) + " != global " +
+              std::to_string(epoch));
+  }
+  if (insp_.shootdowns_sent() != acked + in_flight)
+    add(out, Oracle::kShootdownComplete,
+        "sent " + std::to_string(insp_.shootdowns_sent()) + " != acked " +
+            std::to_string(acked) + " + in-flight " +
+            std::to_string(in_flight));
+}
+
+// ---- (15) no PD is current on two cores at once -----------------------------
+//
+// The single hardware context (register file, live MMU state) is swapped
+// between per-core saved contexts; a PD current on two cores would mean two
+// cores replay the same vCPU — guest state divergence on the next save.
+void InvariantSuite::check_core_exclusivity(std::vector<Violation>& out) const {
+  std::map<const ProtectionDomain*, u32> first_core;
+  for (u32 c = 0; c < insp_.num_cores(); ++c) {
+    const ProtectionDomain* cur = insp_.core(c).current_vm();
+    if (cur == nullptr) continue;
+    const auto [it, inserted] = first_core.emplace(cur, c);
+    if (!inserted)
+      add(out, Oracle::kCoreExclusivity,
+          "pd '" + cur->name() + "' is current on both core " +
+              std::to_string(it->second) + " and core " + std::to_string(c));
   }
 }
 

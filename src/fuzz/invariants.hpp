@@ -30,6 +30,19 @@
 //                      population exactly (destroying a VM leaks nothing)
 //   kAsidUniqueness    no two live PDs share an (ASID, generation) tag and
 //                      no live PD carries the null ASID
+//   kCorePartition     queue membership agrees with core affinity: a PD in
+//                      core i's run/suspend queues has run_core == i, and a
+//                      core's current PD is homed on that core (the manager
+//                      is exempt: it executes synchronously on the invoking
+//                      core while parked in core 0's suspend queue)
+//   kShootdownComplete TLB shootdown completion accounting balances:
+//                      sent == Σ acked + in-flight mailbox entries, no ack
+//                      epoch runs ahead of the global epoch, and a core with
+//                      an empty shootdown mailbox has acked the latest epoch
+//   kCoreExclusivity   no PD is current on two simulated cores at once
+//
+// The three SMP oracles are vacuous on a unicore kernel (empty mailboxes,
+// zero epochs, one current), so enabling them costs unicore shards nothing.
 //
 // Mapping-level oracles (frames, PRR ownership, hwMMU) are deferred while
 // the manager service runs inside a client's hypercall: its tables are
@@ -61,6 +74,10 @@ enum class Oracle : u8 {
   kTlbCoherence,
   kObjectLeak,
   kAsidUniqueness,
+  // SMP oracles (appended so pre-SMP failure digests keep their numbering).
+  kCorePartition,
+  kShootdownComplete,
+  kCoreExclusivity,
   kCount,
 };
 
@@ -106,6 +123,9 @@ class InvariantSuite {
   void check_tlb_coherence(std::vector<Violation>& out) const;
   void check_object_leak(std::vector<Violation>& out) const;
   void check_asid_uniqueness(std::vector<Violation>& out) const;
+  void check_core_partition(std::vector<Violation>& out) const;
+  void check_shootdown_complete(std::vector<Violation>& out) const;
+  void check_core_exclusivity(std::vector<Violation>& out) const;
 
   const nova::KernelInspector& insp_;
   const hwmgr::ManagerService* mgr_;

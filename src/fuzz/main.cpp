@@ -30,6 +30,8 @@ struct Args {
   minova::u64 steps = 5000;
   minova::u64 heavy = 64;
   minova::u64 sabotage = 0;
+  minova::u32 sabotage_smp = 0;
+  minova::u32 cores = 1;
   bool lifecycle = false;
   bool do_shrink = false;
   bool verbose = false;
@@ -59,6 +61,16 @@ bool parse(int argc, char** argv, Args& a) {
       // Corrupt scheduler state at the given step: a self-test hook that
       // demonstrates detection, replay, and shrinking on a known-bad run.
       if (const char* v = val()) a.sabotage = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--sabotage-smp") {
+      // SMP corruption kind injected at --sabotage's step (1 = core
+      // partition, 2 = shootdown accounting, 3 = core exclusivity).
+      if (const char* v = val())
+        a.sabotage_smp = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--cores") {
+      // Simulated cores: SMP shards run work stealing, IPIs and cross-core
+      // TLB shootdown under the three SMP oracles.
+      if (const char* v = val())
+        a.cores = minova::u32(std::strtoul(v, nullptr, 0));
     } else if (arg == "--lifecycle") {
       // VM create/destroy churn between time slices (lazy boot, slab
       // recycling, ASID generations) on top of the usual chaos traffic.
@@ -72,8 +84,9 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
           "mininova_fuzz [--seed-base N] [--seeds N] [--seed N] [--steps N]\n"
-          "              [--heavy N] [--sabotage STEP] [--lifecycle]\n"
-          "              [--shrink] [--out DIR] [--verbose]");
+          "              [--heavy N] [--sabotage STEP] [--sabotage-smp K]\n"
+          "              [--cores N] [--lifecycle] [--shrink] [--out DIR]\n"
+          "              [--verbose]");
       return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -127,6 +140,8 @@ int main(int argc, char** argv) {
     opts.max_steps = a.steps;
     opts.heavy_interval = a.heavy;
     opts.sabotage_step = a.sabotage;
+    opts.sabotage_smp_kind = a.sabotage_smp;
+    opts.num_cores = a.cores;
     opts.lifecycle = a.lifecycle;
     const FuzzResult res = minova::fuzz::run_scenario(opts);
     if (res.failed) {

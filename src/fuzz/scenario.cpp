@@ -83,16 +83,17 @@ ScenarioOptions normalized(const ScenarioOptions& opts) {
 }
 
 std::string describe(const ScenarioOptions& opts) {
-  char buf[192];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
                 "seed=%llu steps=%llu vms=%u mask=0x%02x faults=%d hwtask=%d "
-                "ivc=%d mem=%d lc=%d heavy=%llu sabotage=%llu",
+                "ivc=%d mem=%d lc=%d cores=%u heavy=%llu sabotage=%llu "
+                "smpk=%u",
                 (unsigned long long)opts.seed,
                 (unsigned long long)opts.max_steps, opts.num_vms,
                 opts.active_mask, opts.faults ? 1 : 0, opts.hwtask ? 1 : 0,
                 opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0, opts.lifecycle ? 1 : 0,
-                (unsigned long long)opts.heavy_interval,
-                (unsigned long long)opts.sabotage_step);
+                opts.num_cores, (unsigned long long)opts.heavy_interval,
+                (unsigned long long)opts.sabotage_step, opts.sabotage_smp_kind);
   return buf;
 }
 
@@ -122,6 +123,9 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
   // Lifecycle churn runs the kernel in lazy-boot mode: dynamic VMs
   // materialize their address space and vGIC table on first touch.
   kcfg.lazy_vm_boot = opts.lifecycle;
+  // SMP shards: round-robin VM placement, work stealing, IPIs, cross-core
+  // shootdown. num_cores == 1 is bit-identical to the pre-SMP kernel.
+  kcfg.num_cores = opts.num_cores == 0 ? 1 : opts.num_cores;
   nova::Kernel kernel(platform, kcfg);
 
   hwmgr::ManagerService manager(kernel);
@@ -194,9 +198,13 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
   kernel.set_introspection_hook([&](nova::KernelEvent, nova::TrapKind) {
     if (done) return;
     ++step;
-    if (opts.sabotage_step != 0 && step == opts.sabotage_step && !pds.empty())
-      pds.front()->quantum_left =
-          insp.scheduler().default_quantum() * 2 + 12345;
+    if (opts.sabotage_step != 0 && step == opts.sabotage_step) {
+      if (opts.sabotage_smp_kind != 0)
+        kernel.smp_sabotage_for_test(opts.sabotage_smp_kind);
+      else if (!pds.empty())
+        pds.front()->quantum_left =
+            insp.scheduler().default_quantum() * 2 + 12345;
+    }
     std::vector<Violation> v = suite.check_cheap();
     const bool last = step >= opts.max_steps;
     if (step % opts.heavy_interval == 0 || last)
@@ -324,6 +332,25 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
       dg.mix(dyn_acc.jobs_started);
       dg.mix(dyn_acc.ivc_sends);
       dg.mix(dyn_acc.ivc_recvs);
+    }
+    if (insp.num_cores() > 1) {
+      // SMP replay contract: per-core scheduling and coherence counters are
+      // part of the digest, so a replay must reproduce the identical
+      // interleaving, not just the same guest-visible totals. Gated on
+      // cores > 1 so every pre-SMP unicore digest keeps its value.
+      dg.mix(insp.num_cores());
+      dg.mix(insp.tlb_epoch());
+      dg.mix(insp.shootdowns_sent());
+      for (u32 c = 0; c < insp.num_cores(); ++c) {
+        const auto cv = insp.core(c);
+        dg.mix(cv.ipis_sent());
+        dg.mix(cv.ipis_received());
+        dg.mix(cv.shootdowns_acked());
+        dg.mix(cv.steals());
+        dg.mix(cv.migrations_in());
+        dg.mix(cv.irq_traps());
+        dg.mix(cv.vm_switches());
+      }
     }
     res.digest = dg.h;
   }

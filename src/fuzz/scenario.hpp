@@ -47,11 +47,23 @@ struct ScenarioOptions {
   /// Which of the derived VM slots to instantiate (bit i = VM i).
   u32 active_mask = 0xFF;
 
+  /// Simulated cores the kernel multiplexes (1 = the classic unicore
+  /// configuration; the kernel clamps to [1, 8]). SMP runs exercise work
+  /// stealing, IPIs and cross-core TLB shootdown, and arm three extra
+  /// oracles (core-partition, shootdown-complete, core-exclusivity).
+  u32 num_cores = 1;
+
   /// Self-test hook: at this step (1-based, 0 = never) the runner corrupts
   /// a scheduler field from inside the introspection hook, so an invariant
   /// failure is *guaranteed* at exactly that step — the mechanism behind
   /// the injected-failure replay and shrink acceptance tests.
   u64 sabotage_step = 0;
+  /// When nonzero, `sabotage_step` injects an *SMP* corruption instead of
+  /// the scheduler-field one: 1 = double-enqueue a runnable PD on a second
+  /// core (core-partition), 2 = forge shootdown ack accounting
+  /// (shootdown-complete), 3 = duplicate a current PD onto another core
+  /// (core-exclusivity). Requires num_cores >= 2.
+  u32 sabotage_smp_kind = 0;
 
   /// Simulated-time ceiling: a scenario whose guests go quiet ends here
   /// even if `max_steps` events never accumulate.

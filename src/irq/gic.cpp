@@ -54,21 +54,37 @@ void Gic::clear_pending(u32 id) {
   update_line();
 }
 
-int Gic::highest_pending() const {
+void Gic::set_target_mask(u32 id, u8 mask) {
+  MINOVA_CHECK(id < state_.size());
+  state_[id].targets = mask;
+  update_line();
+}
+
+u8 Gic::target_mask(u32 id) const {
+  MINOVA_CHECK(id < state_.size());
+  return state_[id].targets;
+}
+
+int Gic::highest_pending(u8 cpu_mask) const {
   int best = -1;
   for (u32 i = 0; i < state_.size(); ++i) {
     const IrqState& s = state_[i];
     if (!s.enabled || !s.pending || s.active) continue;
+    if ((s.targets & cpu_mask) == 0) continue;
     if (s.prio >= priority_mask_) continue;
     if (best < 0 || s.prio < state_[u32(best)].prio) best = int(i);
   }
   return best;
 }
 
-bool Gic::irq_asserted() const { return highest_pending() >= 0; }
+bool Gic::irq_asserted() const { return highest_pending(0xFFu) >= 0; }
 
-u32 Gic::acknowledge() {
-  const int id = highest_pending();
+bool Gic::irq_asserted_for(u8 cpu_mask) const {
+  return highest_pending(cpu_mask) >= 0;
+}
+
+u32 Gic::acknowledge_for(u8 cpu_mask) {
+  const int id = highest_pending(cpu_mask);
   if (id < 0) return kSpuriousIrq;
   IrqState& s = state_[u32(id)];
   s.pending = false;

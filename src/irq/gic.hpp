@@ -40,10 +40,21 @@ class Gic {
   bool is_pending(u32 id) const;
   void clear_pending(u32 id);
 
+  /// Per-interrupt CPU target mask (ICDIPTR). Bit i routes the interrupt
+  /// to CPU interface i; reset value targets CPU0 only, which is the whole
+  /// routing story on a unicore system. The SMP kernel writes real masks
+  /// here (svc_assign_pl_irq targets the owning VM's core) and acknowledges
+  /// through the `_for` variants below with its own core's bit.
+  void set_target_mask(u32 id, u8 mask);
+  u8 target_mask(u32 id) const;
+
   // ---- CPU interface ----
   /// Acknowledge the highest-priority pending enabled interrupt: marks it
   /// active, clears pending, returns its ID (or kSpuriousIrq).
-  u32 acknowledge();
+  u32 acknowledge() { return acknowledge_for(0xFFu); }
+  /// Same, restricted to interrupts whose target mask intersects
+  /// `cpu_mask` (one bit per CPU interface).
+  u32 acknowledge_for(u8 cpu_mask);
   /// End of interrupt: drops the active state.
   void eoi(u32 id);
   void set_priority_mask(u8 mask) { priority_mask_ = mask; update_line(); }
@@ -52,6 +63,9 @@ class Gic {
   /// True when some enabled interrupt is pending above the mask (the state
   /// of the nIRQ line towards the core).
   bool irq_asserted() const;
+  /// Per-CPU view of the same: pending, enabled, above the mask and
+  /// targeted at a CPU in `cpu_mask`.
+  bool irq_asserted_for(u8 cpu_mask) const;
 
   u32 num_irqs() const { return u32(state_.size()); }
 
@@ -65,9 +79,10 @@ class Gic {
     bool pending = false;
     bool active = false;
     u8 prio = 0xA0;
+    u8 targets = 0x01;  // ICDIPTR reset: everything routes to CPU0
   };
 
-  int highest_pending() const;  // index or -1
+  int highest_pending(u8 cpu_mask) const;  // index or -1
   void update_line();
 
   std::vector<IrqState> state_;

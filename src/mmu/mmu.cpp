@@ -68,7 +68,7 @@ TranslateResult Mmu::translate(vaddr_t va, AccessKind kind, bool privileged) {
   // hit bookkeeping exactly (touch = LRU stamp + hit count), so simulated
   // behaviour cannot diverge from the micro-TLB-less path.
   const vaddr_t vpage = va >> 12;
-  MicroEntry& u = utlb_[vpage & (kMicroTlbEntries - 1)];
+  MicroEntry& u = ubanks_[active_bank_][vpage & (kMicroTlbEntries - 1)];
   const cache::TlbEntry* entry;
   if (u.entry != nullptr && u.vpage == vpage && u.asid == asid_ &&
       u.gen == tlb_.generation()) {

@@ -1,0 +1,91 @@
+// Per-core kernel context (DESIGN.md §13).
+//
+// The SMP refactor extracts every piece of kernel state that a real
+// multi-core Mini-NOVA would hold per CPU — the current protection domain,
+// the run queue, the IPI mailbox and the shootdown handshake — into one
+// CoreContext. The kernel owns an array of these sized by
+// `KernelConfig::num_cores`; a single-element array is the pre-SMP unicore
+// kernel, bit for bit.
+//
+// Only one host thread ever runs: the N simulated cores are
+// time-multiplexed onto the single `cpu::Core`/`sim::Clock` pair. Each
+// CoreContext therefore also carries its own local clock value plus the
+// saved physical CPU context (TTBR/DACR/ASID, register file, CPSR) that the
+// run loop swaps host-side — at zero simulated cost — when the simulation
+// switches which core it is modeling. The charged vCPU save/restore of
+// vm_switch() is a different thing entirely: that is the *guest* context
+// switch the paper measures.
+#pragma once
+
+#include <deque>
+
+#include "cpu/registers.hpp"
+#include "nova/sched.hpp"
+#include "util/types.hpp"
+
+namespace minova::nova {
+
+/// Software-generated interrupts between cores. Modeled at the kernel
+/// level: the sender charges the ICDSGIR distributor write, the receiver
+/// takes a full IRQ-class trap when the IPI arrives (GIC SGI latency
+/// later), exactly like a hardware SGI would cost on the A9 MPCore.
+enum class IpiKind : u8 {
+  kIpiReschedule = 0,  // remote core has new runnable work (unpark, vIRQ)
+  kIpiTlbShootdown,    // invalidate your micro-TLB bank; ack the epoch
+  kIpiVmMigrate,       // a VM was re-homed onto you (arg = PdId)
+};
+
+struct Ipi {
+  IpiKind kind = IpiKind::kIpiReschedule;
+  u32 arg = 0;     // shootdown: VA (0 = all); migrate/reschedule: PdId
+  u64 epoch = 0;   // shootdown epoch being acknowledged
+  cycles_t arrival = 0;  // absolute delivery time at the target core
+};
+
+struct CoreContext {
+  CoreContext(u32 core_id, cycles_t default_quantum)
+      : id(core_id), sched(default_quantum) {}
+
+  CoreContext(const CoreContext&) = delete;
+  CoreContext& operator=(const CoreContext&) = delete;
+  CoreContext(CoreContext&&) = default;
+
+  u32 id;
+  Scheduler sched;
+  ProtectionDomain* current = nullptr;
+
+  /// This core's local simulated time. The SMP run loop always advances
+  /// the *lagging* core (conservative window synchronization); the global
+  /// clock is set to this value for the duration of the core's slice.
+  cycles_t local_now = 0;
+
+  // Saved physical CPU context while another core is being simulated on
+  // the one host cpu::Core. Swapped host-side, zero simulated cycles.
+  paddr_t saved_ttbr = 0;
+  u32 saved_dacr = 0;
+  u32 saved_asid = 0;
+  cpu::RegisterFile saved_regs{};
+  cpu::Psr saved_cpsr{};
+  bool hw_ctx_valid = false;
+
+  /// IPI mailbox, ordered by arrival time. Entries become architecturally
+  /// visible once the core's local clock passes `arrival`; the run loop
+  /// drains arrived IPIs before dispatching any guest work (the shootdown
+  /// ordering rule, DESIGN.md §13).
+  std::deque<Ipi> ipis;
+  /// Highest shootdown epoch this core has acknowledged. Completion:
+  /// every core's ack epoch catches up to the kernel's `tlb_epoch_` once
+  /// its in-flight shootdown IPIs drain.
+  u64 shootdown_ack_epoch = 0;
+
+  // Per-core accounting (KernelInspector::core(i), bench_smp).
+  u64 ipis_sent = 0;
+  u64 ipis_received = 0;
+  u64 shootdowns_acked = 0;
+  u64 steals = 0;  // PDs this core pulled from other cores' queues
+  u64 migrations_in = 0;
+  u64 irq_traps = 0;
+  u64 vm_switches = 0;
+};
+
+}  // namespace minova::nova

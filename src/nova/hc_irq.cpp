@@ -22,10 +22,17 @@ HypercallResult irq_set_enabled(KernelOps& ops, ProtectionDomain& caller,
     caller.vgic().disable(irq);
   auto& gic = ops.platform().gic();
   if (&caller == ops.current() && irq < gic.num_irqs()) {
-    if (enable)
+    // Physically masking a source a sibling core's current VM holds enabled
+    // would rob that on-CPU VM of its interrupts; the virtual disable above
+    // is enough for the caller (per-IRQ targeting routes the source to the
+    // sibling's core). Unicore: no siblings, behaviour unchanged.
+    if (enable) {
       gic.enable_irq(irq);
-    else
+    } else if (ops.irq_live_on_sibling(irq)) {
+      return res;
+    } else {
       gic.disable_irq(irq);
+    }
     auto& core = ops.core();
     core.spend(core.caches().access_device());
   }
@@ -95,6 +102,10 @@ HcStatus Kernel::svc_assign_pl_irq(ProtectionDomain& caller, PdId client,
   // Physically unmasked when the client VM runs (vGIC switch protocol);
   // unmask now if it is the interrupted VM about to resume.
   platform_.gic().set_priority(gic_irq, 0x90);
+  // Route the SPI to the owning VM's core at the distributor (ICDIPTR) so
+  // the owner takes its own interrupts instead of bouncing through CPU0.
+  // On a unicore kernel run_core == 0: the mask stays the reset value.
+  platform_.gic().set_target_mask(gic_irq, u8(1u << pd->run_core));
   return HcStatus::kSuccess;
 }
 

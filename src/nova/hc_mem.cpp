@@ -33,17 +33,17 @@ HypercallResult icache_invalidate(KernelOps& ops, ProtectionDomain&,
 
 HypercallResult tlb_flush_all(KernelOps& ops, ProtectionDomain& caller,
                               const HypercallArgs&) {
-  auto& core = ops.core();
-  core.mmu().tlb_flush_asid(caller.vcpu().asid());
-  core.spend(34);
+  // TLBIASIDIS: inner-shareable — broadcast to the other cores (no-op on
+  // a unicore kernel).
+  ops.tlb_sync_asid(caller.vcpu().asid());
+  ops.core().spend(34);
   return {};
 }
 
 HypercallResult tlb_flush_va(KernelOps& ops, ProtectionDomain&,
                              const HypercallArgs& args) {
-  auto& core = ops.core();
-  core.mmu().tlb_flush_va(args.r[1]);
-  core.spend(12);
+  ops.tlb_sync_va(args.r[1]);  // TLBIMVAIS: inner-shareable broadcast
+  ops.core().spend(12);
   return {};
 }
 
@@ -87,7 +87,7 @@ HypercallResult map_insert(KernelOps& ops, ProtectionDomain& caller,
   }
   ops.ensure_space(*target);
   target->space().map_page(va, pa, attrs);
-  ops.core().mmu().tlb_flush_va(va);
+  ops.tlb_sync_va(va);
   ops.core().spend(160);  // descriptor writes + DSB/ISB
   return res;
 }
@@ -111,7 +111,7 @@ HypercallResult map_remove(KernelOps& ops, ProtectionDomain& caller,
     res.status = HcStatus::kNotFound;
     return res;
   }
-  ops.core().mmu().tlb_flush_va(va);
+  ops.tlb_sync_va(va);
   ops.core().spend(120);
   return res;
 }
@@ -138,7 +138,7 @@ HypercallResult mem_protect(KernelOps& ops, ProtectionDomain& caller,
     res.status = HcStatus::kInvalidArg;
     return res;
   }
-  ops.core().mmu().tlb_flush_va(va);
+  ops.tlb_sync_va(va);
   ops.core().spend(60);
   return res;
 }
@@ -196,6 +196,7 @@ HcStatus Kernel::svc_map_into(ProtectionDomain& caller, PdId target,
                                      .ng = true,
                                      .xn = executable_never});
   platform_.cpu().mmu().tlb_flush_va(va);
+  tlb_shootdown(va);
   platform_.cpu().spend(160);
   return HcStatus::kSuccess;
 }
@@ -209,6 +210,7 @@ HcStatus Kernel::svc_unmap_from(ProtectionDomain& caller, PdId target,
   ensure_space(*pd);
   if (!pd->space().unmap_page(va)) return HcStatus::kNotFound;
   platform_.cpu().mmu().tlb_flush_va(va);
+  tlb_shootdown(va);
   platform_.cpu().spend(120);
   return HcStatus::kSuccess;
 }

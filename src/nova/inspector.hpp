@@ -26,14 +26,20 @@ class KernelInspector {
   const ProtectionDomain* pd(u32 idx) const {
     return idx < k_.pds_.size() ? k_.pds_[idx].get() : nullptr;
   }
-  const ProtectionDomain* current() const { return k_.current_; }
+  /// The PD running on the *active* core (the one the shared cpu::Core
+  /// currently models). Per-core currents are under `core(i).current_vm()`.
+  const ProtectionDomain* current() const {
+    return k_.cores_[k_.active_core_].current;
+  }
   const ProtectionDomain* manager() const { return k_.manager_pd_; }
 
   /// True while the synchronous manager service runs inside a client's
   /// hardware-task hypercall: mapping/PRR tables are legitimately mid-update
   /// in this window, so mapping-level oracles defer until the switch back.
+  /// The manager only ever executes inline on the invoking core, so checking
+  /// the active core's current is exact even under SMP.
   bool in_manager_service() const {
-    return k_.manager_pd_ != nullptr && k_.current_ == k_.manager_pd_;
+    return k_.manager_pd_ != nullptr && current() == k_.manager_pd_;
   }
 
   PdId irq_owner(u32 irq) const {
@@ -42,7 +48,60 @@ class KernelInspector {
   PdId pcap_owner() const { return k_.pcap_owner_; }
   PdId vfp_owner() const { return k_.vfp_owner_; }
 
-  const Scheduler& scheduler() const { return k_.sched_; }
+  /// Core 0's run queue — kept for unicore oracles/tests; SMP-aware code
+  /// should sweep `core(i).runqueue()` for i in [0, num_cores()).
+  const Scheduler& scheduler() const { return k_.cores_[0].sched; }
+
+  // ---- SMP topology -------------------------------------------------------
+  u32 num_cores() const { return u32(k_.cores_.size()); }
+  u32 active_core() const { return k_.active_core_; }
+  u64 tlb_epoch() const { return k_.tlb_epoch_; }
+  u64 shootdowns_sent() const { return k_.shootdowns_sent_; }
+
+  /// Read-only window onto one simulated core. CoreContext members are
+  /// public, so the view only needs friend access at construction time
+  /// (fetching the element out of `Kernel::cores_`).
+  class CoreView {
+   public:
+    CoreView(const CoreContext& cc, Platform& plat) : cc_(cc), plat_(plat) {}
+
+    u32 id() const { return cc_.id; }
+    const ProtectionDomain* current_vm() const { return cc_.current; }
+    const Scheduler& runqueue() const { return cc_.sched; }
+    /// Generation counter of this core's private micro-TLB bank: bumps on
+    /// every bank flush, local or shootdown-driven. A cross-core shootdown
+    /// is observable as a remote bank's generation advancing.
+    u64 utlb_generation() const {
+      return plat_.cpu().mmu().utlb_bank_epoch(cc_.id);
+    }
+    cycles_t local_now() const { return cc_.local_now; }
+    u64 pending_ipis() const { return u64(cc_.ipis.size()); }
+    /// kIpiTlbShootdown entries still in flight to this core (the
+    /// completion-accounting oracle balances sent against acked + these).
+    u64 pending_shootdowns() const {
+      u64 n = 0;
+      for (const auto& ipi : cc_.ipis)
+        if (ipi.kind == IpiKind::kIpiTlbShootdown) ++n;
+      return n;
+    }
+    u64 shootdown_ack_epoch() const { return cc_.shootdown_ack_epoch; }
+    u64 ipis_sent() const { return cc_.ipis_sent; }
+    u64 ipis_received() const { return cc_.ipis_received; }
+    u64 shootdowns_acked() const { return cc_.shootdowns_acked; }
+    u64 steals() const { return cc_.steals; }
+    u64 migrations_in() const { return cc_.migrations_in; }
+    u64 irq_traps() const { return cc_.irq_traps; }
+    u64 vm_switches() const { return cc_.vm_switches; }
+
+   private:
+    const CoreContext& cc_;
+    Platform& plat_;
+  };
+  /// Out-of-range ids clamp to core 0 so oracle sweeps can't fault.
+  CoreView core(u32 i) const {
+    return CoreView(k_.cores_[i < k_.cores_.size() ? i : 0], k_.platform_);
+  }
+
   const mmu::AddressSpace* kernel_space() const {
     return k_.kernel_space_.get();
   }

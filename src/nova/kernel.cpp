@@ -70,9 +70,26 @@ GuestContext KernelOps::make_ctx(ProtectionDomain& pd) {
   return kernel_.make_ctx(pd);
 }
 ProtectionDomain* KernelOps::pd_by_id(PdId id) { return kernel_.pd_by_id(id); }
-ProtectionDomain* KernelOps::current() { return kernel_.current_; }
+ProtectionDomain* KernelOps::current() { return kernel_.cur_core().current; }
 void KernelOps::vm_switch_to(ProtectionDomain* to) { kernel_.vm_switch(to); }
 void KernelOps::ensure_space(ProtectionDomain& pd) { kernel_.ensure_space(pd); }
+void KernelOps::tlb_sync_va(vaddr_t va) {
+  kernel_.platform_.cpu().mmu().tlb_flush_va(va);
+  kernel_.tlb_shootdown(va);
+}
+void KernelOps::tlb_sync_asid(u32 asid) {
+  kernel_.platform_.cpu().mmu().tlb_flush_asid(asid);
+  kernel_.tlb_shootdown(0);
+}
+bool KernelOps::irq_live_on_sibling(u32 irq) {
+  for (const auto& cc : kernel_.cores_) {
+    if (cc.id == kernel_.active_core_ || cc.current == nullptr) continue;
+    if (cc.current->vgic().is_registered(irq) &&
+        cc.current->vgic().is_enabled(irq))
+      return true;
+  }
+  return false;
+}
 void KernelOps::vtimer_armed_changed(bool was_enabled, bool now_enabled) {
   if (was_enabled == now_enabled) return;
   if (now_enabled)
@@ -106,8 +123,12 @@ Kernel::Kernel(Platform& platform, const KernelConfig& cfg)
       heap_(kKernelHeapBase + kPtPoolBytes, kKernelHeapSize - kPtPoolBytes),
       pt_alloc_(platform.dram(), kKernelHeapBase, kPtPoolBytes),
       space_builder_(platform.dram(), pt_alloc_),
-      sched_(platform.clock().ms_to_cycles(cfg.quantum_ms)),
       code_(kKernelTextBase, kKernelTextSize) {
+  // Per-core contexts; clamp to the 8 CPU-interface bits of the GIC model.
+  cfg_.num_cores = std::min(std::max(cfg_.num_cores, 1u), 8u);
+  const cycles_t quantum = platform.clock().ms_to_cycles(cfg_.quantum_ms);
+  cores_.reserve(cfg_.num_cores);
+  for (u32 i = 0; i < cfg_.num_cores; ++i) cores_.emplace_back(i, quantum);
   // Debug poisoning of freed kernel objects (host-side writes only).
   heap_.attach_ram(&platform.dram());
   boot();
@@ -144,6 +165,8 @@ void Kernel::boot() {
   // Enable the MMU on the kernel-only space.
   kernel_space_ = space_builder_.build_kernel_space();
   auto& mmu = platform_.cpu().mmu();
+  // One micro-TLB bank per core (bank 0 == the unicore micro-TLB).
+  mmu.configure_utlb_banks(u32(cores_.size()));
   mmu.set_ttbr0(kernel_space_->root());
   mmu.set_dacr(dacr_host_kernel());
   mmu.set_asid(0);
@@ -231,7 +254,13 @@ ProtectionDomain& Kernel::create_vm(std::string name, u32 priority,
   // Every VM owns a virtual timer interrupt line.
   pd->vgic().register_irq(kVtimerVirq);
   pds_[id] = std::move(pd);
-  sched_.enqueue(pds_[id].get());
+  // Round-robin placement across cores (VM affinity: the PD remembers its
+  // home). On a unicore kernel this is always core 0, exactly as before.
+  CoreContext& home = cores_[next_core_assign_ % u32(cores_.size())];
+  next_core_assign_ = (next_core_assign_ + 1) % u32(cores_.size());
+  pds_[id]->home_core = home.id;
+  pds_[id]->run_core = home.id;
+  home.sched.enqueue(pds_[id].get());
   return *pds_[id];
 }
 
@@ -257,7 +286,11 @@ ProtectionDomain& Kernel::create_manager(std::string name, u32 priority,
   manager_pd_ = pds_[id].get();
   hw_service_ = &service;
   // User services wait in the suspend queue until invoked (paper §III.D).
-  sched_.suspend(manager_pd_);
+  // The manager lives on core 0 and is pinned: its synchronous invocation
+  // runs inline on the caller's core, so its queue home never matters for
+  // dispatch, but stealing a service PD would be meaningless.
+  manager_pd_->core_pinned = true;
+  cores_[0].sched.suspend(manager_pd_);
   return *manager_pd_;
 }
 
@@ -267,22 +300,31 @@ bool Kernel::destroy_vm(PdId id) {
   if (pd == nullptr || pd->guest() == nullptr) return false;
   auto& mmu = platform_.cpu().mmu();
 
-  sched_.remove(pd);
+  cores_[pd->run_core].sched.remove(pd);
   if (pd->parked) set_parked(*pd, false);
   if (pd->vcpu().vtimer().enabled) {
     MINOVA_CHECK(vtimers_enabled_ > 0);
     --vtimers_enabled_;
   }
-  if (current_ == pd) {
+  for (auto& cc : cores_) {
+    if (cc.current != pd) continue;
     // The current VM's enabled sources are unmasked at the distributor;
     // nothing would ever mask them once the vGIC is gone.
     pd->vgic().mask_all_physical(platform_.cpu());
     // Never leave TTBR pointing at tables about to be recycled: fall back
-    // to the kernel-only space until the next dispatch.
-    mmu.set_ttbr0(kernel_space_->root());
-    mmu.set_asid(0);
-    mmu.set_dacr(dacr_host_kernel());
-    current_ = nullptr;
+    // to the kernel-only space until the next dispatch. A non-active core
+    // holds its translation state in the saved context instead.
+    if (cc.id == active_core_) {
+      mmu.set_ttbr0(kernel_space_->root());
+      mmu.set_asid(0);
+      mmu.set_dacr(dacr_host_kernel());
+    } else {
+      cc.saved_ttbr = kernel_space_->root();
+      cc.saved_asid = 0;
+      cc.saved_dacr = dacr_host_kernel();
+      mmu.utlb_flush_bank(cc.id);
+    }
+    cc.current = nullptr;
   }
   for (auto& owner : irq_owner_)
     if (owner == id) owner = kInvalidPd;
@@ -291,9 +333,12 @@ bool Kernel::destroy_vm(PdId id) {
   if (l2ctrl_owner_ == id) l2ctrl_owner_ = kInvalidPd;
   if (hw_service_ != nullptr) hw_service_->handle_client_destroyed(id);
 
-  // The tag's next owner must not inherit this VM's translations.
+  // The tag's next owner must not inherit this VM's translations — on any
+  // core: flush every micro-TLB bank and account a cross-core shootdown
+  // round before the ASID can be reissued.
   mmu.tlb_flush_asid(pd->vcpu().asid());
-  mmu.utlb_flush();
+  mmu.utlb_flush_all_banks();
+  tlb_shootdown(0);
   asid_alloc_.release({pd->vcpu().asid(), pd->vcpu().asid_gen()});
 
   free_vm_indices_.push_back(pd->vm_index);
@@ -313,15 +358,23 @@ AsidTag Kernel::alloc_asid() {
     // Charged like the no-ASID ablation's switch-time flush.
     platform_.cpu().mmu().tlb_flush_all();
     platform_.cpu().spend(40);
-    if (current_ != nullptr) {
-      // The running VM still has its retired tag loaded in CONTEXTIDR and
-      // keeps inserting under it — move it into the new generation now so
-      // the recycler cannot hand its number to another VM.
+    // The rollover flush hits the shared TLB of every core: broadcast the
+    // shootdown so completion accounting covers this path too (no-op when
+    // unicore).
+    tlb_shootdown(0);
+    for (auto& cc : cores_) {
+      if (cc.current == nullptr) continue;
+      // A core's current VM still has its retired tag loaded in CONTEXTIDR
+      // and keeps inserting under it — move it into the new generation now
+      // so the recycler cannot hand its number to another VM.
       bool nested = false;
       const AsidTag cur = asid_alloc_.allocate(nested);
       MINOVA_CHECK(!nested);
-      current_->vcpu().set_asid_tag(cur.asid, cur.gen);
-      platform_.cpu().mmu().set_asid(cur.asid);
+      cc.current->vcpu().set_asid_tag(cur.asid, cur.gen);
+      if (cc.id == active_core_)
+        platform_.cpu().mmu().set_asid(cur.asid);
+      else
+        cc.saved_asid = cur.asid;
     }
   }
   return tag;
@@ -340,6 +393,75 @@ void Kernel::set_parked(ProtectionDomain& pd, bool parked) {
     ++parked_count_;
   else
     --parked_count_;
+}
+
+// ---- SMP: explicit VM migration ---------------------------------------------
+
+bool Kernel::migrate_vm(PdId id, u32 target_core) {
+  if (target_core >= cores_.size()) return false;
+  ProtectionDomain* pd = pd_by_id(id);
+  if (pd == nullptr || pd->guest() == nullptr) return false;
+  if (pd->run_core == target_core) return true;
+  // A current VM's physical context is (or will be) loaded on its core;
+  // migration happens only from the queues.
+  for (const auto& cc : cores_)
+    if (cc.current == pd) return false;
+  CoreContext& from = cores_[pd->run_core];
+  CoreContext& to = cores_[target_core];
+  const bool runnable = from.sched.is_runnable(pd);
+  const bool susp = from.sched.is_suspended(pd);
+  from.sched.take(pd);
+  // enqueue() preserves a nonzero remaining quantum; the vCPU, VFP bank and
+  // vGIC records live in the PD and cross untouched.
+  if (runnable)
+    to.sched.enqueue(pd);
+  else if (susp)
+    to.sched.suspend(pd);
+  pd->run_core = target_core;
+  ++pd->migrations;
+  send_ipi(target_core, IpiKind::kIpiVmMigrate, id, 0);
+  return true;
+}
+
+// ---- SMP: oracle mutation hooks (tests only) --------------------------------
+
+void Kernel::smp_sabotage_for_test(u32 kind) {
+  if (cores_.size() < 2) return;
+  switch (kind) {
+    case 1: {
+      // kCorePartition: link a runnable PD into a second core's run queue.
+      // enqueue() adopts the PD (fresh stamp), so the first core's list
+      // keeps a node the membership flags no longer admit to.
+      for (auto& p : pds_) {
+        if (p == nullptr || p->guest() == nullptr) continue;
+        if (!cores_[p->run_core].sched.is_runnable(p.get())) continue;
+        cores_[(p->run_core + 1) % cores_.size()].sched.enqueue(p.get());
+        return;
+      }
+      break;
+    }
+    case 2:
+      // kShootdownComplete: forge an ack for an epoch never issued and
+      // inflate the ack counter past what was sent.
+      cores_.back().shootdown_ack_epoch = tlb_epoch_ + 1;
+      cores_.back().shootdowns_acked += 3;
+      break;
+    case 3: {
+      // kCoreExclusivity: make the same PD current on two cores.
+      ProtectionDomain* victim = cur_core().current;
+      if (victim == nullptr)
+        for (auto& p : pds_)
+          if (p != nullptr && p->guest() != nullptr) {
+            victim = p.get();
+            break;
+          }
+      if (victim != nullptr)
+        cores_[(active_core_ + 1) % cores_.size()].current = victim;
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 // ---- lazy VM boot ------------------------------------------------------------
@@ -363,7 +485,10 @@ bool Kernel::lazy_fault_fixup(ProtectionDomain& pd, vaddr_t va) {
     // Preserve the live DACR: the guest may have dropped to user mode
     // before its first touch.
     pd.vcpu().set_mmu_context(pd.space().root(), pd.vcpu().dacr());
-    if (current_ == &pd) core.mmu().set_ttbr0(pd.space().root());
+    if (cur_core().current == &pd) core.mmu().set_ttbr0(pd.space().root());
+    for (auto& cc : cores_)
+      if (cc.id != active_core_ && cc.current == &pd)
+        cc.saved_ttbr = pd.space().root();
   }
   ++lazy_space_faults_;
   c_lazy_space_faults_.inc();
@@ -380,7 +505,11 @@ void Kernel::ensure_space(ProtectionDomain& pd) {
                    "lazy VM beyond the physical slab window needs a space");
   pd.set_space(space_builder_.build_vm_space(pd.vm_index));
   pd.vcpu().set_mmu_context(pd.space().root(), pd.vcpu().dacr());
-  if (current_ == &pd) platform_.cpu().mmu().set_ttbr0(pd.space().root());
+  if (cur_core().current == &pd)
+    platform_.cpu().mmu().set_ttbr0(pd.space().root());
+  for (auto& cc : cores_)
+    if (cc.id != active_core_ && cc.current == &pd)
+      cc.saved_ttbr = pd.space().root();
 }
 
 IvcChannel& Kernel::create_channel(ProtectionDomain& a, ProtectionDomain& b) {

@@ -1,6 +1,8 @@
 // The Mini-NOVA microkernel (paper §III).
 //
-// A single-core paravirtualization microkernel: guests run de-privileged in
+// A paravirtualization microkernel for 1..N simulated cores (per-core
+// contexts, run queues and IPIs: DESIGN.md §13; num_cores == 1 is the
+// bit-identical original unicore kernel): guests run de-privileged in
 // USR mode inside protection domains; every sensitive operation arrives as
 // one of the 25 hypercalls; physical interrupts are taken by the kernel,
 // EOI'd at the GIC and re-injected as virtual IRQs through the owning VM's
@@ -28,6 +30,7 @@
 #include "core/platform.hpp"
 #include "cpu/code_region.hpp"
 #include "nova/asid.hpp"
+#include "nova/core_ctx.hpp"
 #include "nova/guest_iface.hpp"
 #include "nova/hypercall.hpp"
 #include "nova/ivc.hpp"
@@ -74,6 +77,22 @@ class HwService {
 struct KernelConfig {
   double quantum_ms = 33.0;   // per-guest time slice (paper §V.B)
   u32 tick_period_us = 1000;  // kernel scheduling/vtimer tick
+
+  // ---- SMP (DESIGN.md §13) ----
+  // Simulated core count (the paper's Zynq-7000 is a dual Cortex-A9;
+  // exercised up to 8). Default 1: every simulated quantity of the unicore
+  // kernel — the configuration all Table III goldens were recorded on —
+  // must stay bit-identical, and any num_cores > 1 necessarily changes
+  // scheduling interleavings. SMP runs opt in (bench_smp, fuzzer --cores,
+  // the MININOVA_TEST_CORES suites).
+  u32 num_cores = 1;
+  // Conservative-window synchronization: one slice of the lagging core may
+  // run at most this far ahead before control returns to the outer loop,
+  // bounding cross-core causality skew (IPIs, shared-device events).
+  double smp_window_us = 50.0;
+  u32 ipi_send_cycles = 24;      // ICDSGIR write + DSB on the sender
+  u32 ipi_latency_cycles = 180;  // distributor -> target CPU interface
+  u32 steal_cycles = 90;         // remote run-queue lock + queue transfer
 
   // Ablation switches (paper design decisions).
   bool lazy_vfp = true;        // Table I: lazy-switch the VFP bank
@@ -145,6 +164,25 @@ class Kernel {
   /// victim's own hypercall.
   bool destroy_vm(PdId id);
 
+  // ---- SMP (DESIGN.md §13) ----
+  u32 num_cores() const { return u32(cores_.size()); }
+  u32 active_core() const { return active_core_; }
+  /// Re-home a VM onto `target_core`'s run queue, preserving its vCPU,
+  /// VFP and vGIC state bit for bit (they live in the PD, untouched by the
+  /// queue transfer) and its remaining quantum. Refuses the manager, an
+  /// unknown id, and any PD that is current on some core. Sends
+  /// kIpiVmMigrate to the target. True on success (including a no-op
+  /// migration onto the core it already runs on).
+  bool migrate_vm(PdId id, u32 target_core);
+  /// Global TLB shootdown epoch and how many shootdown IPIs were issued
+  /// (completion accounting: sent == sum of per-core acks + in-flight).
+  u64 tlb_epoch() const { return tlb_epoch_; }
+  u64 shootdowns_sent() const { return shootdowns_sent_; }
+  /// Deliberately corrupt per-core state so the fuzzer's SMP oracles can
+  /// prove they fire (mutation checks ONLY; see smp_sabotage kinds in
+  /// src/fuzz/scenario.hpp). Production code must never call this.
+  void smp_sabotage_for_test(u32 kind);
+
   // ---- simulation driving ----
   void run_for_us(double us) {
     run_until(platform_.clock().now() + platform_.clock().us_to_cycles(us));
@@ -206,7 +244,8 @@ class Kernel {
 
   // ---- lookups ----
   ProtectionDomain* pd_by_id(PdId id);
-  ProtectionDomain* current() { return current_; }
+  /// The active core's current PD (on a unicore kernel: *the* current PD).
+  ProtectionDomain* current() { return cores_[active_core_].current; }
   /// Where a staged bitstream lives in the bitstream store. `pa == 0`
   /// (and `len == 0`) when the task is unknown.
   struct BitstreamLoc {
@@ -216,7 +255,9 @@ class Kernel {
   BitstreamLoc find_bitstream(hwtask::TaskId task) const;
 
   Platform& platform() { return platform_; }
-  Scheduler& scheduler() { return sched_; }
+  /// Core 0's scheduler — the only one on a unicore kernel. SMP-aware
+  /// callers go through KernelInspector::core(i).runqueue().
+  Scheduler& scheduler() { return cores_[0].sched; }
   KernelHeap& heap() { return heap_; }
   /// Page-table pool accounting (footprint/density instrumentation).
   const mmu::PageTableAllocator& pt_pool() const { return pt_alloc_; }
@@ -260,6 +301,30 @@ class Kernel {
   void vm_switch(ProtectionDomain* to);
   void idle(cycles_t limit);
 
+  // -- SMP run-loop pieces (kernel_run.cpp); every one of these is a
+  // structural no-op with zero charges when num_cores == 1 --
+  CoreContext& cur_core() { return cores_[active_core_]; }
+  const CoreContext& cur_core() const { return cores_[active_core_]; }
+  /// One scheduling slice of `cc`, bounded by `limit`. The unicore run
+  /// loop is exactly `while (now < deadline) smp_slice(cores_[0], deadline)`.
+  void smp_slice(CoreContext& cc, cycles_t limit);
+  /// Host-side swap of the physical CPU context between simulated cores
+  /// (register file, CPSR, TTBR/DACR/ASID, micro-TLB bank). Zero simulated
+  /// cycles: this is the simulator changing which core it models, not a
+  /// kernel operation.
+  void switch_active_core(u32 target);
+  /// Take the IRQ-class trap for every IPI that has arrived at `cc` and
+  /// perform its action. Runs before any guest dispatch in the slice.
+  void drain_ipis(CoreContext& cc);
+  /// Pull-based work stealing: called when `thief`'s run queue has nothing
+  /// eligible. Scans victims round-robin from thief.id+1.
+  ProtectionDomain* try_steal(CoreContext& thief);
+  void send_ipi(u32 target, IpiKind kind, u32 arg, u64 epoch);
+  /// Broadcast kIpiTlbShootdown for `va` (0 = full) to every other core,
+  /// bumping the epoch. Called on every unmap/protect/flush and on ASID
+  /// rollover. No-op on a unicore kernel (TLBIMVA needs no broadcast).
+  void tlb_shootdown(vaddr_t va);
+
   void charge_service_call();
   GuestContext make_ctx(ProtectionDomain& pd) {
     return GuestContext(*this, pd, platform_.cpu());
@@ -273,12 +338,15 @@ class Kernel {
   KernelHeap heap_;
   mmu::PageTableAllocator pt_alloc_;
   VmSpaceBuilder space_builder_;
-  Scheduler sched_;
+  // Per-core contexts (DESIGN.md §13). cores_[active_core_] is the core
+  // the single host cpu::Core currently models; its `current` pointer is
+  // the authoritative "current PD" of the pre-SMP kernel.
+  std::vector<CoreContext> cores_;
+  u32 active_core_ = 0;
   KernelOps ops_{*this};
 
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
   std::vector<std::unique_ptr<IvcChannel>> channels_;
-  ProtectionDomain* current_ = nullptr;
   ProtectionDomain* manager_pd_ = nullptr;
   HwService* hw_service_ = nullptr;
   std::unique_ptr<mmu::AddressSpace> kernel_space_;
@@ -322,6 +390,15 @@ class Kernel {
       "kernel.virq_injected")};
   sim::CounterHandle c_lazy_space_faults_{platform_.stats().handle(
       "kernel.lazy_space_faults")};
+  // SMP counters. All stay zero on a unicore kernel.
+  sim::CounterHandle c_cross_core_irq_{platform_.stats().handle(
+      "kernel.irq.cross_core")};
+  sim::CounterHandle c_ipi_sent_{platform_.stats().handle(
+      "kernel.ipi.sent")};
+  sim::CounterHandle c_steals_{platform_.stats().handle(
+      "kernel.smp.steals")};
+  sim::CounterHandle c_shootdown_acks_{platform_.stats().handle(
+      "kernel.smp.shootdown_acks")};
   HwMgrLatencies hwmgr_lat_;
   u64 vm_switches_ = 0;
   u64 hypercalls_ = 0;
@@ -347,6 +424,12 @@ class Kernel {
   u64 asid_rollovers_ = 0;
   u64 vms_destroyed_ = 0;
   u64 vm_switch_cycles_ = 0;
+  // SMP bookkeeping. `tlb_epoch_` counts shootdown rounds; completion
+  // holds when shootdowns_sent_ equals the per-core ack sum plus whatever
+  // is still in flight in the mailboxes (the kShootdownComplete oracle).
+  u64 tlb_epoch_ = 0;
+  u64 shootdowns_sent_ = 0;
+  u32 next_core_assign_ = 0;  // round-robin VM placement cursor
   util::Logger log_{"nova.kernel"};
 };
 

@@ -46,6 +46,19 @@ class KernelOps {
   /// its PD sweep entirely when the count is zero — VM-density requirement).
   void vtimer_armed_changed(bool was_enabled, bool now_enabled);
 
+  // ---- TLB maintenance with cross-core shootdown (hc_mem) ----
+  /// Flush `va` from the shared TLB and broadcast kIpiTlbShootdown to the
+  /// other cores (completion-accounted; a no-op broadcast on unicore).
+  void tlb_sync_va(vaddr_t va);
+  /// Flush one ASID's footprint, with the same broadcast.
+  void tlb_sync_asid(u32 asid);
+
+  // ---- cross-core IRQ liveness (hc_irq) ----
+  /// True when a *sibling* core's current VM holds `irq` registered and
+  /// virtually enabled — physically masking it would rob an on-CPU VM of
+  /// its interrupts. Always false on a unicore kernel.
+  bool irq_live_on_sibling(u32 irq);
+
   // ---- kernel-owned shared-device state (hc_io) ----
   std::string& console_buffer();
   std::vector<u8>& sd_image();

@@ -1,7 +1,9 @@
 // The kernel's execution engine: the scheduling run loop, physical IRQ
-// take/route/inject (§III.B, Fig. 6), the kernel tick and the VM switch
-// (§III.C). Trap entries here go through TrapGuard like every other kernel
-// entry, so the IRQ path shares the hypercall gate's accounting.
+// take/route/inject (§III.B, Fig. 6), the kernel tick, the VM switch
+// (§III.C) and the SMP machinery (DESIGN.md §13): per-core slices over one
+// time-multiplexed simulated CPU, IPIs, work stealing and cross-core TLB
+// shootdown. Trap entries here go through TrapGuard like every other kernel
+// entry, so the IRQ and IPI paths share the hypercall gate's accounting.
 #include <algorithm>
 
 #include "nova/kernel.hpp"
@@ -10,79 +12,259 @@
 
 namespace minova::nova {
 
+// N simulated cores share the one host cpu::Core and the one global clock.
+// The outer loop always advances the *lagging* core (lowest local time,
+// ties to the lowest id): it rewinds the global clock to that core's local
+// time, runs one slice bounded by a conservative window, and records how
+// far the core got. Causality skew between cores is bounded by the window;
+// cross-core effects (IPIs, shootdowns) carry explicit arrival times and
+// are only acted on once the receiving core's clock passes them. With one
+// core the loop degenerates to `while (now < deadline) slice(deadline)` —
+// the original unicore run loop, charge for charge.
 void Kernel::run_until(cycles_t deadline) {
   auto& clock = platform_.clock();
-  while (clock.now() < deadline) {
-    platform_.pump();
-    handle_pending_irqs();
+  if (cores_.size() == 1) {
+    while (clock.now() < deadline) smp_slice(cores_[0], deadline);
+    return;
+  }
 
-    // Wake parked PDs that now have deliverable virtual interrupts. Gated
-    // on the parked count so a dense population of runnable VMs never pays
-    // the sweep; destroyed PDs leave null slots behind.
-    if (parked_count_ != 0) {
-      for (auto& p : pds_)
-        if (p != nullptr && p->parked && p->vgic().any_deliverable())
-          set_parked(*p, false);
-    }
+  // Creation-time and between-run charges accrued on the global clock are
+  // "before" this window: no core may start behind them.
+  const cycles_t entry = clock.now();
+  for (auto& cc : cores_) cc.local_now = std::max(cc.local_now, entry);
+  const cycles_t window =
+      std::max<cycles_t>(1, clock.us_to_cycles(cfg_.smp_window_us));
 
-    ProtectionDomain* pd = sched_.pick_eligible(
-        [](const ProtectionDomain* p) { return !p->parked; });
-    if (pd == nullptr) {
-      idle(deadline);
-      continue;
-    }
-    if (pd != current_) vm_switch(pd);
+  while (true) {
+    CoreContext* next = nullptr;
+    for (auto& cc : cores_)
+      if (next == nullptr || cc.local_now < next->local_now) next = &cc;
+    if (next->local_now >= deadline) break;
+    switch_active_core(next->id);
+    clock.set_time(next->local_now);
+    smp_slice(*next, std::min(deadline, next->local_now + window));
+    next->local_now = std::max(next->local_now + 1, clock.now());
+  }
 
-    GuestContext ctx = make_ctx(*pd);
-    if (!pd->booted) {
-      pd->guest()->boot(ctx);
-      pd->booted = true;
-    }
-    deliver_virqs(*pd);
+  // Leave the clock at the frontier so callers see a monotone timeline.
+  cycles_t frontier = deadline;
+  for (const auto& cc : cores_) frontier = std::max(frontier, cc.local_now);
+  clock.set_time(frontier);
+}
 
-    cycles_t budget = deadline - clock.now();
-    budget = std::min(budget, pd->quantum_left);
-    cycles_t ev = 0;
-    if (platform_.events().next_deadline(ev) && ev > clock.now())
-      budget = std::min(budget, ev - clock.now());
-    if (budget == 0) {
-      sched_.rotate(pd);
-      continue;
-    }
+// One scheduling slice of core `cc`: pump devices, drain arrived IPIs,
+// take pending physical IRQs targeted at this core, then dispatch (or
+// steal, or idle). This body *is* the old unicore run-loop iteration; the
+// SMP-only steps sit behind `cores_.size() > 1` guards or are naturally
+// empty on one core, so the unicore charge sequence is untouched.
+void Kernel::smp_slice(CoreContext& cc, cycles_t limit) {
+  auto& clock = platform_.clock();
+  platform_.pump();
+  drain_ipis(cc);
+  handle_pending_irqs();
 
-    const cycles_t t0 = clock.now();
-    const StepExit exit = pd->guest()->step(ctx, budget);
-    const cycles_t used = clock.now() - t0;
-    pd->quantum_left -= std::min(used, pd->quantum_left);
+  // Wake parked PDs that now have deliverable virtual interrupts. Gated
+  // on the parked count so a dense population of runnable VMs never pays
+  // the sweep; destroyed PDs leave null slots behind. Any core performs
+  // the sweep (the vGIC state is shared kernel memory); a PD homed on
+  // another core gets a reschedule IPI so an idle owner wakes up for it.
+  if (parked_count_ != 0) {
+    for (auto& p : pds_)
+      if (p != nullptr && p->parked && p->vgic().any_deliverable()) {
+        set_parked(*p, false);
+        if (p->run_core != active_core_)
+          send_ipi(p->run_core, IpiKind::kIpiReschedule, p->id(), 0);
+      }
+  }
 
-    if (exit == StepExit::kHalt) {
-      sched_.remove(pd);
-      if (current_ == pd) current_ = nullptr;
-      continue;
-    }
-    if (pd->quantum_left == 0) {
-      sched_.rotate(pd);
-    } else if (exit == StepExit::kYield) {
-      // Nothing to do until an event: park so lower-priority PDs (or the
-      // idle loop) get the CPU. A deliverable vIRQ unparks it above.
-      set_parked(*pd, true);
-    }
+  ProtectionDomain* pd = cc.sched.pick_eligible(
+      [](const ProtectionDomain* p) { return !p->parked; });
+  if (pd == nullptr && cores_.size() > 1) pd = try_steal(cc);
+  if (pd == nullptr) {
+    idle(limit);
+    return;
+  }
+  if (cores_.size() > 1 && clock.now() >= limit) return;
+  if (pd != cc.current) vm_switch(pd);
+
+  GuestContext ctx = make_ctx(*pd);
+  if (!pd->booted) {
+    pd->guest()->boot(ctx);
+    pd->booted = true;
+  }
+  deliver_virqs(*pd);
+
+  cycles_t budget = limit - clock.now();
+  budget = std::min(budget, pd->quantum_left);
+  cycles_t ev = 0;
+  if (platform_.events().next_deadline(ev) && ev > clock.now())
+    budget = std::min(budget, ev - clock.now());
+  if (budget == 0) {
+    cc.sched.rotate(pd);
+    return;
+  }
+
+  const cycles_t t0 = clock.now();
+  const StepExit exit = pd->guest()->step(ctx, budget);
+  const cycles_t used = clock.now() - t0;
+  pd->quantum_left -= std::min(used, pd->quantum_left);
+
+  if (exit == StepExit::kHalt) {
+    cc.sched.remove(pd);
+    if (cc.current == pd) cc.current = nullptr;
+    return;
+  }
+  if (pd->quantum_left == 0) {
+    cc.sched.rotate(pd);
+  } else if (exit == StepExit::kYield) {
+    // Nothing to do until an event: park so lower-priority PDs (or the
+    // idle loop) get the CPU. A deliverable vIRQ unparks it above.
+    set_parked(*pd, true);
   }
 }
 
 void Kernel::idle(cycles_t limit) { platform_.idle_until_next_event(limit); }
 
+// ---- SMP machinery ----------------------------------------------------------
+
+// The simulator stops modeling core `active_core_` and starts modeling
+// `target`: swap the physical CPU context (register file, CPSR,
+// TTBR/DACR/ASID) through the CoreContexts and select the target's
+// micro-TLB bank. Host-side only — a real MPCore has these per CPU; no
+// simulated cycles may be charged for the simulator's own bookkeeping.
+void Kernel::switch_active_core(u32 target) {
+  if (target == active_core_) return;
+  auto& core = platform_.cpu();
+  auto& mmu = core.mmu();
+  CoreContext& out = cores_[active_core_];
+  out.saved_ttbr = mmu.ttbr0();
+  out.saved_dacr = mmu.dacr();
+  out.saved_asid = mmu.asid();
+  out.saved_regs = core.regs();
+  out.saved_cpsr = core.cpsr();
+  out.hw_ctx_valid = true;
+
+  CoreContext& in = cores_[target];
+  active_core_ = target;
+  mmu.set_active_utlb_bank(target);
+  if (in.hw_ctx_valid) {
+    mmu.restore_context(in.saved_ttbr, in.saved_dacr, in.saved_asid);
+    core.regs() = in.saved_regs;
+    core.cpsr() = in.saved_cpsr;
+  } else {
+    // First time on this core: it comes up on the kernel-only space.
+    mmu.restore_context(kernel_space_->root(), dacr_host_kernel(), 0);
+  }
+}
+
+void Kernel::send_ipi(u32 target, IpiKind kind, u32 arg, u64 epoch) {
+  if (cores_.size() <= 1 || target == active_core_) return;
+  auto& core = platform_.cpu();
+  // ICDSGIR distributor write + synchronization barrier on the sender.
+  core.spend(core.caches().access_device());
+  core.spend(cfg_.ipi_send_cycles);
+  const cycles_t arrival =
+      platform_.clock().now() + cfg_.ipi_latency_cycles;
+  cores_[target].ipis.push_back({kind, arg, epoch, arrival});
+  ++cur_core().ipis_sent;
+  c_ipi_sent_.inc();
+  // Ride the event queue so an idle target's time jump stops at delivery
+  // instead of sleeping through it.
+  platform_.events().schedule_at(arrival, []() {});
+}
+
+void Kernel::tlb_shootdown(vaddr_t va) {
+  if (cores_.size() <= 1) return;
+  ++tlb_epoch_;
+  // The initiator's own bank drops immediately (local TLBIMVA already
+  // happened; micro entries also die via the generation check).
+  platform_.cpu().mmu().utlb_flush_bank(active_core_);
+  cur_core().shootdown_ack_epoch = tlb_epoch_;
+  for (auto& cc : cores_) {
+    if (cc.id == active_core_) continue;
+    send_ipi(cc.id, IpiKind::kIpiTlbShootdown, u32(va), tlb_epoch_);
+    ++shootdowns_sent_;
+  }
+}
+
+// Every IPI whose arrival time has passed is taken as one IRQ-class trap
+// (SGIs traverse the same exception vector as peripheral IRQs) *before*
+// the slice dispatches guest work — the shootdown ordering rule: no guest
+// instruction runs on a core with an acknowledged-but-unprocessed
+// invalidation outstanding.
+void Kernel::drain_ipis(CoreContext& cc) {
+  if (cc.ipis.empty()) return;
+  auto& core = platform_.cpu();
+  while (!cc.ipis.empty() &&
+         cc.ipis.front().arrival <= platform_.clock().now()) {
+    const Ipi ipi = cc.ipis.front();
+    cc.ipis.pop_front();
+    {
+      TrapGuard trap(core, trap_counters_, cpu::Exception::kIrq, rg_vector_,
+                     TrapKind::kIrq);
+      trap.exec(rg_irq_entry_);
+      core.spend(core.caches().access_device());  // IAR read (SGI id)
+      core.spend(core.caches().access_device());  // EOI
+      switch (ipi.kind) {
+        case IpiKind::kIpiTlbShootdown:
+          // Active bank == this core's bank while its slice runs. The
+          // shared main TLB was already invalidated by the initiator.
+          core.mmu().utlb_flush_bank(cc.id);
+          cc.shootdown_ack_epoch =
+              std::max(cc.shootdown_ack_epoch, ipi.epoch);
+          ++cc.shootdowns_acked;
+          c_shootdown_acks_.inc();
+          break;
+        case IpiKind::kIpiReschedule:
+          break;  // the pick below sees the new work
+        case IpiKind::kIpiVmMigrate:
+          ++cc.migrations_in;
+          break;
+      }
+    }
+    ++cc.ipis_received;
+    ++cc.irq_traps;
+    notify_introspection(KernelEvent::kTrapExit, TrapKind::kIrq);
+  }
+}
+
+ProtectionDomain* Kernel::try_steal(CoreContext& thief) {
+  for (u32 k = 1; k < u32(cores_.size()); ++k) {
+    CoreContext& victim = cores_[(thief.id + k) % u32(cores_.size())];
+    ProtectionDomain* pd = victim.sched.steal_candidate(
+        [&victim](const ProtectionDomain* p) {
+          return !p->parked && !p->core_pinned && p->guest() != nullptr &&
+                 p != victim.current;
+        });
+    if (pd == nullptr) continue;
+    // Remote run-queue lock + cache-line transfer of the queue nodes.
+    platform_.cpu().spend(cfg_.steal_cycles);
+    victim.sched.take(pd);
+    thief.sched.enqueue(pd);  // keeps the remaining quantum (§III.D)
+    pd->run_core = thief.id;
+    ++pd->migrations;
+    ++thief.steals;
+    c_steals_.inc();
+    return pd;
+  }
+  return nullptr;
+}
+
 void Kernel::handle_pending_irqs() {
   auto& core = platform_.cpu();
   auto& gic = platform_.gic();
+  // Only interrupts whose ICDIPTR target mask includes this core are taken
+  // here. Every mask resets to CPU0, so the unicore kernel sees exactly
+  // the acknowledge order it always did.
+  const u8 cpu_mask = u8(1u << active_core_);
   int guard = 0;
-  while (gic.irq_asserted() && guard++ < 64) {
+  while (gic.irq_asserted_for(cpu_mask) && guard++ < 64) {
     bool spurious = false;
     {
       TrapGuard trap(core, trap_counters_, cpu::Exception::kIrq,
                      rg_vector_, TrapKind::kIrq);
       trap.exec(rg_irq_entry_);
-      const u32 irq = gic.acknowledge();
+      const u32 irq = gic.acknowledge_for(cpu_mask);
       core.spend(core.caches().access_device());  // IAR read
       if (irq == irq::kSpuriousIrq) {
         spurious = true;
@@ -101,6 +283,7 @@ void Kernel::handle_pending_irqs() {
       }
     }
     if (spurious) break;
+    ++cur_core().irq_traps;
     notify_introspection(KernelEvent::kTrapExit, TrapKind::kIrq);
     platform_.pump();
   }
@@ -132,7 +315,16 @@ void Kernel::route_irq(u32 irq) {
         break;
       }
     }
-    if (owner != nullptr) owner->vgic().set_pending_charged(core, irq);
+    if (owner != nullptr) {
+      owner->vgic().set_pending_charged(core, irq);
+      if (owner->run_core != active_core_) {
+        // Taken here, consumed there: the owner VM lives on another core
+        // (stale ICDIPTR target after a steal/migration). Count it and
+        // kick the owning core so it injects without waiting for its tick.
+        c_cross_core_irq_.inc();
+        send_ipi(owner->run_core, IpiKind::kIpiReschedule, owner->id(), 0);
+      }
+    }
     return;
   }
   // Unrouted interrupt: count it; the kernel simply drops it.
@@ -185,17 +377,34 @@ void Kernel::deliver_virqs(ProtectionDomain& pd) {
 
 void Kernel::vm_switch(ProtectionDomain* to) {
   MINOVA_CHECK(to != nullptr);
-  if (to == current_) return;
+  ProtectionDomain*& cur = cur_core().current;
+  if (to == cur) return;
   platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kVmSwitch,
-                         current_ ? current_->id() : 0xFFFF'FFFFu, to->id());
+                         cur ? cur->id() : 0xFFFF'FFFFu, to->id());
   auto& core = platform_.cpu();
   const cycles_t sw_t0 = core.clock().now();
   core.exec_code(rg_vm_switch_);
-  if (current_ != nullptr) {
-    current_->vcpu().save_active(core);
-    current_->vgic().mask_all_physical(core);
-    if (!cfg_.lazy_vfp) current_->vcpu().save_vfp(core);
-    if (!cfg_.lazy_l2ctrl) current_->vcpu().save_l2ctrl(core);
+  if (cur != nullptr) {
+    cur->vcpu().save_active(core);
+    if (cores_.size() > 1) {
+      // SMP masking rule: switching this core must not mask a source that a
+      // sibling core's current VM has registered and enabled — that VM is
+      // on-CPU and entitled to its interrupts. Per-IRQ targeting keeps the
+      // source from firing here, so leaving it enabled is safe.
+      cur->vgic().mask_all_physical(core, [&](u32 irq) {
+        for (const auto& cc : cores_) {
+          if (cc.id == active_core_ || cc.current == nullptr) continue;
+          if (cc.current->vgic().is_registered(irq) &&
+              cc.current->vgic().is_enabled(irq))
+            return true;
+        }
+        return false;
+      });
+    } else {
+      cur->vgic().mask_all_physical(core);
+    }
+    if (!cfg_.lazy_vfp) cur->vcpu().save_vfp(core);
+    if (!cfg_.lazy_l2ctrl) cur->vcpu().save_l2ctrl(core);
   }
   // Lazy ASID revalidation: a VM holding a tag from a retired generation
   // gets a fresh one before its ASID is loaded (rollover already flushed).
@@ -209,8 +418,9 @@ void Kernel::vm_switch(ProtectionDomain* to) {
   if (!cfg_.lazy_vfp) to->vcpu().restore_vfp(core);
   if (!cfg_.lazy_l2ctrl) to->vcpu().restore_l2ctrl(core);
   to->vgic().unmask_enabled_physical(core);
-  current_ = to;
+  cur = to;
   ++vm_switches_;
+  ++cur_core().vm_switches;
   vm_switch_cycles_ += core.clock().now() - sw_t0;
   notify_introspection(KernelEvent::kVmSwitch, TrapKind::kCount);
 }

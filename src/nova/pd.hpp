@@ -106,6 +106,7 @@ class ProtectionDomain {
     guest_ = std::move(guest);
   }
   GuestOs* guest() { return guest_.get(); }
+  const GuestOs* guest() const { return guest_.get(); }
 
   PdState state() const { return state_; }
   void set_state(PdState s) { state_ = s; }
@@ -128,6 +129,14 @@ class ProtectionDomain {
   // interrupt becomes deliverable. Lets lower-priority PDs run while a
   // high-priority VM sleeps.
   bool parked = false;
+  // SMP affinity (DESIGN.md §13). `home_core` is the creation-time
+  // placement, `run_core` the core whose scheduler currently holds the PD
+  // (they diverge after a steal or an explicit migration). A pinned PD is
+  // never stolen. All zero on a unicore kernel.
+  u32 home_core = 0;
+  u32 run_core = 0;
+  bool core_pinned = false;
+  u64 migrations = 0;
 
   // Hardware task data section (physical window the hwMMU is loaded with).
   paddr_t hw_data_pa = 0;

@@ -69,6 +69,28 @@ void Scheduler::remove(ProtectionDomain* pd) {
   pd->set_state(PdState::kHalted);
 }
 
+void Scheduler::take(ProtectionDomain* pd) {
+  MINOVA_CHECK(pd != nullptr);
+  adopt(pd);
+  if (pd->in_run_queue) {
+    level(pd->priority()).erase(pd->sched_it);
+    pd->in_run_queue = false;
+  }
+  if (pd->in_suspended) {
+    suspended_.erase(pd->sched_it);
+    pd->in_suspended = false;
+  }
+}
+
+ProtectionDomain* Scheduler::steal_candidate(
+    const std::function<bool(const ProtectionDomain*)>& eligible) const {
+  for (u32 p = kNumPriorities; p-- > 0;) {
+    for (auto it = levels_[p].rbegin(); it != levels_[p].rend(); ++it)
+      if (eligible(*it)) return *it;
+  }
+  return nullptr;
+}
+
 ProtectionDomain* Scheduler::pick() {
   for (u32 p = kNumPriorities; p-- > 0;) {
     if (!levels_[p].empty()) return levels_[p].front();

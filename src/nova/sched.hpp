@@ -38,6 +38,19 @@ class Scheduler {
   /// Remove from both queues (halt).
   void remove(ProtectionDomain* pd);
 
+  /// Detach a PD from this scheduler *without* touching its run state or
+  /// remaining quantum — the SMP migration primitive. The caller re-homes
+  /// the PD on another core's scheduler (enqueue preserves a nonzero
+  /// quantum, so a stolen PD's total slice stays constant, §III.D).
+  void take(ProtectionDomain* pd);
+
+  /// A PD another core may steal: scanned from the highest priority level
+  /// down, from the *back* of each level (the coldest entries — the ones
+  /// farthest from dispatch on this core). Returns nullptr when nothing
+  /// eligible is queued. Does not modify the queue.
+  ProtectionDomain* steal_candidate(
+      const std::function<bool(const ProtectionDomain*)>& eligible) const;
+
   /// Highest-priority runnable PD, or nullptr. Does not rotate.
   ProtectionDomain* pick();
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "cpu/core.hpp"
 #include "irq/gic.hpp"
@@ -75,7 +76,12 @@ class VGic {
 
   /// Physical GIC reprogramming on VM switch (charges one device access
   /// per touched source plus the record-list walk in kernel memory).
-  void mask_all_physical(cpu::Core& core);
+  /// `skip` exempts a source from the mask sweep — the SMP kernel passes
+  /// the "registered + enabled by another core's current VM" predicate so
+  /// switching one core never clobbers a source live on a sibling core;
+  /// the unicore kernel passes nothing and the sweep is unchanged.
+  void mask_all_physical(cpu::Core& core,
+                         const std::function<bool(u32)>& skip = {});
   void unmask_enabled_physical(cpu::Core& core);
 
   u32 registered_count() const;

@@ -28,6 +28,12 @@ class Clock {
     if (t > now_) now_ = t;
   }
 
+  /// Set the absolute time, possibly backwards. This exists for one caller
+  /// only: the SMP run loop time-multiplexes N simulated cores onto this
+  /// single clock and rewinds it to the lagging core's local time before
+  /// each slice (DESIGN.md §13). Device models must never call this.
+  void set_time(cycles_t t) noexcept { now_ = t; }
+
   double cycles_to_us(cycles_t c) const noexcept {
     return double(c) * 1e6 / double(freq_hz_);
   }
