@@ -93,6 +93,54 @@ def check_smp(smp: dict, t3: dict) -> None:
           f"row; protocol live at cores={cores[1:]}")
 
 
+def check_mt(mt: dict, gates: dict) -> None:
+    """Validate the host-parallel section (DESIGN.md §14).
+
+    sim_digest is simulated and must be identical at every thread count —
+    any divergence means the host-thread engine leaked into simulated
+    state, which fails the build unconditionally. Throughput (host_speedup
+    at the highest thread count) is a machine number: it is gated against
+    the golden floor only when the host has at least that many CPUs,
+    otherwise skipped with a note.
+    """
+    threads = mt.get("threads", [])
+    digests = mt.get("sim_digest", [])
+    if not threads or threads[0] != 1 or len(digests) != len(threads):
+        fail("mt section must lead with a threads=1 point and carry one "
+             "digest per point")
+    bad = 0
+    for t, d in zip(threads[1:], digests[1:]):
+        if d != digests[0]:
+            print(f"  mt threads={t} digest {d} != threads=1 {digests[0]}")
+            bad += 1
+    if bad:
+        fail(f"{bad} host-thread digest(s) diverged — simulated state "
+             "depends on the thread count")
+
+    floor = float(gates.get("mt_min_speedup_top", 0.0))
+    rate_floor = float(gates.get("mt_min_sim_us_per_host_s", 0.0))
+    top_t = threads[-1]
+    speedup = float(mt.get("host_speedup", [0.0])[-1])
+    host_cpus = int(mt.get("host_cpus", 0))
+    if rate_floor > 0:
+        rate = float(mt.get("sim_us_per_host_s", [0.0])[0])
+        if rate < rate_floor:
+            fail(f"mt threads=1 simulation rate {rate:.0f} us/s below "
+                 f"floor {rate_floor:.0f}")
+    if floor > 0:
+        if host_cpus >= top_t:
+            if speedup < floor:
+                fail(f"mt threads={top_t} host speedup {speedup:.2f}x below "
+                     f"golden floor {floor:.2f}x")
+            print(f"check_table3: mt OK — digests thread-invariant, "
+                  f"{speedup:.2f}x at {top_t} threads (floor {floor:.2f}x)")
+            return
+        print(f"check_table3: mt digests thread-invariant; speedup gate "
+              f"SKIPPED (host has {host_cpus} CPUs < {top_t})")
+        return
+    print("check_table3: mt OK — digests thread-invariant (no speedup gate)")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
         fail("usage: check_table3.py BENCH_results.json [golden.json]")
@@ -145,6 +193,10 @@ def main() -> None:
     smp = results.get("smp")
     if smp is not None:
         check_smp(smp, t3)
+
+    mt = results.get("mt")
+    if mt is not None:
+        check_mt(mt, golden.get("host_gates", {}))
 
 
 if __name__ == "__main__":

@@ -14,8 +14,11 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "density.hpp"
 #include "harness.hpp"
+#include "mt.hpp"
 #include "selftime.hpp"
 #include "smp.hpp"
 
@@ -46,6 +49,10 @@ int main(int argc, char** argv) {
   std::printf("run_all: SMP scaling 1/2/4 cores ...\n");
   std::vector<bench::SmpPoint> smp;
   for (u32 c : {1u, 2u, 4u}) smp.push_back(bench::run_smp_point(c, sim_ms));
+
+  std::printf("run_all: host-parallel 4 cores x 1/2/4 threads ...\n");
+  std::vector<bench::MtPoint> mt;
+  for (u32 t : {1u, 2u, 4u}) mt.push_back(bench::run_mt_point(4, t, sim_ms));
 
   std::printf("run_all: self-timing mixes ...\n");
   const auto mixes = bench::run_all_mixes();
@@ -150,6 +157,37 @@ int main(int argc, char** argv) {
   smp_u("shootdown_acks", &bench::SmpPoint::shootdown_acks);
   smp_u("cross_core_irqs", &bench::SmpPoint::cross_core_irqs);
   smp_u("vm_switches", &bench::SmpPoint::vm_switches, true);
+  // Host-parallel section (DESIGN.md §14): the compute-saturated 4-core
+  // configuration at 1/2/4 host threads. sim_digest is a simulated
+  // quantity and must be identical across the thread sweep (check_table3.py
+  // fails on divergence); host_seconds / host_speedup are machine numbers —
+  // the speedup floor is only gated when the host has >= 4 CPUs.
+  std::fprintf(f, "  },\n  \"mt\": {\n    \"cores\": %u,\n    \"threads\": [",
+               mt.empty() ? 0 : mt[0].cores);
+  for (std::size_t i = 0; i < mt.size(); ++i)
+    std::fprintf(f, "%u%s", mt[i].threads, i + 1 < mt.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"host_seconds\": [");
+  for (std::size_t i = 0; i < mt.size(); ++i)
+    std::fprintf(f, "%s%s", jd(mt[i].host_seconds).c_str(),
+                 i + 1 < mt.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"host_speedup\": [");
+  for (std::size_t i = 0; i < mt.size(); ++i)
+    std::fprintf(f, "%s%s",
+                 jd(mt[i].host_seconds > 0
+                        ? mt[0].host_seconds / mt[i].host_seconds
+                        : 0.0)
+                     .c_str(),
+                 i + 1 < mt.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"sim_us_per_host_s\": [");
+  for (std::size_t i = 0; i < mt.size(); ++i)
+    std::fprintf(f, "%s%s", jd(mt[i].sim_us_per_host_s()).c_str(),
+                 i + 1 < mt.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"sim_digest\": [");
+  for (std::size_t i = 0; i < mt.size(); ++i)
+    std::fprintf(f, "\"%016llx\"%s", (unsigned long long)mt[i].sim_digest,
+                 i + 1 < mt.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"host_cpus\": %u\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  },\n  \"selftime\": [\n");
   for (std::size_t i = 0; i < mixes.size(); ++i) {
     const auto& m = mixes[i];
@@ -200,6 +238,11 @@ int main(int argc, char** argv) {
   std::fclose(f);
 
   std::printf("run_all: wrote %s\n", out_path);
+  for (const auto& p : mt)
+    std::printf("  mt %u cores x %u thread(s): %.3fs host (%.2fx), digest %016llx\n",
+                p.cores, p.threads, p.host_seconds,
+                p.host_seconds > 0 ? mt[0].host_seconds / p.host_seconds : 0.0,
+                (unsigned long long)p.sim_digest);
   for (const auto& m : mixes)
     std::printf("  selftime %-12s %.1f -> %.1f ns/op (%.2fx)\n",
                 m.name.c_str(), m.ref_ns_per_op, m.new_ns_per_op, m.speedup);

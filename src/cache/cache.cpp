@@ -1,5 +1,6 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace minova::cache {
@@ -11,78 +12,89 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
   MINOVA_CHECK(is_pow2(sets_));
   line_shift_ = u32(std::countr_zero(cfg.line_bytes));
+  tags_.assign(std::size_t(sets_) * cfg.ways, kInvalidTag);
   lines_.resize(std::size_t(sets_) * cfg.ways);
 }
 
 Cache::AccessResult Cache::access(paddr_t pa, bool write) {
   const u32 set = set_index(pa);
   const paddr_t tag = line_addr(pa);
-  Line* base = &lines_[std::size_t(set) * cfg_.ways];
+  const std::size_t base = std::size_t(set) * cfg_.ways;
+  paddr_t* tagp = &tags_[base];
+  const u32 ways = cfg_.ways;
 
-  // Hit path.
-  for (u32 w = 0; w < cfg_.ways; ++w) {
-    Line& ln = base[w];
-    if (ln.valid && ln.tag == tag) {
-      ln.lru = ++use_clock_;
-      ln.dirty = ln.dirty || write;
-      ++stats_.hits;
-      return AccessResult{.hit = true};
-    }
+  // Hit path: branchless scan over the SoA tag row. A tag lives in at most
+  // one way, so order of assignment doesn't matter and the loop vectorizes.
+  u32 hit_way = ways;
+  for (u32 w = 0; w < ways; ++w) {
+    if (tagp[w] == tag) hit_way = w;
+  }
+  if (hit_way != ways) {
+    Line& ln = lines_[base + hit_way];
+    // Under pseudo-random replacement the lru stamp is never read, so the
+    // global use-clock bump is skipped entirely on the hot path.
+    if (cfg_.policy == ReplacementPolicy::kLru) ln.lru = ++use_clock_;
+    ln.dirty = ln.dirty || write;
+    ++stats_.hits;
+    return AccessResult{.hit = true};
   }
 
-  // Miss: pick an invalid way, else true-LRU victim.
+  // Miss: pick the first invalid way, else the policy's victim.
   ++stats_.misses;
-  Line* victim = nullptr;
-  for (u32 w = 0; w < cfg_.ways; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
+  u32 victim_way = ways;
+  for (u32 w = 0; w < ways; ++w) {
+    if (tagp[w] == kInvalidTag) {
+      victim_way = w;
       break;
     }
   }
   AccessResult res{};
-  if (victim == nullptr) {
+  if (victim_way == ways) {
     if (cfg_.policy == ReplacementPolicy::kLru) {
-      victim = base;
-      for (u32 w = 1; w < cfg_.ways; ++w)
-        if (base[w].lru < victim->lru) victim = &base[w];
+      victim_way = 0;
+      for (u32 w = 1; w < ways; ++w)
+        if (lines_[base + w].lru < lines_[base + victim_way].lru)
+          victim_way = w;
     } else {
       // 16-bit Galois LFSR, as in the A9/PL310 pseudo-random generators.
       lfsr_ = (lfsr_ >> 1) ^ ((lfsr_ & 1u) ? 0xB400u : 0u);
-      victim = &base[lfsr_ % cfg_.ways];
+      victim_way = lfsr_ % ways;
     }
     ++stats_.evictions;
     res.evicted_valid = true;
-    res.victim_line = victim->tag << line_shift_;
-    if (victim->dirty) {
+    res.victim_line = tagp[victim_way] << line_shift_;
+    if (lines_[base + victim_way].dirty) {
       res.writeback = true;
       ++stats_.writebacks;
     }
   }
-  victim->valid = true;
-  victim->dirty = write;
-  victim->tag = tag;
-  victim->lru = ++use_clock_;
+  Line& victim = lines_[base + victim_way];
+  tagp[victim_way] = tag;
+  victim.dirty = write;
+  if (cfg_.policy == ReplacementPolicy::kLru) victim.lru = ++use_clock_;
   return res;
 }
 
 bool Cache::contains(paddr_t pa) const {
   const u32 set = set_index(pa);
   const paddr_t tag = line_addr(pa);
-  const Line* base = &lines_[std::size_t(set) * cfg_.ways];
+  const paddr_t* tagp = &tags_[std::size_t(set) * cfg_.ways];
   for (u32 w = 0; w < cfg_.ways; ++w)
-    if (base[w].valid && base[w].tag == tag) return true;
+    if (tagp[w] == tag) return true;
   return false;
 }
 
 void Cache::invalidate_all() {
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
   for (auto& ln : lines_) ln = Line{};
 }
 
 u32 Cache::flush_all() {
   u32 dirty = 0;
-  for (auto& ln : lines_) {
-    if (ln.valid && ln.dirty) ++dirty;
-    ln = Line{};
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] != kInvalidTag && lines_[i].dirty) ++dirty;
+    tags_[i] = kInvalidTag;
+    lines_[i] = Line{};
   }
   stats_.writebacks += dirty;
   ++stats_.flushes;
@@ -92,12 +104,12 @@ u32 Cache::flush_all() {
 bool Cache::invalidate_line(paddr_t pa) {
   const u32 set = set_index(pa);
   const paddr_t tag = line_addr(pa);
-  Line* base = &lines_[std::size_t(set) * cfg_.ways];
+  const std::size_t base = std::size_t(set) * cfg_.ways;
   for (u32 w = 0; w < cfg_.ways; ++w) {
-    Line& ln = base[w];
-    if (ln.valid && ln.tag == tag) {
-      const bool was_dirty = ln.dirty;
-      ln = Line{};
+    if (tags_[base + w] == tag) {
+      const bool was_dirty = lines_[base + w].dirty;
+      tags_[base + w] = kInvalidTag;
+      lines_[base + w] = Line{};
       if (was_dirty) ++stats_.writebacks;
       return was_dirty;
     }

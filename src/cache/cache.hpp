@@ -81,11 +81,17 @@ class Cache {
 
  private:
   struct Line {
-    paddr_t tag = 0;  // full line address (pa >> line_shift)
-    bool valid = false;
     bool dirty = false;
-    u64 lru = 0;  // last-use stamp
+    u64 lru = 0;  // last-use stamp (maintained only under kLru)
   };
+
+  // The tag/valid state lives in a flat structure-of-arrays word per way:
+  // `tags_[set*ways + w]` holds the line address, or kInvalidTag when the
+  // way is empty. The hit scan — the hottest loop in the whole simulator —
+  // then compares a contiguous run of u64s against one key, which the
+  // compiler turns into SIMD compares instead of a load/branch chain over
+  // 24-byte Line records.
+  static constexpr paddr_t kInvalidTag = ~paddr_t(0);
 
   u32 set_index(paddr_t pa) const {
     return u32((pa >> line_shift_) & (sets_ - 1));
@@ -97,7 +103,8 @@ class Cache {
   u32 line_shift_;
   u64 use_clock_ = 0;
   u32 lfsr_ = 0xACE1u;  // deterministic pseudo-random victim source
-  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  std::vector<paddr_t> tags_;  // sets_ * ways, row-major by set
+  std::vector<Line> lines_;    // parallel metadata (dirty/lru)
   CacheStats stats_;
 };
 

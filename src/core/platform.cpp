@@ -20,6 +20,7 @@ Platform::Platform(const PlatformConfig& cfg)
               cfg.prr_ctl),
       pcap_(clock_, events_, gic_, prrctl_, cfg.pcap),
       uart0_(clock_, events_, gic_) {
+  lanes_.push_back(&cpu_);
   bus_.add_ram(&dram_);
   bus_.add_ram(&ocm_);
   bus_.add_device(mem::kPrrCtrlBase,
@@ -27,14 +28,22 @@ Platform::Platform(const PlatformConfig& cfg)
                   &prrctl_);
   bus_.add_device(mem::kDevcfgBase, mem::kDevcfgSize, &pcap_);
   bus_.add_device(mem::kUart0Base, mem::kUartSize, &uart0_);
-  gic_.set_irq_line([this](bool asserted) { cpu_.set_irq_line(asserted); });
+  gic_.set_irq_line([this](bool asserted) { cpu().set_irq_line(asserted); });
   prrctl_.attach_fault_injector(&fault_);
   pcap_.attach_fault_injector(&fault_);
 }
 
 void Platform::pump() {
   events_.run_due(clock_.now());
-  cpu_.set_irq_line(gic_.irq_asserted());
+  cpu().set_irq_line(gic_.irq_asserted());
+}
+
+void Platform::configure_lanes(u32 n) {
+  while (num_lanes() < n) {
+    extra_lanes_.push_back(
+        std::make_unique<cpu::Core>(clock_, dram_, bus_, cfg_.core));
+    lanes_.push_back(extra_lanes_.back().get());
+  }
 }
 
 bool Platform::idle_until_next_event(cycles_t limit) {

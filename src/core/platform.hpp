@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/uart.hpp"
 #include "cpu/core.hpp"
@@ -65,7 +66,9 @@ class Platform {
   mem::PhysMem& ocm() { return ocm_; }
   mem::Bus& bus() { return bus_; }
   irq::Gic& gic() { return gic_; }
-  cpu::Core& cpu() { return cpu_; }
+  /// The CPU lane the simulator is currently modeling. With one lane (the
+  /// default) this is *the* Cortex-A9 core, exactly as before SMP.
+  cpu::Core& cpu() { return *lanes_[active_lane_]; }
   timer::PrivateTimer& private_timer() { return ptimer_; }
   timer::GlobalTimer& global_timer() { return gtimer_; }
   timer::Ttc& ttc() { return ttc_; }
@@ -76,6 +79,19 @@ class Platform {
   dev::Uart& uart() { return uart0_; }
 
   const PlatformConfig& config() const { return cfg_; }
+
+  // ---- SMP lanes (DESIGN.md §14) ----
+  // Each simulated core is a full private cpu::Core ("lane"): register
+  // file, VFP bank, MMU, TLB and cache hierarchy, all over the one shared
+  // bus/DRAM. Lane 0 is the original `cpu_` member, so a one-lane platform
+  // is byte-for-byte the pre-SMP machine.
+  /// Materialize lanes 1..n-1 (idempotent; lane 0 always exists).
+  void configure_lanes(u32 n);
+  u32 num_lanes() const { return u32(lanes_.size()); }
+  cpu::Core& lane(u32 i) { return *lanes_[i]; }
+  /// Select which lane `cpu()` returns. Host-side bookkeeping only.
+  void set_active_lane(u32 i) { active_lane_ = i; }
+  u32 active_lane() const { return active_lane_; }
 
  private:
   PlatformConfig cfg_;
@@ -88,6 +104,10 @@ class Platform {
   mem::Bus bus_;
   irq::Gic gic_;
   cpu::Core cpu_;
+  // lanes_[0] == &cpu_; lanes beyond 0 are owned here.
+  std::vector<cpu::Core*> lanes_;
+  std::vector<std::unique_ptr<cpu::Core>> extra_lanes_;
+  u32 active_lane_ = 0;
   timer::PrivateTimer ptimer_;
   timer::GlobalTimer gtimer_;
   timer::Ttc ttc_;

@@ -6,7 +6,7 @@ namespace minova::cpu {
 
 Core::Core(sim::Clock& clock, mem::PhysMem& dram, mem::Bus& bus,
            const CoreConfig& cfg)
-    : clock_(clock),
+    : clock_(&clock),
       dram_(dram),
       bus_(bus),
       cfg_(cfg),
@@ -34,7 +34,7 @@ void Core::exec_code(const CodeRegion& region, double executed_fraction) {
   const u32 total_lines = region.lines(line);
   const u32 run_lines = u32(double(total_lines) * executed_fraction + 0.5);
   for (u32 i = 0; i < run_lines; ++i)
-    clock_.advance(hierarchy_.access_ifetch(region.base + i * line));
+    clock_->advance(hierarchy_.access_ifetch(region.base + i * line));
   spend_insns(u64(double(region.instructions()) * executed_fraction));
 }
 
@@ -43,7 +43,7 @@ Core::MemResult Core::data_access(vaddr_t va, mmu::AccessKind kind,
                                   unsigned size_bytes) {
   MemResult res;
   auto tr = mmu_.translate(va, kind, privileged());
-  clock_.advance(tr.cost + 1);  // +1: AGU/TLB lookup pipeline cost
+  clock_->advance(tr.cost + 1);  // +1: AGU/TLB lookup pipeline cost
   if (!tr.ok()) {
     res.ok = false;
     res.fault = tr.fault;
@@ -53,9 +53,9 @@ Core::MemResult Core::data_access(vaddr_t va, mmu::AccessKind kind,
   const paddr_t pa = tr.pa;
   const bool write = kind == mmu::AccessKind::kWrite;
   if (bus_.is_device(pa)) {
-    clock_.advance(hierarchy_.access_device());
+    clock_->advance(hierarchy_.access_device());
   } else {
-    clock_.advance(hierarchy_.access_data(pa, write));
+    clock_->advance(hierarchy_.access_data(pa, write));
   }
 
   mem::Bus::Result br;
@@ -119,14 +119,14 @@ Core::MemResult Core::vread_block(vaddr_t va, std::span<u8> out) {
   while (done < out.size()) {
     const vaddr_t cur = va + vaddr_t(done);
     auto tr = mmu_.translate(cur, mmu::AccessKind::kRead, privileged());
-    clock_.advance(tr.cost);
+    clock_->advance(tr.cost);
     if (!tr.ok()) return MemResult{.ok = false, .fault = tr.fault, .value = 0};
     // Stay within this page and this cache line for the chunk.
     const u32 line_off = tr.pa % line;
     const u32 page_left = mmu::kPageSize - (cur % mmu::kPageSize);
     const std::size_t chunk = std::min<std::size_t>(
         {line - line_off, page_left, out.size() - done});
-    clock_.advance(hierarchy_.access_data(tr.pa, /*write=*/false));
+    clock_->advance(hierarchy_.access_data(tr.pa, /*write=*/false));
     mem::PhysMem* ram = bus_.ram_at(tr.pa, u32(chunk));
     if (ram == nullptr) {
       return MemResult{
@@ -150,13 +150,13 @@ Core::MemResult Core::vwrite_block(vaddr_t va, std::span<const u8> in) {
   while (done < in.size()) {
     const vaddr_t cur = va + vaddr_t(done);
     auto tr = mmu_.translate(cur, mmu::AccessKind::kWrite, privileged());
-    clock_.advance(tr.cost);
+    clock_->advance(tr.cost);
     if (!tr.ok()) return MemResult{.ok = false, .fault = tr.fault, .value = 0};
     const u32 line_off = tr.pa % line;
     const u32 page_left = mmu::kPageSize - (cur % mmu::kPageSize);
     const std::size_t chunk = std::min<std::size_t>(
         {line - line_off, page_left, in.size() - done});
-    clock_.advance(hierarchy_.access_data(tr.pa, /*write=*/true));
+    clock_->advance(hierarchy_.access_data(tr.pa, /*write=*/true));
     mem::PhysMem* ram = bus_.ram_at(tr.pa, u32(chunk));
     if (ram == nullptr) {
       return MemResult{
@@ -176,7 +176,7 @@ Core::MemResult Core::vwrite_block(vaddr_t va, std::span<const u8> in) {
 
 mmu::TranslateResult Core::probe(vaddr_t va, mmu::AccessKind kind) {
   auto tr = mmu_.translate(va, kind, privileged());
-  clock_.advance(tr.cost);
+  clock_->advance(tr.cost);
   return tr;
 }
 
@@ -186,13 +186,13 @@ void Core::exception_enter(Exception exc) {
   cpsr_.mode = target;
   cpsr_.irq_masked = true;  // IRQs masked on any exception entry
   if (exc == Exception::kFiq) cpsr_.fiq_masked = true;
-  clock_.advance(cfg_.exception_entry_cycles);
+  clock_->advance(cfg_.exception_entry_cycles);
 }
 
 void Core::exception_return(Mode resume_mode) {
   cpsr_ = spsr(cpsr_.mode);
   cpsr_.mode = resume_mode;
-  clock_.advance(cfg_.exception_return_cycles);
+  clock_->advance(cfg_.exception_return_cycles);
 }
 
 }  // namespace minova::cpu

@@ -53,10 +53,15 @@ class Core {
   VfpBank& vfp() { return vfp_; }
 
   // ---- time ----
-  sim::Clock& clock() { return clock_; }
-  void spend(cycles_t cycles) { clock_.advance(cycles); }
+  sim::Clock& clock() { return *clock_; }
+  /// Repoint this core at another clock. Host-side only: the SMP engine
+  /// gives each lane a private clock for the parallel window phase and
+  /// points it back at the global clock for the serial phases; the clock a
+  /// core charges against never changes mid-access (DESIGN.md §14).
+  void set_clock(sim::Clock* clock) { clock_ = clock; }
+  void spend(cycles_t cycles) { clock_->advance(cycles); }
   void spend_insns(u64 instructions) {
-    clock_.advance(cycles_t(double(instructions) / cfg_.ipc));
+    clock_->advance(cycles_t(double(instructions) / cfg_.ipc));
   }
 
   // ---- instruction side ----
@@ -109,7 +114,7 @@ class Core {
   MemResult data_access(vaddr_t va, mmu::AccessKind kind, u32* read_out,
                         u32 write_val, unsigned size_bytes);
 
-  sim::Clock& clock_;
+  sim::Clock* clock_;
   mem::PhysMem& dram_;
   mem::Bus& bus_;
   CoreConfig cfg_;

@@ -32,6 +32,9 @@ struct Args {
   minova::u64 sabotage = 0;
   minova::u32 sabotage_smp = 0;
   minova::u32 cores = 1;
+  minova::u32 threads = 1;
+  bool compute = false;
+  bool mt_check = false;
   bool lifecycle = false;
   bool do_shrink = false;
   bool verbose = false;
@@ -71,6 +74,19 @@ bool parse(int argc, char** argv, Args& a) {
       // TLB shootdown under the three SMP oracles.
       if (const char* v = val())
         a.cores = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--threads") {
+      // Host threads executing the SMP compute batch. Never changes any
+      // simulated number — see --mt-check.
+      if (const char* v = val())
+        a.threads = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--compute") {
+      // Chaos guests mix in pure-compute burst steps so SMP runs exercise
+      // the host-parallel batch path.
+      a.compute = true;
+    } else if (arg == "--mt-check") {
+      // Differential mode: run every scenario at 1, 2 and 4 host threads
+      // and fail unless all three produce the identical digest.
+      a.mt_check = true;
     } else if (arg == "--lifecycle") {
       // VM create/destroy churn between time slices (lazy boot, slab
       // recycling, ASID generations) on top of the usual chaos traffic.
@@ -85,8 +101,8 @@ bool parse(int argc, char** argv, Args& a) {
       std::puts(
           "mininova_fuzz [--seed-base N] [--seeds N] [--seed N] [--steps N]\n"
           "              [--heavy N] [--sabotage STEP] [--sabotage-smp K]\n"
-          "              [--cores N] [--lifecycle] [--shrink] [--out DIR]\n"
-          "              [--verbose]");
+          "              [--cores N] [--threads N] [--compute] [--mt-check]\n"
+          "              [--lifecycle] [--shrink] [--out DIR] [--verbose]");
       return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -142,13 +158,38 @@ int main(int argc, char** argv) {
     opts.sabotage_step = a.sabotage;
     opts.sabotage_smp_kind = a.sabotage_smp;
     opts.num_cores = a.cores;
+    opts.host_threads = a.threads;
+    opts.compute = a.compute;
     opts.lifecycle = a.lifecycle;
     const FuzzResult res = minova::fuzz::run_scenario(opts);
     if (res.failed) {
       ++failures;
       rc = handle_failure(a, opts, res);
-    } else if (a.verbose || a.single) {
-      std::fputs(res.report.c_str(), stdout);
+      continue;
+    }
+    if (a.verbose || a.single) std::fputs(res.report.c_str(), stdout);
+    if (a.mt_check) {
+      // Host-thread invariance: the same scenario must land on the same
+      // digest (and step/switch counts) at every thread count.
+      for (minova::u32 t : {2u, 4u}) {
+        ScenarioOptions mt = opts;
+        mt.host_threads = t;
+        const FuzzResult r2 = minova::fuzz::run_scenario(mt);
+        if (r2.failed || r2.digest != res.digest || r2.steps != res.steps) {
+          std::printf(
+              "MT-DIVERGENCE seed=%llu threads=%u digest=%016llx vs "
+              "%016llx steps=%llu vs %llu\n",
+              (unsigned long long)opts.seed, t,
+              (unsigned long long)r2.digest, (unsigned long long)res.digest,
+              (unsigned long long)r2.steps, (unsigned long long)res.steps);
+          write_artifact(a.out_dir,
+                         "mt-seed-" + std::to_string(opts.seed) + ".txt",
+                         res.report + "\n" + r2.report);
+          ++failures;
+          rc = 1;
+          break;
+        }
+      }
     }
   }
   std::printf("fuzz: %u scenario(s), %u failure(s)\n", count, failures);

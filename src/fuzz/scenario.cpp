@@ -86,13 +86,14 @@ std::string describe(const ScenarioOptions& opts) {
   char buf[224];
   std::snprintf(buf, sizeof buf,
                 "seed=%llu steps=%llu vms=%u mask=0x%02x faults=%d hwtask=%d "
-                "ivc=%d mem=%d lc=%d cores=%u heavy=%llu sabotage=%llu "
-                "smpk=%u",
+                "ivc=%d mem=%d lc=%d cores=%u threads=%u compute=%d "
+                "heavy=%llu sabotage=%llu smpk=%u",
                 (unsigned long long)opts.seed,
                 (unsigned long long)opts.max_steps, opts.num_vms,
                 opts.active_mask, opts.faults ? 1 : 0, opts.hwtask ? 1 : 0,
                 opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0, opts.lifecycle ? 1 : 0,
-                opts.num_cores, (unsigned long long)opts.heavy_interval,
+                opts.num_cores, opts.host_threads, opts.compute ? 1 : 0,
+                (unsigned long long)opts.heavy_interval,
                 (unsigned long long)opts.sabotage_step, opts.sabotage_smp_kind);
   return buf;
 }
@@ -126,6 +127,7 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
   // SMP shards: round-robin VM placement, work stealing, IPIs, cross-core
   // shootdown. num_cores == 1 is bit-identical to the pre-SMP kernel.
   kcfg.num_cores = opts.num_cores == 0 ? 1 : opts.num_cores;
+  kcfg.host_threads = opts.host_threads == 0 ? 1 : opts.host_threads;
   nova::Kernel kernel(platform, kcfg);
 
   hwmgr::ManagerService manager(kernel);
@@ -142,6 +144,10 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     cfg.mem_ops = opts.mem_ops;
     cfg.hwtask_ops = opts.hwtask;
     cfg.ivc_ops = opts.ivc;
+    // Constant, not derived: enabling compute must not shift any Derive
+    // stream (the shards compare digests across thread counts, not against
+    // compute-off runs).
+    cfg.compute_fraction = opts.compute ? 0.4 : 0.0;
     cfg.max_ops_per_step = 2 + u32(d.below(4));
     cfg.vtimer_period_us = 400 + u32(d.below(2400));
     const u32 ntasks = 1 + u32(d.below(3));
@@ -251,6 +257,7 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
       cfg.mem_ops = opts.mem_ops;
       cfg.hwtask_ops = opts.hwtask;
       cfg.ivc_ops = false;  // dynamic VMs never join IVC channels
+      cfg.compute_fraction = opts.compute ? 0.4 : 0.0;
       cfg.max_ops_per_step = 2 + u32(d.below(4));
       cfg.vtimer_period_us = 400 + u32(d.below(2400));
       const u32 ntasks = 1 + u32(d.below(3));

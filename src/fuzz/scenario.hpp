@@ -53,6 +53,17 @@ struct ScenarioOptions {
   /// oracles (core-partition, shootdown-complete, core-exclusivity).
   u32 num_cores = 1;
 
+  /// Host threads executing the SMP compute batch (KernelConfig::
+  /// host_threads). Pure host-speed knob: the digest of a scenario is
+  /// identical at any value — that is the property the MT differential
+  /// shards assert.
+  u32 host_threads = 1;
+  /// Give the chaos guests pure-compute burst steps (ChaosConfig::
+  /// compute_fraction = 0.4) so SMP runs actually exercise the parallel
+  /// batch path. Changes the RNG stream, so digests differ from
+  /// compute-off runs of the same seed (but stay deterministic).
+  bool compute = false;
+
   /// Self-test hook: at this step (1-based, 0 = never) the runner corrupts
   /// a scheduler field from inside the introspection hook, so an invariant
   /// failure is *guaranteed* at exactly that step — the mechanism behind

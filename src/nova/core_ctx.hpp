@@ -7,19 +7,19 @@
 // `KernelConfig::num_cores`; a single-element array is the pre-SMP unicore
 // kernel, bit for bit.
 //
-// Only one host thread ever runs: the N simulated cores are
-// time-multiplexed onto the single `cpu::Core`/`sim::Clock` pair. Each
-// CoreContext therefore also carries its own local clock value plus the
-// saved physical CPU context (TTBR/DACR/ASID, register file, CPSR) that the
-// run loop swaps host-side — at zero simulated cost — when the simulation
-// switches which core it is modeling. The charged vCPU save/restore of
-// vm_switch() is a different thing entirely: that is the *guest* context
-// switch the paper measures.
+// Every simulated core owns a full private cpu::Core "lane" in the
+// Platform (register file, VFP bank, MMU, TLB, caches), so a CoreContext
+// carries only kernel-level state plus its own local clock value. The SMP
+// engine (DESIGN.md §14) advances cores in serial rounds and runs
+// guest compute steps on host threads against the lanes; cross-core
+// effects (IPIs, shootdowns) carry explicit arrival times and are only
+// acted on once the receiving core's clock passes them. The charged vCPU
+// save/restore of vm_switch() is a different thing entirely: that is the
+// *guest* context switch the paper measures.
 #pragma once
 
 #include <deque>
 
-#include "cpu/registers.hpp"
 #include "nova/sched.hpp"
 #include "util/types.hpp"
 
@@ -54,19 +54,10 @@ struct CoreContext {
   Scheduler sched;
   ProtectionDomain* current = nullptr;
 
-  /// This core's local simulated time. The SMP run loop always advances
-  /// the *lagging* core (conservative window synchronization); the global
-  /// clock is set to this value for the duration of the core's slice.
+  /// This core's local simulated time. The SMP round engine gives every
+  /// core one conservative-window slice per round; the global clock is set
+  /// to this value for the duration of the core's slice prologue.
   cycles_t local_now = 0;
-
-  // Saved physical CPU context while another core is being simulated on
-  // the one host cpu::Core. Swapped host-side, zero simulated cycles.
-  paddr_t saved_ttbr = 0;
-  u32 saved_dacr = 0;
-  u32 saved_asid = 0;
-  cpu::RegisterFile saved_regs{};
-  cpu::Psr saved_cpsr{};
-  bool hw_ctx_valid = false;
 
   /// IPI mailbox, ordered by arrival time. Entries become architecturally
   /// visible once the core's local clock passes `arrival`; the run loop

@@ -55,8 +55,15 @@ class GuestContext {
 
   /// Simulated time (the guest reading the global timer via its virtual
   /// timer interface; reads are cheap and unprivileged on the A9).
+  /// During a parallel compute step (see `GuestOs::next_step_is_compute`)
+  /// the global clock is frozen — these return a deterministic but stale
+  /// value there; budget tracking inside a step must use `core_now()`.
   double now_us() const;
   cycles_t now_cycles() const;
+  /// This core's own clock — the one every charge of this context advances.
+  /// Identical to `now_cycles()` in serial execution; inside a parallel
+  /// compute step it is the only clock that moves.
+  cycles_t core_now() const { return core_.clock().now(); }
 
   /// Touch the VFP unit: under lazy switching the first touch after another
   /// VM used it traps (UND) and the kernel swaps the bank contexts.
@@ -94,6 +101,16 @@ class GuestOs {
   /// Virtual IRQ injection: the vGIC forces the VM to its IRQ entry. The
   /// guest handles it (cost charged inside) and returns.
   virtual void on_virq(GuestContext& ctx, u32 irq) = 0;
+
+  /// Parallelism hint (DESIGN.md §14): return true when the *next* `step`
+  /// call will be pure computation — guest memory accesses in its own
+  /// address space, `spend_insns`, `core_now` — and nothing else. No
+  /// hypercalls, no `use_vfp`, no `take_fault`, no device/MMIO touches.
+  /// The SMP engine may then run the step on a host worker thread against
+  /// this core's private lane with the global clock frozen; the contract is
+  /// assert-enforced. The default opts every guest out (fully serialized
+  /// execution, the conservative baseline).
+  virtual bool next_step_is_compute() const { return false; }
 };
 
 }  // namespace minova::nova

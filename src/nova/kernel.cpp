@@ -129,6 +129,16 @@ Kernel::Kernel(Platform& platform, const KernelConfig& cfg)
   const cycles_t quantum = platform.clock().ms_to_cycles(cfg_.quantum_ms);
   cores_.reserve(cfg_.num_cores);
   for (u32 i = 0; i < cfg_.num_cores; ++i) cores_.emplace_back(i, quantum);
+  // One private hardware lane per simulated core, plus a private clock per
+  // lane for the host-parallel batch phase (DESIGN.md §14).
+  platform_.configure_lanes(cfg_.num_cores);
+  lane_clocks_.reserve(cfg_.num_cores);
+  for (u32 i = 0; i < cfg_.num_cores; ++i)
+    lane_clocks_.emplace_back(platform.clock().freq_hz());
+  vfp_owner_.assign(cfg_.num_cores, kInvalidPd);
+  l2ctrl_owner_.assign(cfg_.num_cores, kInvalidPd);
+  if (cfg_.host_threads > 1)
+    pool_ = std::make_unique<HostPool>(cfg_.host_threads - 1);
   // Debug poisoning of freed kernel objects (host-side writes only).
   heap_.attach_ram(&platform.dram());
   boot();
@@ -162,15 +172,20 @@ void Kernel::boot() {
     rg_handlers_[h] = code_.place(sz);
   }
 
-  // Enable the MMU on the kernel-only space.
+  // Enable the MMU on the kernel-only space — on every lane: each
+  // simulated core's private MMU boots into the kernel space. Banks are
+  // indexed by core id on every lane (bank 0 == the unicore micro-TLB);
+  // lane i only ever activates bank i.
   kernel_space_ = space_builder_.build_kernel_space();
-  auto& mmu = platform_.cpu().mmu();
-  // One micro-TLB bank per core (bank 0 == the unicore micro-TLB).
-  mmu.configure_utlb_banks(u32(cores_.size()));
-  mmu.set_ttbr0(kernel_space_->root());
-  mmu.set_dacr(dacr_host_kernel());
-  mmu.set_asid(0);
-  mmu.set_enabled(true);
+  for (u32 i = 0; i < u32(cores_.size()); ++i) {
+    auto& mmu = platform_.lane(i).mmu();
+    mmu.configure_utlb_banks(u32(cores_.size()));
+    mmu.set_active_utlb_bank(i);
+    mmu.set_ttbr0(kernel_space_->root());
+    mmu.set_dacr(dacr_host_kernel());
+    mmu.set_asid(0);
+    mmu.set_enabled(true);
+  }
 
   // Kernel tick: private timer, auto-reload, owned by the kernel.
   const u32 tick_load = u32(
@@ -298,7 +313,6 @@ bool Kernel::destroy_vm(PdId id) {
   ProtectionDomain* pd = pd_by_id(id);
   // Only VMs are destroyable; the manager service (no guest) is not.
   if (pd == nullptr || pd->guest() == nullptr) return false;
-  auto& mmu = platform_.cpu().mmu();
 
   cores_[pd->run_core].sched.remove(pd);
   if (pd->parked) set_parked(*pd, false);
@@ -312,16 +326,17 @@ bool Kernel::destroy_vm(PdId id) {
     // nothing would ever mask them once the vGIC is gone.
     pd->vgic().mask_all_physical(platform_.cpu());
     // Never leave TTBR pointing at tables about to be recycled: fall back
-    // to the kernel-only space until the next dispatch. A non-active core
-    // holds its translation state in the saved context instead.
+    // to the kernel-only space until the next dispatch. The destroying
+    // core flushes its micro-TLB via set_*; a remote lane's context is
+    // rewritten flushlessly plus an explicit bank flush (same observable
+    // costs as the pre-lane saved-context path).
+    auto& mmu = platform_.lane(cc.id).mmu();
     if (cc.id == active_core_) {
       mmu.set_ttbr0(kernel_space_->root());
       mmu.set_asid(0);
       mmu.set_dacr(dacr_host_kernel());
     } else {
-      cc.saved_ttbr = kernel_space_->root();
-      cc.saved_asid = 0;
-      cc.saved_dacr = dacr_host_kernel();
+      mmu.restore_context(kernel_space_->root(), dacr_host_kernel(), 0);
       mmu.utlb_flush_bank(cc.id);
     }
     cc.current = nullptr;
@@ -329,15 +344,20 @@ bool Kernel::destroy_vm(PdId id) {
   for (auto& owner : irq_owner_)
     if (owner == id) owner = kInvalidPd;
   if (pcap_owner_ == id) pcap_owner_ = kInvalidPd;
-  if (vfp_owner_ == id) vfp_owner_ = kInvalidPd;
-  if (l2ctrl_owner_ == id) l2ctrl_owner_ = kInvalidPd;
+  for (auto& owner : vfp_owner_)
+    if (owner == id) owner = kInvalidPd;
+  for (auto& owner : l2ctrl_owner_)
+    if (owner == id) owner = kInvalidPd;
   if (hw_service_ != nullptr) hw_service_->handle_client_destroyed(id);
 
   // The tag's next owner must not inherit this VM's translations — on any
-  // core: flush every micro-TLB bank and account a cross-core shootdown
-  // round before the ASID can be reissued.
-  mmu.tlb_flush_asid(pd->vcpu().asid());
-  mmu.utlb_flush_all_banks();
+  // lane: flush the dying ASID from every main TLB, every micro-TLB bank,
+  // and account a cross-core shootdown round before the tag is reissued.
+  for (u32 i = 0; i < u32(cores_.size()); ++i) {
+    auto& lm = platform_.lane(i).mmu();
+    lm.tlb_flush_asid(pd->vcpu().asid());
+    lm.utlb_flush_all_banks();
+  }
   tlb_shootdown(0);
   asid_alloc_.release({pd->vcpu().asid(), pd->vcpu().asid_gen()});
 
@@ -358,9 +378,9 @@ AsidTag Kernel::alloc_asid() {
     // Charged like the no-ASID ablation's switch-time flush.
     platform_.cpu().mmu().tlb_flush_all();
     platform_.cpu().spend(40);
-    // The rollover flush hits the shared TLB of every core: broadcast the
-    // shootdown so completion accounting covers this path too (no-op when
-    // unicore).
+    // The rollover must retire the old generation on every core: the
+    // broadcast shootdown flushes the remote lanes' main TLBs and the
+    // completion accounting covers this path too (no-op when unicore).
     tlb_shootdown(0);
     for (auto& cc : cores_) {
       if (cc.current == nullptr) continue;
@@ -371,10 +391,15 @@ AsidTag Kernel::alloc_asid() {
       const AsidTag cur = asid_alloc_.allocate(nested);
       MINOVA_CHECK(!nested);
       cc.current->vcpu().set_asid_tag(cur.asid, cur.gen);
-      if (cc.id == active_core_)
+      if (cc.id == active_core_) {
         platform_.cpu().mmu().set_asid(cur.asid);
-      else
-        cc.saved_asid = cur.asid;
+      } else {
+        // Flushless re-tag of the remote lane (its translations were just
+        // retired by the broadcast above; a set_asid-style flush here would
+        // double-charge it).
+        auto& lm = platform_.lane(cc.id).mmu();
+        lm.restore_context(lm.ttbr0(), lm.dacr(), cur.asid);
+      }
     }
   }
   return tag;
@@ -411,6 +436,16 @@ bool Kernel::migrate_vm(PdId id, u32 target_core) {
   const bool runnable = from.sched.is_runnable(pd);
   const bool susp = from.sched.is_suspended(pd);
   from.sched.take(pd);
+  // Write back lazily-switched state left in the source lane's banks
+  // (charged to the migrating caller, like the steal path).
+  if (vfp_owner_[from.id] == pd->id()) {
+    pd->vcpu().save_vfp(platform_.lane(from.id));
+    vfp_owner_[from.id] = kInvalidPd;
+  }
+  if (l2ctrl_owner_[from.id] == pd->id()) {
+    pd->vcpu().save_l2ctrl(platform_.lane(from.id));
+    l2ctrl_owner_[from.id] = kInvalidPd;
+  }
   // enqueue() preserves a nonzero remaining quantum; the vCPU, VFP bank and
   // vGIC records live in the PD and cross untouched.
   if (runnable)
@@ -487,8 +522,10 @@ bool Kernel::lazy_fault_fixup(ProtectionDomain& pd, vaddr_t va) {
     pd.vcpu().set_mmu_context(pd.space().root(), pd.vcpu().dacr());
     if (cur_core().current == &pd) core.mmu().set_ttbr0(pd.space().root());
     for (auto& cc : cores_)
-      if (cc.id != active_core_ && cc.current == &pd)
-        cc.saved_ttbr = pd.space().root();
+      if (cc.id != active_core_ && cc.current == &pd) {
+        auto& lm = platform_.lane(cc.id).mmu();
+        lm.restore_context(pd.space().root(), lm.dacr(), lm.asid());
+      }
   }
   ++lazy_space_faults_;
   c_lazy_space_faults_.inc();
@@ -508,8 +545,10 @@ void Kernel::ensure_space(ProtectionDomain& pd) {
   if (cur_core().current == &pd)
     platform_.cpu().mmu().set_ttbr0(pd.space().root());
   for (auto& cc : cores_)
-    if (cc.id != active_core_ && cc.current == &pd)
-      cc.saved_ttbr = pd.space().root();
+    if (cc.id != active_core_ && cc.current == &pd) {
+      auto& lm = platform_.lane(cc.id).mmu();
+      lm.restore_context(pd.space().root(), lm.dacr(), lm.asid());
+    }
 }
 
 IvcChannel& Kernel::create_channel(ProtectionDomain& a, ProtectionDomain& b) {
@@ -530,6 +569,8 @@ ProtectionDomain* Kernel::pd_by_id(PdId id) {
 
 u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
                                 const mmu::Fault& fault) {
+  // Compute steps must not fault (GuestOs::next_step_is_compute contract).
+  MINOVA_CHECK(!in_parallel_batch_);
   auto& core = platform_.cpu();
   ++guest_faults_;
   {
@@ -560,17 +601,21 @@ u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
 
 void Kernel::vfp_access(ProtectionDomain& pd) {
   if (!cfg_.lazy_vfp) return;  // active switching keeps it always current
-  if (vfp_owner_ == pd.id()) return;
+  // Compute steps must not touch the VFP (it is lazily switched kernel
+  // state, not lane-private guest state).
+  MINOVA_CHECK(!in_parallel_batch_);
+  PdId& owner = vfp_owner_[active_core_];
+  if (owner == pd.id()) return;
   auto& core = platform_.cpu();
   {
     // UND trap: the VFP is disabled for non-owners; first touch faults.
     TrapGuard trap(core, trap_counters_, cpu::Exception::kUndefined,
                    rg_vector_, TrapKind::kVfpSwitch);
     trap.exec(rg_handlers_[u32(Hypercall::kRegWrite)]);  // shared stub
-    if (ProtectionDomain* old_owner = pd_by_id(vfp_owner_))
+    if (ProtectionDomain* old_owner = pd_by_id(owner))
       old_owner->vcpu().save_vfp(core);
     pd.vcpu().restore_vfp(core);
-    vfp_owner_ = pd.id();
+    owner = pd.id();
   }
   c_vfp_lazy_.inc();
   notify_introspection(KernelEvent::kTrapExit, TrapKind::kVfpSwitch);
@@ -580,6 +625,9 @@ void Kernel::vfp_access(ProtectionDomain& pd) {
 
 HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
                                        const HypercallArgs& args) {
+  // Compute steps must not hypercall (GuestOs::next_step_is_compute
+  // contract): the gate touches global kernel state and the global clock.
+  MINOVA_CHECK(!in_parallel_batch_);
   ++hypercalls_;
   platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kHypercall,
                          u32(args.number), caller.id());

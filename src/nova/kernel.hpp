@@ -32,6 +32,7 @@
 #include "nova/asid.hpp"
 #include "nova/core_ctx.hpp"
 #include "nova/guest_iface.hpp"
+#include "nova/host_pool.hpp"
 #include "nova/hypercall.hpp"
 #include "nova/ivc.hpp"
 #include "nova/kernel_ops.hpp"
@@ -93,6 +94,11 @@ struct KernelConfig {
   u32 ipi_send_cycles = 24;      // ICDSGIR write + DSB on the sender
   u32 ipi_latency_cycles = 180;  // distributor -> target CPU interface
   u32 steal_cycles = 90;         // remote run-queue lock + queue transfer
+  // Host threads executing the per-round compute batch (DESIGN.md §14).
+  // Purely a host-speed knob: every simulated number is bit-identical at
+  // any value (enforced by the differential tests and the TSan CI leg).
+  // 1 = fully single-threaded, the default.
+  u32 host_threads = 1;
 
   // Ablation switches (paper design decisions).
   bool lazy_vfp = true;        // Table I: lazy-switch the VFP bank
@@ -307,12 +313,33 @@ class Kernel {
   const CoreContext& cur_core() const { return cores_[active_core_]; }
   /// One scheduling slice of `cc`, bounded by `limit`. The unicore run
   /// loop is exactly `while (now < deadline) smp_slice(cores_[0], deadline)`.
-  void smp_slice(CoreContext& cc, cycles_t limit);
-  /// Host-side swap of the physical CPU context between simulated cores
-  /// (register file, CPSR, TTBR/DACR/ASID, micro-TLB bank). Zero simulated
-  /// cycles: this is the simulator changing which core it models, not a
-  /// kernel operation.
+  /// With `allow_defer` (the SMP round engine), a guest whose next step is
+  /// pure computation is not stepped inline: the step is pushed onto the
+  /// round's batch (executed lane-parallel later) and the slice returns
+  /// true — the core's local clock then advances at batch commit instead.
+  bool smp_slice(CoreContext& cc, cycles_t limit, bool allow_defer = false);
+  /// Select which lane (private cpu::Core) the simulator models. Host-side
+  /// bookkeeping only — every simulated core permanently owns its lane, so
+  /// nothing is swapped and no simulated cycles are charged.
   void switch_active_core(u32 target);
+  /// One deferred compute step (DESIGN.md §14). Slots are written only by
+  /// the claiming host worker during the batch phase, then read by the
+  /// serial commit.
+  struct BatchStep {
+    u32 core_id = 0;
+    ProtectionDomain* pd = nullptr;
+    cycles_t start = 0;   // lane clock start (== the core's local time)
+    cycles_t end = 0;     // lane clock after the step
+    cycles_t budget = 0;
+    StepExit exit = StepExit::kBudget;
+  };
+  /// Run one batch item on its core's private lane under that lane's
+  /// private clock. Touches only the lane, the PD's own guest memory and
+  /// the guest object — the whole thread-safety argument of §14.
+  void exec_batch_item(BatchStep& s);
+  /// Serial epilogue of a deferred step: quantum accounting, halt/rotate/
+  /// park, local-clock advance. Batch (= core-id) order, deterministic.
+  void commit_batch_item(BatchStep& s);
   /// Take the IRQ-class trap for every IPI that has arrived at `cc` and
   /// perform its action. Runs before any guest dispatch in the slice.
   void drain_ipis(CoreContext& cc);
@@ -368,9 +395,11 @@ class Kernel {
   // segment when the owner is finally dispatched.
   std::array<cycles_t, mem::kNumIrqs> pl_irq_route_cycles_{};
 
-  // Lazy-switch ownership.
-  PdId vfp_owner_ = kInvalidPd;
-  PdId l2ctrl_owner_ = kInvalidPd;
+  // Lazy-switch ownership, per lane: each simulated core's private VFP
+  // bank / L2 control registers track which PD's state they hold. Index
+  // [active_core_] is the pre-SMP scalar, bit for bit.
+  std::vector<PdId> vfp_owner_;
+  std::vector<PdId> l2ctrl_owner_;
 
   // Bitstream store index.
   std::vector<std::pair<hwtask::TaskId, BitstreamLoc>> bitstreams_;
@@ -430,6 +459,13 @@ class Kernel {
   u64 tlb_epoch_ = 0;
   u64 shootdowns_sent_ = 0;
   u32 next_core_assign_ = 0;  // round-robin VM placement cursor
+  // Host-parallel batch machinery (DESIGN.md §14). `lane_clocks_[i]` is
+  // lane i's private clock for the batch phase; `in_parallel_batch_` arms
+  // the contract asserts (no hypercall/fault/VFP from a compute step).
+  std::vector<BatchStep> batch_;
+  std::vector<sim::Clock> lane_clocks_;
+  std::unique_ptr<HostPool> pool_;
+  bool in_parallel_batch_ = false;
   util::Logger log_{"nova.kernel"};
 };
 

@@ -12,15 +12,24 @@
 
 namespace minova::nova {
 
-// N simulated cores share the one host cpu::Core and the one global clock.
-// The outer loop always advances the *lagging* core (lowest local time,
-// ties to the lowest id): it rewinds the global clock to that core's local
-// time, runs one slice bounded by a conservative window, and records how
-// far the core got. Causality skew between cores is bounded by the window;
+// N simulated cores, each owning a private hardware lane, advance in
+// serial *rounds* (DESIGN.md §14): every core below the deadline gets one
+// slice per round, ascending id, bounded by a conservative window. The
+// slice prologue (devices, IPIs, IRQs, scheduling, VM switch) always runs
+// serially on the global clock, rewound to the core's local time. A slice
+// whose dispatched guest step is pure computation *defers* the step into
+// the round's batch instead of running it inline; after the round's
+// prologues the batch executes — each item against its core's private lane
+// under a private lane clock, possibly on host worker threads — and a
+// serial commit (batch order == core order) applies the scheduling
+// epilogues. Causality skew between cores stays bounded by the window;
 // cross-core effects (IPIs, shootdowns) carry explicit arrival times and
-// are only acted on once the receiving core's clock passes them. With one
-// core the loop degenerates to `while (now < deadline) slice(deadline)` —
-// the original unicore run loop, charge for charge.
+// are only acted on once the receiving core's clock passes them. Every
+// simulated number is independent of the host thread count: prologues and
+// commits are serial and ordered, batch items touch disjoint lanes and
+// guest memory, and the global clock is frozen while the batch runs. With
+// one core the engine degenerates to `while (now < deadline)
+// slice(deadline)` — the original unicore run loop, charge for charge.
 void Kernel::run_until(cycles_t deadline) {
   auto& clock = platform_.clock();
   if (cores_.size() == 1) {
@@ -35,15 +44,34 @@ void Kernel::run_until(cycles_t deadline) {
   const cycles_t window =
       std::max<cycles_t>(1, clock.us_to_cycles(cfg_.smp_window_us));
 
-  while (true) {
-    CoreContext* next = nullptr;
-    for (auto& cc : cores_)
-      if (next == nullptr || cc.local_now < next->local_now) next = &cc;
-    if (next->local_now >= deadline) break;
-    switch_active_core(next->id);
-    clock.set_time(next->local_now);
-    smp_slice(*next, std::min(deadline, next->local_now + window));
-    next->local_now = std::max(next->local_now + 1, clock.now());
+  for (bool progressed = true; progressed;) {
+    progressed = false;
+    batch_.clear();
+    for (auto& cc : cores_) {
+      if (cc.local_now >= deadline) continue;
+      progressed = true;
+      switch_active_core(cc.id);
+      clock.set_time(cc.local_now);
+      const cycles_t limit = std::min(deadline, cc.local_now + window);
+      if (smp_slice(cc, limit, /*allow_defer=*/true)) continue;
+      // A deferred slice's local clock advances at batch commit instead.
+      cc.local_now = std::max(cc.local_now + 1, clock.now());
+    }
+    if (batch_.empty()) continue;
+    // Batch phase: the global clock is frozen; each item charges its own
+    // lane clock. The asserts in the hypercall/fault/VFP paths enforce the
+    // compute contract while this flag is up.
+    in_parallel_batch_ = true;
+    if (pool_ != nullptr && batch_.size() > 1) {
+      pool_->run(batch_.size(),
+                 [this](std::size_t i) { exec_batch_item(batch_[i]); });
+    } else {
+      for (auto& s : batch_) exec_batch_item(s);
+    }
+    in_parallel_batch_ = false;
+    // Serial commit, batch (== ascending core) order: deterministic at any
+    // host thread count.
+    for (auto& s : batch_) commit_batch_item(s);
   }
 
   // Leave the clock at the frontier so callers see a monotone timeline.
@@ -57,7 +85,7 @@ void Kernel::run_until(cycles_t deadline) {
 // steal, or idle). This body *is* the old unicore run-loop iteration; the
 // SMP-only steps sit behind `cores_.size() > 1` guards or are naturally
 // empty on one core, so the unicore charge sequence is untouched.
-void Kernel::smp_slice(CoreContext& cc, cycles_t limit) {
+bool Kernel::smp_slice(CoreContext& cc, cycles_t limit, bool allow_defer) {
   auto& clock = platform_.clock();
   platform_.pump();
   drain_ipis(cc);
@@ -82,9 +110,9 @@ void Kernel::smp_slice(CoreContext& cc, cycles_t limit) {
   if (pd == nullptr && cores_.size() > 1) pd = try_steal(cc);
   if (pd == nullptr) {
     idle(limit);
-    return;
+    return false;
   }
-  if (cores_.size() > 1 && clock.now() >= limit) return;
+  if (cores_.size() > 1 && clock.now() >= limit) return false;
   if (pd != cc.current) vm_switch(pd);
 
   GuestContext ctx = make_ctx(*pd);
@@ -101,7 +129,17 @@ void Kernel::smp_slice(CoreContext& cc, cycles_t limit) {
     budget = std::min(budget, ev - clock.now());
   if (budget == 0) {
     cc.sched.rotate(pd);
-    return;
+    return false;
+  }
+
+  // A pure-compute step needs nothing but its lane and its own guest
+  // memory (GuestOs contract): defer it into the round's batch. The
+  // budget is already capped at the next event deadline, so no device
+  // event can fall inside the step; a lazily-booted VM (no space yet)
+  // would fault on first touch and must take the serial path.
+  if (allow_defer && pd->has_space() && pd->guest()->next_step_is_compute()) {
+    batch_.push_back({cc.id, pd, clock.now(), 0, budget, StepExit::kBudget});
+    return true;
   }
 
   const cycles_t t0 = clock.now();
@@ -112,7 +150,7 @@ void Kernel::smp_slice(CoreContext& cc, cycles_t limit) {
   if (exit == StepExit::kHalt) {
     cc.sched.remove(pd);
     if (cc.current == pd) cc.current = nullptr;
-    return;
+    return false;
   }
   if (pd->quantum_left == 0) {
     cc.sched.rotate(pd);
@@ -121,6 +159,42 @@ void Kernel::smp_slice(CoreContext& cc, cycles_t limit) {
     // idle loop) get the CPU. A deliverable vIRQ unparks it above.
     set_parked(*pd, true);
   }
+  return false;
+}
+
+// Batch phase (DESIGN.md §14): run one deferred compute step on its core's
+// private lane under that lane's private clock. May execute on a host
+// worker thread — everything it touches (the lane, the PD's guest pages,
+// the guest object, its BatchStep slot) belongs to this core alone, and
+// the global clock is frozen for the duration.
+void Kernel::exec_batch_item(BatchStep& s) {
+  cpu::Core& lane = platform_.lane(s.core_id);
+  sim::Clock& lclk = lane_clocks_[s.core_id];
+  lclk.set_time(s.start);
+  lane.set_clock(&lclk);
+  GuestContext ctx(*this, *s.pd, lane);
+  s.exit = s.pd->guest()->step(ctx, s.budget);
+  s.end = lclk.now();
+  lane.set_clock(&platform_.clock());
+}
+
+// Serial epilogue of a deferred step — the exact tail of the inline path
+// in smp_slice, with the lane clock's end time standing in for the global
+// clock reading.
+void Kernel::commit_batch_item(BatchStep& s) {
+  CoreContext& cc = cores_[s.core_id];
+  ProtectionDomain* pd = s.pd;
+  const cycles_t used = s.end - s.start;
+  pd->quantum_left -= std::min(used, pd->quantum_left);
+  if (s.exit == StepExit::kHalt) {
+    cc.sched.remove(pd);
+    if (cc.current == pd) cc.current = nullptr;
+  } else if (pd->quantum_left == 0) {
+    cc.sched.rotate(pd);
+  } else if (s.exit == StepExit::kYield) {
+    set_parked(*pd, true);
+  }
+  cc.local_now = std::max(cc.local_now + 1, s.end);
 }
 
 void Kernel::idle(cycles_t limit) { platform_.idle_until_next_event(limit); }
@@ -128,33 +202,15 @@ void Kernel::idle(cycles_t limit) { platform_.idle_until_next_event(limit); }
 // ---- SMP machinery ----------------------------------------------------------
 
 // The simulator stops modeling core `active_core_` and starts modeling
-// `target`: swap the physical CPU context (register file, CPSR,
-// TTBR/DACR/ASID) through the CoreContexts and select the target's
-// micro-TLB bank. Host-side only — a real MPCore has these per CPU; no
-// simulated cycles may be charged for the simulator's own bookkeeping.
+// `target`. Every simulated core permanently owns a private lane (its
+// register file, CPSR, VFP bank, MMU, micro-TLB bank and caches live
+// there), so nothing is swapped: this only repoints `platform_.cpu()`.
+// Host-side only — no simulated cycles may be charged for the simulator's
+// own bookkeeping.
 void Kernel::switch_active_core(u32 target) {
   if (target == active_core_) return;
-  auto& core = platform_.cpu();
-  auto& mmu = core.mmu();
-  CoreContext& out = cores_[active_core_];
-  out.saved_ttbr = mmu.ttbr0();
-  out.saved_dacr = mmu.dacr();
-  out.saved_asid = mmu.asid();
-  out.saved_regs = core.regs();
-  out.saved_cpsr = core.cpsr();
-  out.hw_ctx_valid = true;
-
-  CoreContext& in = cores_[target];
   active_core_ = target;
-  mmu.set_active_utlb_bank(target);
-  if (in.hw_ctx_valid) {
-    mmu.restore_context(in.saved_ttbr, in.saved_dacr, in.saved_asid);
-    core.regs() = in.saved_regs;
-    core.cpsr() = in.saved_cpsr;
-  } else {
-    // First time on this core: it comes up on the kernel-only space.
-    mmu.restore_context(kernel_space_->root(), dacr_host_kernel(), 0);
-  }
+  platform_.set_active_lane(target);
 }
 
 void Kernel::send_ipi(u32 target, IpiKind kind, u32 arg, u64 epoch) {
@@ -182,6 +238,17 @@ void Kernel::tlb_shootdown(vaddr_t va) {
   cur_core().shootdown_ack_epoch = tlb_epoch_;
   for (auto& cc : cores_) {
     if (cc.id == active_core_) continue;
+    // TLBIMVAIS semantics: the inner-shareable broadcast invalidates the
+    // remote lanes' main TLBs in hardware, immediately and without
+    // charging the remote core. The micro-TLB bank flush and the epoch
+    // acknowledgment still wait for the IPI (the software handshake the
+    // completion rule is built on), so the observable ack/generation
+    // sequence is unchanged.
+    auto& lm = platform_.lane(cc.id).mmu();
+    if (va != 0)
+      lm.tlb_flush_va(va);
+    else
+      lm.tlb_flush_all();
     send_ipi(cc.id, IpiKind::kIpiTlbShootdown, u32(va), tlb_epoch_);
     ++shootdowns_sent_;
   }
@@ -207,8 +274,9 @@ void Kernel::drain_ipis(CoreContext& cc) {
       core.spend(core.caches().access_device());  // EOI
       switch (ipi.kind) {
         case IpiKind::kIpiTlbShootdown:
-          // Active bank == this core's bank while its slice runs. The
-          // shared main TLB was already invalidated by the initiator.
+          // Active bank == this core's bank while its slice runs. This
+          // lane's main TLB was already invalidated by the initiator's
+          // broadcast; only the micro-TLB bank + ack remain.
           core.mmu().utlb_flush_bank(cc.id);
           cc.shootdown_ack_epoch =
               std::max(cc.shootdown_ack_epoch, ipi.epoch);
@@ -240,6 +308,18 @@ ProtectionDomain* Kernel::try_steal(CoreContext& thief) {
     // Remote run-queue lock + cache-line transfer of the queue nodes.
     platform_.cpu().spend(cfg_.steal_cycles);
     victim.sched.take(pd);
+    // Lazily-switched state the PD left in the victim lane's banks must be
+    // written back before the PD can run elsewhere (a real kernel flushes
+    // dirty FPU state on migration); the save is charged to the thief,
+    // which performs it.
+    if (vfp_owner_[victim.id] == pd->id()) {
+      pd->vcpu().save_vfp(platform_.lane(victim.id));
+      vfp_owner_[victim.id] = kInvalidPd;
+    }
+    if (l2ctrl_owner_[victim.id] == pd->id()) {
+      pd->vcpu().save_l2ctrl(platform_.lane(victim.id));
+      l2ctrl_owner_[victim.id] = kInvalidPd;
+    }
     thief.sched.enqueue(pd);  // keeps the remaining quantum (§III.D)
     pd->run_core = thief.id;
     ++pd->migrations;

@@ -75,6 +75,10 @@ class LatencyStat {
     min_ = 0.0;
     max_ = 0.0;
   }
+  /// Fold another accumulator into this one. Samples are appended in
+  /// `other`'s insertion order, so merging per-core accumulators in core-id
+  /// order yields the same vector on every run regardless of host threading.
+  void merge(const LatencyStat& other);
   const std::vector<double>& samples() const { return samples_; }
 
  private:
@@ -109,6 +113,12 @@ class StatsRegistry {
   /// Zero every counter in place (interned handles stay valid) and drop
   /// all latency accumulators.
   void reset();
+
+  /// Key-wise accumulate another registry into this one: counter values add,
+  /// latency stats merge. Keys live in std::map, so the resulting iteration
+  /// (and thus any JSON emit) order is lexicographic and independent of the
+  /// merge order — golden diffs stay byte-stable.
+  void merge_from(const StatsRegistry& other);
 
   const std::map<std::string, u64>& counters() const { return counters_; }
   const std::map<std::string, LatencyStat>& latencies() const {

@@ -39,6 +39,13 @@ void ChaosGuest::boot(GuestContext& ctx) {
 }
 
 StepExit ChaosGuest::step(GuestContext& ctx, cycles_t budget) {
+  if (next_compute_) {
+    // This step was announced as pure computation (next_step_is_compute):
+    // it may be running on a host worker thread against a private lane.
+    compute_burst(ctx, budget);
+    next_compute_ = rng_.next_bool(cfg_.compute_fraction);
+    return StepExit::kBudget;
+  }
   (void)budget;
   const u32 ops = 1 + u32(rng_.next_below(cfg_.max_ops_per_step));
   for (u32 i = 0; i < ops; ++i) {
@@ -61,7 +68,32 @@ StepExit ChaosGuest::step(GuestContext& ctx, cycles_t budget) {
   }
   // Mostly stay runnable; park occasionally so lower-priority VMs run and
   // the unpark-on-vIRQ path gets exercised.
-  return rng_.next_below(100) < 6 ? StepExit::kYield : StepExit::kBudget;
+  const bool park = rng_.next_below(100) < 6;
+  // Short-circuit keeps the draw (and thus every existing seed's digest)
+  // out of runs that never enable compute bursts.
+  next_compute_ =
+      cfg_.compute_fraction > 0 && rng_.next_bool(cfg_.compute_fraction);
+  return park ? StepExit::kYield : StepExit::kBudget;
+}
+
+// Pure guest-local computation honoring the next_step_is_compute contract:
+// own data-section memory and spend_insns only — no hypercalls, no faults
+// taken (failed accesses are simply skipped), no VFP, no device touches.
+void ChaosGuest::compute_burst(GuestContext& ctx, cycles_t budget) {
+  const cycles_t t_end = ctx.core_now() + budget;
+  while (ctx.core_now() < t_end) {
+    const vaddr_t va =
+        nova::kGuestHwDataVa + vaddr_t((burst_pos_ % 4096) * 4);
+    if ((burst_pos_ & 1) != 0) {
+      const auto r = ctx.read32(va);
+      if (r.ok) burst_sum_ += r.value;
+    } else {
+      (void)ctx.write32(va, u32(burst_sum_ ^ burst_pos_));
+    }
+    burst_pos_ += 5;
+    ctx.spend_insns(200);
+  }
+  ++stats_.ops;
 }
 
 void ChaosGuest::op_memory(GuestContext& ctx) {

@@ -37,6 +37,11 @@ struct ChaosConfig {
   // Hardware task ids this guest may request.
   std::vector<hwtask::TaskId> tasks;
   u32 vtimer_period_us = 1000;
+  // Probability that the next step is a pure-compute burst the SMP engine
+  // may run on a host worker thread (DESIGN.md §14). 0 disables the
+  // feature entirely — no extra RNG draws, so existing seed digests are
+  // untouched.
+  double compute_fraction = 0.0;
 };
 
 struct ChaosStats {
@@ -69,6 +74,7 @@ class ChaosGuest final : public nova::GuestOs {
   void boot(nova::GuestContext& ctx) override;
   nova::StepExit step(nova::GuestContext& ctx, cycles_t budget) override;
   void on_virq(nova::GuestContext& ctx, u32 irq) override;
+  bool next_step_is_compute() const override { return next_compute_; }
 
   const ChaosStats& stats() const { return stats_; }
 
@@ -88,6 +94,7 @@ class ChaosGuest final : public nova::GuestOs {
   void op_ivc(nova::GuestContext& ctx);
   void touch_memory(nova::GuestContext& ctx);
   void program_job(nova::GuestContext& ctx);
+  void compute_burst(nova::GuestContext& ctx, cycles_t budget);
 
   ChaosConfig cfg_;
   util::Xoshiro256 rng_;
@@ -96,6 +103,9 @@ class ChaosGuest final : public nova::GuestOs {
   bool in_kernel_ = true;
   hwtask::TaskId held_task_ = hwtask::kInvalidTask;
   bool sw_fallback_ = false;
+  bool next_compute_ = false;
+  u64 burst_pos_ = 0;
+  u64 burst_sum_ = 0;
 };
 
 }  // namespace minova::workloads
