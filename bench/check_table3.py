@@ -20,6 +20,9 @@ import sys
 REL_TOL = 1e-9
 # Density acceptance: per-switch cost flat within 10% across 8 -> 1024 VMs.
 DENSITY_SPREAD_MAX = 0.10
+# PRR scheduler acceptance: the 4-entry cache must hold the sweep's hot
+# task set (ISSUE gate: >= 50% hit rate with the scheduler features on).
+PRR_HIT_RATE_MIN = 0.50
 
 
 def fail(msg: str) -> None:
@@ -51,6 +54,75 @@ def check_density(density: dict) -> None:
     print(f"check_table3: density OK — {spread:.2%} switch-cost spread over "
           f"{vms[0]}..{vms[-1]} VMs, churn heap flat "
           f"({churn.get('vms_destroyed')} VMs destroyed)")
+
+
+def check_prr_sched(ps: dict) -> None:
+    """Validate the PRR-scheduler contention sweep (DESIGN.md §15).
+
+    Acceptance thresholds, not golden values: the legacy leg proves the
+    default-off config stays priority-blind with zero cache traffic, the
+    scheduler legs prove preempt/park/resume fires every round, and the
+    cached leg proves the bitstream cache earns its keep (>= 50% hit rate
+    and a lower high-priority grant latency than the uncached leg).
+    """
+    configs = ps.get("configs", [])
+    iters = int(ps.get("iterations", 0))
+    if configs[:1] != ["legacy"] or len(configs) < 3 or iters <= 0:
+        fail(f"prr_sched section malformed: configs={configs}, "
+             f"iterations={iters}")
+
+    def col(name: str, i: int):
+        vals = ps.get(name, [])
+        if i >= len(vals):
+            fail(f"prr_sched row '{name}' missing config index {i}")
+        return vals[i]
+
+    bad = 0
+    # Legacy: priority-blind reclaim, no scheduler machinery.
+    if col("preemptions", 0) != 0 or col("resumes", 0) != 0:
+        print("  prr_sched legacy leg ran the preemption path")
+        bad += 1
+    if col("cache_hits", 0) + col("cache_misses", 0) != 0:
+        print("  prr_sched legacy leg generated cache traffic")
+        bad += 1
+    if col("reclaims", 0) != iters:
+        print(f"  prr_sched legacy reclaims {col('reclaims', 0)} != "
+              f"{iters} rounds")
+        bad += 1
+    # Scheduler legs: one preempt -> park -> resume cycle per round.
+    for i, name in enumerate(configs[1:], start=1):
+        for row in ("preemptions", "resumes", "wait_grants"):
+            if col(row, i) != iters:
+                print(f"  prr_sched {name} '{row}' {col(row, i)} != {iters}")
+                bad += 1
+        # `reclaims` counts every takeover, `preemptions` the
+        # priority-checked subset: equal means no blind takeover happened.
+        if col("reclaims", i) != col("preemptions", i):
+            print(f"  prr_sched {name} fell back to blind reclaim")
+            bad += 1
+    # Cached leg (last config): hit rate and latency win.
+    last = len(configs) - 1
+    hit_rate = float(col("hit_rate", last))
+    if hit_rate < PRR_HIT_RATE_MIN:
+        print(f"  prr_sched {configs[last]} hit rate {hit_rate:.1%} below "
+              f"{PRR_HIT_RATE_MIN:.0%}")
+        bad += 1
+    lookups = col("cache_hits", last) + col("cache_misses", last)
+    if lookups != col("grants_with_reconfig", last):
+        print(f"  prr_sched {configs[last]} cache lookups {lookups} != "
+              f"reconfig grants {col('grants_with_reconfig', last)}")
+        bad += 1
+    if float(col("avg_grant_us", last)) >= float(col("avg_grant_us",
+                                                     last - 1)):
+        print(f"  prr_sched cache did not cut grant latency: "
+              f"{col('avg_grant_us', last)} vs {col('avg_grant_us', last-1)}")
+        bad += 1
+    if bad:
+        fail(f"{bad} PRR-scheduler value(s) violated the acceptance gates")
+    print(f"check_table3: prr_sched OK — {iters} preempt/resume rounds, "
+          f"{hit_rate:.1%} cache hit rate, grant latency "
+          f"{float(col('avg_grant_us', last)):.2f} us (cached) vs "
+          f"{float(col('avg_grant_us', last - 1)):.2f} us (uncached)")
 
 
 def check_smp(smp: dict, t3: dict) -> None:
@@ -197,6 +269,10 @@ def main() -> None:
     mt = results.get("mt")
     if mt is not None:
         check_mt(mt, golden.get("host_gates", {}))
+
+    prr = results.get("prr_sched")
+    if prr is not None:
+        check_prr_sched(prr)
 
 
 if __name__ == "__main__":

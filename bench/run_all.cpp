@@ -19,6 +19,7 @@
 #include "density.hpp"
 #include "harness.hpp"
 #include "mt.hpp"
+#include "prr_sched.hpp"
 #include "selftime.hpp"
 #include "smp.hpp"
 
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
   for (u32 n : bench::density_sweep())
     density.push_back(bench::measure_density(n));
   const bench::ChurnResult churn = bench::run_churn(1024, 3);
+
+  std::printf("run_all: PRR scheduler contention sweep (40 rounds) ...\n");
+  const u32 prr_iters = 40;  // fixed so the simulated counters are diffable
+  const auto prr = bench::run_prr_sched_sweep(prr_iters);
 
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -234,7 +239,45 @@ int main(int argc, char** argv) {
                "\"asid_generation\": %u}\n",
                churn.vms, churn.cycles, churn.heap_flat ? "true" : "false",
                (unsigned long long)churn.vms_destroyed, churn.asid_generation);
-  std::fprintf(f, "  }\n}\n");
+  // PRR scheduler section (DESIGN.md §15): the legacy/sched/sched_cache
+  // contention sweep. Counters and grant latency are simulated and gated by
+  // check_table3.py acceptance thresholds; host seconds are reported only.
+  std::fprintf(f, "  },\n  \"prr_sched\": {\n    \"iterations\": %u,\n",
+               prr_iters);
+  std::fprintf(f, "    \"configs\": [");
+  for (std::size_t i = 0; i < prr.size(); ++i)
+    std::fprintf(f, "\"%s\"%s", prr[i].name.c_str(),
+                 i + 1 < prr.size() ? ", " : "");
+  std::fprintf(f, "],\n");
+  const auto prr_u = [&](const char* name, u64 hwmgr::ManagerStats::* m,
+                         bool last = false) {
+    std::fprintf(f, "    \"%s\": [", name);
+    for (std::size_t i = 0; i < prr.size(); ++i)
+      std::fprintf(f, "%llu%s", (unsigned long long)(prr[i].stats.*m),
+                   i + 1 < prr.size() ? ", " : "");
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+  };
+  prr_u("preemptions", &hwmgr::ManagerStats::preemptions);
+  prr_u("resumes", &hwmgr::ManagerStats::resumes);
+  prr_u("wait_grants", &hwmgr::ManagerStats::wait_grants);
+  prr_u("reclaims", &hwmgr::ManagerStats::reclaims);
+  prr_u("grants_with_reconfig", &hwmgr::ManagerStats::grants_with_reconfig);
+  prr_u("cache_hits", &hwmgr::ManagerStats::cache_hits);
+  prr_u("cache_misses", &hwmgr::ManagerStats::cache_misses);
+  prr_u("cache_evictions", &hwmgr::ManagerStats::cache_evictions);
+  std::fprintf(f, "    \"hit_rate\": [");
+  for (std::size_t i = 0; i < prr.size(); ++i)
+    std::fprintf(f, "%s%s", jd(prr[i].hit_rate).c_str(),
+                 i + 1 < prr.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"avg_grant_us\": [");
+  for (std::size_t i = 0; i < prr.size(); ++i)
+    std::fprintf(f, "%s%s", jd(prr[i].avg_grant_us).c_str(),
+                 i + 1 < prr.size() ? ", " : "");
+  std::fprintf(f, "],\n    \"host_seconds\": [");
+  for (std::size_t i = 0; i < prr.size(); ++i)
+    std::fprintf(f, "%s%s", jd(prr[i].host_seconds).c_str(),
+                 i + 1 < prr.size() ? ", " : "");
+  std::fprintf(f, "]\n  }\n}\n");
   std::fclose(f);
 
   std::printf("run_all: wrote %s\n", out_path);
@@ -246,5 +289,11 @@ int main(int argc, char** argv) {
   for (const auto& m : mixes)
     std::printf("  selftime %-12s %.1f -> %.1f ns/op (%.2fx)\n",
                 m.name.c_str(), m.ref_ns_per_op, m.new_ns_per_op, m.speedup);
+  for (const auto& p : prr)
+    std::printf("  prr_sched %-11s preempt %llu reclaim %llu hit %.1f%% "
+                "grant %.2f us\n",
+                p.name.c_str(), (unsigned long long)p.stats.preemptions,
+                (unsigned long long)p.stats.reclaims, p.hit_rate * 100.0,
+                p.avg_grant_us);
   return 0;
 }

@@ -32,6 +32,10 @@ const char* oracle_name(Oracle o) {
     case Oracle::kCorePartition: return "core-partition";
     case Oracle::kShootdownComplete: return "shootdown-complete";
     case Oracle::kCoreExclusivity: return "core-exclusivity";
+    case Oracle::kHwLaunchLedger: return "hw-launch-ledger";
+    case Oracle::kHwSaveRestore: return "hw-save-restore";
+    case Oracle::kHwQuota: return "hw-quota";
+    case Oracle::kHwCacheValid: return "hw-cache-valid";
     case Oracle::kCount: break;
   }
   return "?";
@@ -91,6 +95,10 @@ void InvariantSuite::check(Oracle o, std::vector<Violation>& out) const {
     case Oracle::kCorePartition: check_core_partition(out); break;
     case Oracle::kShootdownComplete: check_shootdown_complete(out); break;
     case Oracle::kCoreExclusivity: check_core_exclusivity(out); break;
+    case Oracle::kHwLaunchLedger: check_hw_launch_ledger(out); break;
+    case Oracle::kHwSaveRestore: check_hw_save_restore(out); break;
+    case Oracle::kHwQuota: check_hw_quota(out); break;
+    case Oracle::kHwCacheValid: check_hw_cache_valid(out); break;
     case Oracle::kCount: break;
   }
 }
@@ -329,7 +337,7 @@ void InvariantSuite::check_portal_caps(std::vector<Violation>& out) const {
 
 // ---- (8) PRR interface pages belong to exactly the client -------------------
 void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
-  if (mgr_ == nullptr || insp_.in_manager_service()) return;
+  if (mgr_ == nullptr || insp_.in_manager_service() || mgr_->in_service()) return;
   const ProtectionDomain* manager = insp_.manager();
   auto& ctl = insp_.platform().prr_controller();
 
@@ -429,7 +437,7 @@ void InvariantSuite::check_prr_ownership(std::vector<Violation>& out) const {
 
 // ---- (9) hwMMU windows stay inside the client's data section ----------------
 void InvariantSuite::check_hwmmu_window(std::vector<Violation>& out) const {
-  if (mgr_ == nullptr || insp_.in_manager_service()) return;
+  if (mgr_ == nullptr || insp_.in_manager_service() || mgr_->in_service()) return;
   auto& ctl = insp_.platform().prr_controller();
   for (u32 idx = 0; idx < mgr_->num_prrs() && idx < ctl.num_prrs(); ++idx) {
     const auto& e = mgr_->prr_entry(idx);
@@ -648,6 +656,157 @@ void InvariantSuite::check_core_exclusivity(std::vector<Violation>& out) const {
       add(out, Oracle::kCoreExclusivity,
           "pd '" + cur->name() + "' is current on both core " +
               std::to_string(it->second) + " and core " + std::to_string(c));
+  }
+}
+
+// ---- (16) launch ledger agrees with the PRR table and the fabric ------------
+//
+// The manager records every grant/regrant in a ledger independent of the PRR
+// table; an entry that disagrees means some path updated one bookkeeping
+// structure but not the other — the precursor to a region running a task its
+// recorded client never launched. Deferred while the manager service is
+// mid-update (like the other manager-state oracles).
+void InvariantSuite::check_hw_launch_ledger(std::vector<Violation>& out) const {
+  if (mgr_ == nullptr || insp_.in_manager_service() || mgr_->in_service()) return;
+  const auto& ledger = mgr_->launch_ledger();
+  auto& ctl = insp_.platform().prr_controller();
+  for (u32 idx = 0; idx < mgr_->num_prrs() && idx < u32(ledger.size()); ++idx) {
+    const auto& e = mgr_->prr_entry(idx);
+    const auto& l = ledger[idx];
+    if (e.client == kInvalidPd) {
+      if (l.client != kInvalidPd)
+        add(out, Oracle::kHwLaunchLedger,
+            "prr " + std::to_string(idx) + " unowned but ledger records "
+                "client id " + std::to_string(l.client));
+      continue;
+    }
+    if (l.client != e.client || l.task != e.task) {
+      add(out, Oracle::kHwLaunchLedger,
+          "prr " + std::to_string(idx) + " table says client " +
+              std::to_string(e.client) + " task " + std::to_string(e.task) +
+              " but ledger says client " + std::to_string(l.client) +
+              " task " + std::to_string(l.task));
+      continue;
+    }
+    // Fabric agreement: an owned, settled region runs exactly the task the
+    // ledger's client launched (dark regions — failed downloads — are fine;
+    // so is the backoff window between a failed transfer and its retry,
+    // where the old task is still resident).
+    const auto& hw = ctl.prr(idx);
+    if (!e.reconfiguring && !hw.reconfiguring &&
+        !mgr_->reconfig_undecided(l.client, idx) &&
+        hw.loaded_task != hwtask::kInvalidTask && hw.loaded_task != l.task)
+      add(out, Oracle::kHwLaunchLedger,
+          "prr " + std::to_string(idx) + " runs task " +
+              std::to_string(hw.loaded_task) + " but ledger client " +
+              std::to_string(l.client) + " launched task " +
+              std::to_string(l.task) + " (table task " +
+              std::to_string(e.task) + ")");
+  }
+}
+
+// ---- (17) preemption saves round-trip through the §IV.C record --------------
+//
+// Direction 1 (unconditional): every outstanding save of a live client must
+// be mirrored exactly in the client's data-section record — inconsistent
+// flag, task id, and all eight register words. Direction 2 (priorities on
+// only — legacy reclaim writes inconsistent records with no save): a live
+// client whose record says inconsistent must have a save outstanding.
+void InvariantSuite::check_hw_save_restore(std::vector<Violation>& out) const {
+  if (mgr_ == nullptr || insp_.in_manager_service() || mgr_->in_service()) return;
+  auto find_pd = [&](PdId id) -> const ProtectionDomain* {
+    for (u32 i = 0; i < insp_.pd_count(); ++i)
+      if (insp_.pd(i) != nullptr && insp_.pd(i)->id() == id)
+        return insp_.pd(i);
+    return nullptr;
+  };
+  auto& dram = insp_.platform().dram();
+
+  for (const auto& [client, saved] : mgr_->saved_contexts()) {
+    const ProtectionDomain* pd = find_pd(client);
+    if (pd == nullptr) {
+      add(out, Oracle::kHwSaveRestore,
+          "outstanding save for dead client id " + std::to_string(client));
+      continue;
+    }
+    const paddr_t rec =
+        pd->hw_data_pa + hwmgr::consistency_offset(pd->hw_data_size);
+    const u32 state = dram.read32(rec);
+    const u32 task = dram.read32(rec + 4);
+    if (state != hwmgr::kStateInconsistent || task != saved.task) {
+      add(out, Oracle::kHwSaveRestore,
+          "save outstanding for '" + pd->name() + "' (task " +
+              std::to_string(saved.task) + ") but record says state=" +
+              std::to_string(state) + " task=" + std::to_string(task));
+      continue;
+    }
+    for (u32 w = 0; w < 8; ++w) {
+      const u32 v = dram.read32(rec + 8 + w * 4);
+      if (v != saved.regs[w]) {
+        add(out, Oracle::kHwSaveRestore,
+            "saved reg[" + std::to_string(w) + "] of '" + pd->name() +
+                "' is " + hex(saved.regs[w]) + " but record holds " + hex(v));
+        break;
+      }
+    }
+  }
+
+  if (!mgr_->sched_config().priorities) return;
+  const ProtectionDomain* manager = insp_.manager();
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr || pd == manager || pd->hw_data_size == 0) continue;
+    const paddr_t rec =
+        pd->hw_data_pa + hwmgr::consistency_offset(pd->hw_data_size);
+    if (dram.read32(rec) == hwmgr::kStateInconsistent &&
+        mgr_->saved_contexts().count(pd->id()) == 0)
+      add(out, Oracle::kHwSaveRestore,
+          "record of '" + pd->name() +
+              "' says inconsistent but no preemption save is outstanding");
+  }
+}
+
+// ---- (18) per-VM grants never exceed the quota ------------------------------
+void InvariantSuite::check_hw_quota(std::vector<Violation>& out) const {
+  if (mgr_ == nullptr || insp_.in_manager_service() || mgr_->in_service()) return;
+  const ProtectionDomain* manager = insp_.manager();
+  for (u32 i = 0; i < insp_.pd_count(); ++i) {
+    const ProtectionDomain* pd = insp_.pd(i);
+    if (pd == nullptr || pd == manager) continue;
+    const u32 quota = mgr_->effective_quota(pd->id());
+    if (quota == 0) continue;  // unlimited
+    const u32 in_use = mgr_->grants_in_use(pd->id());
+    if (in_use > quota)
+      add(out, Oracle::kHwQuota,
+          "'" + pd->name() + "' consumes " + std::to_string(in_use) +
+              " grants against a quota of " + std::to_string(quota));
+  }
+}
+
+// ---- (19) cache entries always name a task-table bitstream ------------------
+void InvariantSuite::check_hw_cache_valid(std::vector<Violation>& out) const {
+  if (mgr_ == nullptr || insp_.in_manager_service() || mgr_->in_service()) return;
+  const auto& cache = mgr_->bitstream_cache();
+  const u32 cap = mgr_->sched_config().cache_capacity;
+  if (cache.size() > cap)
+    add(out, Oracle::kHwCacheValid,
+        "cache holds " + std::to_string(cache.size()) +
+            " entries over capacity " + std::to_string(cap));
+  const auto& lib = insp_.platform().task_library();
+  for (const auto& e : cache) {
+    if (lib.find(e.task) == nullptr) {
+      add(out, Oracle::kHwCacheValid,
+          "cache entry for task " + std::to_string(e.task) +
+              " which the task table does not know");
+      continue;
+    }
+    if (e.len == 0 || !in_range(e.pa, nova::kBitstreamBase,
+                                nova::kBitstreamSize) ||
+        !in_range(e.pa + e.len - 1, nova::kBitstreamBase, nova::kBitstreamSize))
+      add(out, Oracle::kHwCacheValid,
+          "cache entry for task " + std::to_string(e.task) +
+              " names image [" + hex(e.pa) + ", +" + std::to_string(e.len) +
+              ") outside the bitstream store");
   }
 }
 

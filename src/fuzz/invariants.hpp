@@ -40,9 +40,21 @@
 //                      epoch runs ahead of the global epoch, and a core with
 //                      an empty shootdown mailbox has acked the latest epoch
 //   kCoreExclusivity   no PD is current on two simulated cores at once
+//   kHwLaunchLedger    the manager's independent launch ledger agrees with
+//                      the PRR table and the fabric: no PRR runs a task its
+//                      recorded client didn't launch
+//   kHwSaveRestore     a client's §IV.C record is kStateInconsistent iff a
+//                      preemption save is outstanding, and the saved
+//                      registers round-trip exactly through the record
+//   kHwQuota           no client's grants (owned regions + queued requests)
+//                      exceed its effective hardware-task quota
+//   kHwCacheValid      every bitstream-cache entry names a task-table
+//                      bitstream and matches its store location
 //
 // The three SMP oracles are vacuous on a unicore kernel (empty mailboxes,
 // zero epochs, one current), so enabling them costs unicore shards nothing.
+// The four PRR-scheduler oracles are likewise vacuous (or reduce to
+// ledger/table agreement) when the scheduler is default-off.
 //
 // Mapping-level oracles (frames, PRR ownership, hwMMU) are deferred while
 // the manager service runs inside a client's hypercall: its tables are
@@ -78,6 +90,11 @@ enum class Oracle : u8 {
   kCorePartition,
   kShootdownComplete,
   kCoreExclusivity,
+  // PRR-scheduler oracles (appended so SMP-era digests keep their numbering).
+  kHwLaunchLedger,
+  kHwSaveRestore,
+  kHwQuota,
+  kHwCacheValid,
   kCount,
 };
 
@@ -126,6 +143,10 @@ class InvariantSuite {
   void check_core_partition(std::vector<Violation>& out) const;
   void check_shootdown_complete(std::vector<Violation>& out) const;
   void check_core_exclusivity(std::vector<Violation>& out) const;
+  void check_hw_launch_ledger(std::vector<Violation>& out) const;
+  void check_hw_save_restore(std::vector<Violation>& out) const;
+  void check_hw_quota(std::vector<Violation>& out) const;
+  void check_hw_cache_valid(std::vector<Violation>& out) const;
 
   const nova::KernelInspector& insp_;
   const hwmgr::ManagerService* mgr_;

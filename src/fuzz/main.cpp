@@ -16,6 +16,7 @@
 #include <string>
 
 #include "fuzz/shrink.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -31,6 +32,8 @@ struct Args {
   minova::u64 heavy = 64;
   minova::u64 sabotage = 0;
   minova::u32 sabotage_smp = 0;
+  minova::u32 sabotage_hw = 0;
+  bool hw_sched = false;
   minova::u32 cores = 1;
   minova::u32 threads = 1;
   bool compute = false;
@@ -69,6 +72,17 @@ bool parse(int argc, char** argv, Args& a) {
       // partition, 2 = shootdown accounting, 3 = core exclusivity).
       if (const char* v = val())
         a.sabotage_smp = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--sabotage-hw") {
+      // PRR-scheduler corruption kind injected at --sabotage's step
+      // (1 = launch ledger, 2 = save/restore record, 3 = quota breach,
+      // 4 = cache validity).
+      if (const char* v = val())
+        a.sabotage_hw = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--hw-sched") {
+      // PRR-scheduler shards: priorities + preemptive reclaim, bitstream
+      // cache, per-VM quotas and the admission queue, with the chaos guests
+      // driving setprio/quota/queued-poll traffic.
+      a.hw_sched = true;
     } else if (arg == "--cores") {
       // Simulated cores: SMP shards run work stealing, IPIs and cross-core
       // TLB shootdown under the three SMP oracles.
@@ -101,7 +115,8 @@ bool parse(int argc, char** argv, Args& a) {
       std::puts(
           "mininova_fuzz [--seed-base N] [--seeds N] [--seed N] [--steps N]\n"
           "              [--heavy N] [--sabotage STEP] [--sabotage-smp K]\n"
-          "              [--cores N] [--threads N] [--compute] [--mt-check]\n"
+          "              [--sabotage-hw K] [--hw-sched] [--cores N]\n"
+          "              [--threads N] [--compute] [--mt-check]\n"
           "              [--lifecycle] [--shrink] [--out DIR] [--verbose]");
       return false;
     } else {
@@ -145,6 +160,12 @@ int handle_failure(const Args& a, const ScenarioOptions& opts,
 int main(int argc, char** argv) {
   Args a;
   if (!parse(argc, argv, a)) return 2;
+  if (a.verbose && a.single) {
+    // Replay debugging: surface the manager's decision log alongside the
+    // scenario report (grants, preemptions, retries, cache traffic).
+    minova::util::set_global_log_level(minova::util::LogLevel::kDebug);
+    minova::util::set_log_component_filter("hwmgr");
+  }
 
   int rc = 0;
   const minova::u64 first = a.single ? a.seed : a.seed_base;
@@ -157,6 +178,8 @@ int main(int argc, char** argv) {
     opts.heavy_interval = a.heavy;
     opts.sabotage_step = a.sabotage;
     opts.sabotage_smp_kind = a.sabotage_smp;
+    opts.sabotage_hw_kind = a.sabotage_hw;
+    opts.hw_sched = a.hw_sched;
     opts.num_cores = a.cores;
     opts.host_threads = a.threads;
     opts.compute = a.compute;

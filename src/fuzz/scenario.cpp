@@ -83,18 +83,19 @@ ScenarioOptions normalized(const ScenarioOptions& opts) {
 }
 
 std::string describe(const ScenarioOptions& opts) {
-  char buf[224];
+  char buf[256];
   std::snprintf(buf, sizeof buf,
                 "seed=%llu steps=%llu vms=%u mask=0x%02x faults=%d hwtask=%d "
-                "ivc=%d mem=%d lc=%d cores=%u threads=%u compute=%d "
-                "heavy=%llu sabotage=%llu smpk=%u",
+                "ivc=%d mem=%d lc=%d cores=%u threads=%u compute=%d sched=%d "
+                "heavy=%llu sabotage=%llu smpk=%u hwk=%u",
                 (unsigned long long)opts.seed,
                 (unsigned long long)opts.max_steps, opts.num_vms,
                 opts.active_mask, opts.faults ? 1 : 0, opts.hwtask ? 1 : 0,
                 opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0, opts.lifecycle ? 1 : 0,
                 opts.num_cores, opts.host_threads, opts.compute ? 1 : 0,
-                (unsigned long long)opts.heavy_interval,
-                (unsigned long long)opts.sabotage_step, opts.sabotage_smp_kind);
+                opts.hw_sched ? 1 : 0, (unsigned long long)opts.heavy_interval,
+                (unsigned long long)opts.sabotage_step, opts.sabotage_smp_kind,
+                opts.sabotage_hw_kind);
   return buf;
 }
 
@@ -132,6 +133,18 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
 
   hwmgr::ManagerService manager(kernel);
   manager.install(/*priority=*/6);  // above every guest (levels 1..5)
+  if (opts.hw_sched) {
+    // PRR-scheduler shards: small cache and tight quotas so preemption,
+    // queueing, eviction and quota rejection all trigger within a few
+    // thousand steps instead of needing pathological seeds.
+    hwmgr::SchedConfig sc;
+    sc.priorities = true;
+    sc.cache_capacity = 2;
+    sc.prefetch = true;
+    sc.default_quota = 2;
+    sc.queue_depth = 8;
+    manager.set_sched_config(sc);
+  }
 
   // ---- chaos VMs (parameters per (seed, vm index), active set aside) ----
   std::vector<nova::ProtectionDomain*> pds;
@@ -144,6 +157,7 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     cfg.mem_ops = opts.mem_ops;
     cfg.hwtask_ops = opts.hwtask;
     cfg.ivc_ops = opts.ivc;
+    cfg.sched_ops = opts.hw_sched;
     // Constant, not derived: enabling compute must not shift any Derive
     // stream (the shards compare digests across thread counts, not against
     // compute-off runs).
@@ -205,7 +219,9 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     if (done) return;
     ++step;
     if (opts.sabotage_step != 0 && step == opts.sabotage_step) {
-      if (opts.sabotage_smp_kind != 0)
+      if (opts.sabotage_hw_kind != 0)
+        manager.sabotage_for_test(opts.sabotage_hw_kind);
+      else if (opts.sabotage_smp_kind != 0)
         kernel.smp_sabotage_for_test(opts.sabotage_smp_kind);
       else if (!pds.empty())
         pds.front()->quantum_left =
@@ -247,6 +263,10 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     dyn_acc.jobs_started += s.jobs_started;
     dyn_acc.ivc_sends += s.ivc_sends;
     dyn_acc.ivc_recvs += s.ivc_recvs;
+    dyn_acc.hw_queued += s.hw_queued;
+    dyn_acc.hw_regrants += s.hw_regrants;
+    dyn_acc.hw_setprios += s.hw_setprios;
+    dyn_acc.hw_quota_polls += s.hw_quota_polls;
   };
   auto churn = [&]() {
     const u64 roll = lifecycle_d.below(4);
@@ -257,6 +277,7 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
       cfg.mem_ops = opts.mem_ops;
       cfg.hwtask_ops = opts.hwtask;
       cfg.ivc_ops = false;  // dynamic VMs never join IVC channels
+      cfg.sched_ops = opts.hw_sched;
       cfg.compute_fraction = opts.compute ? 0.4 : 0.0;
       cfg.max_ops_per_step = 2 + u32(d.below(4));
       cfg.vtimer_period_us = 400 + u32(d.below(2400));
@@ -318,6 +339,12 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
       dg.mix(s.jobs_started);
       dg.mix(s.ivc_sends);
       dg.mix(s.ivc_recvs);
+      if (opts.hw_sched) {
+        dg.mix(s.hw_queued);
+        dg.mix(s.hw_regrants);
+        dg.mix(s.hw_setprios);
+        dg.mix(s.hw_quota_polls);
+      }
     }
     if (opts.lifecycle) {
       // Fold still-live dynamic guests, then mix the accumulated totals so
@@ -339,6 +366,27 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
       dg.mix(dyn_acc.jobs_started);
       dg.mix(dyn_acc.ivc_sends);
       dg.mix(dyn_acc.ivc_recvs);
+      if (opts.hw_sched) {
+        dg.mix(dyn_acc.hw_queued);
+        dg.mix(dyn_acc.hw_regrants);
+        dg.mix(dyn_acc.hw_setprios);
+        dg.mix(dyn_acc.hw_quota_polls);
+      }
+    }
+    if (opts.hw_sched) {
+      // Scheduler replay contract: the manager-side counters pin down the
+      // exact preemption/queue/cache interleaving, not just what the guests
+      // observed. Gated on hw_sched so legacy digests keep their values.
+      const auto& ms = manager.stats();
+      dg.mix(ms.preemptions);
+      dg.mix(ms.resumes);
+      dg.mix(ms.enqueued);
+      dg.mix(ms.wait_grants);
+      dg.mix(ms.quota_rejections);
+      dg.mix(ms.cache_hits);
+      dg.mix(ms.cache_misses);
+      dg.mix(ms.cache_evictions);
+      dg.mix(ms.cache_prefetches);
     }
     if (insp.num_cores() > 1) {
       // SMP replay contract: per-core scheduling and coherence counters are

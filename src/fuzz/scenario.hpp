@@ -69,6 +69,20 @@ struct ScenarioOptions {
   /// failure is *guaranteed* at exactly that step — the mechanism behind
   /// the injected-failure replay and shrink acceptance tests.
   u64 sabotage_step = 0;
+  /// PRR-scheduler shards: turn on the manager's opt-in scheduler
+  /// (priorities + preemptive reclaim, bitstream cache with prefetch,
+  /// per-VM quotas, admission queue) and give the chaos guests the
+  /// setprio/quota/queued-poll surface. Changes the RNG streams, so digests
+  /// differ from legacy runs of the same seed (but stay deterministic);
+  /// off keeps every pre-scheduler digest bit-identical.
+  bool hw_sched = false;
+  /// When nonzero, `sabotage_step` corrupts *manager scheduler* state
+  /// instead: 1 = launch ledger contradicts the PRR table, 2 = saved
+  /// context diverges from the §IV.C record, 3 = a client exceeds its
+  /// quota, 4 = cache entry names an unknown bitstream. Takes precedence
+  /// over `sabotage_smp_kind`.
+  u32 sabotage_hw_kind = 0;
+
   /// When nonzero, `sabotage_step` injects an *SMP* corruption instead of
   /// the scheduler-field one: 1 = double-enqueue a runnable PD on a second
   /// core (core-partition), 2 = forge shootdown ack accounting

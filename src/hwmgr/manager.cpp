@@ -1,5 +1,7 @@
 #include "hwmgr/manager.hpp"
 
+#include <algorithm>
+
 #include "mem/address_map.hpp"
 #include "pl/pcap.hpp"
 #include "pl/prr_controller.hpp"
@@ -16,6 +18,7 @@ ManagerService::ManagerService(nova::Kernel& kernel,
     : kernel_(kernel),
       costs_(costs),
       prr_table_(kernel.platform().prr_controller().num_prrs()),
+      ledger_(kernel.platform().prr_controller().num_prrs()),
       code_(nova::kManagerBase + 0x10000 + 0x2c40, 64 * kKiB) {
   auto& reg = kernel_.platform().stats();
   c_sw_grants_ = reg.handle("hwmgr.sw_grants");
@@ -25,6 +28,11 @@ ManagerService::ManagerService(nova::Kernel& kernel,
   c_fallbacks_ = reg.handle("hwmgr.fallbacks");
   c_quarantines_ = reg.handle("hwmgr.quarantines");
   c_unquarantines_ = reg.handle("hwmgr.unquarantines");
+  c_preemptions_ = reg.handle("hwmgr.preemptions");
+  c_resumes_ = reg.handle("hwmgr.resumes");
+  c_cache_hits_ = reg.handle("hwmgr.cache_hits");
+  c_cache_misses_ = reg.handle("hwmgr.cache_misses");
+  c_cache_evicts_ = reg.handle("hwmgr.cache_evicts");
   rg_handle_ = code_.place(768);
   rg_select_ = code_.place(384);
   rg_consistency_ = code_.place(512);
@@ -99,6 +107,10 @@ int ManagerService::select_prr(GuestContext& ctx,
   // unowned regions, then reclaim from other clients. A region owned by
   // the requester itself is fine too.
   needs_reconfig = true;
+  // With priorities on, a region owned by another client is a takeover
+  // candidate only when that owner ranks strictly below the requester.
+  const u32 req_prio =
+      sched_.priorities ? client_priority(requester) : 0;
   // Preference order for resident-first/first-fit: a dark (never
   // configured) cheap region spreads tasks across the fabric and maximizes
   // later residency hits; then any cheap region; reclaiming from another
@@ -113,6 +125,9 @@ int ManagerService::select_prr(GuestContext& ctx,
     }
     const bool cheap = prr_table_[prr].client == nova::kInvalidPd ||
                        prr_table_[prr].client == requester;
+    if (!cheap && sched_.priorities &&
+        client_priority(prr_table_[prr].client) >= req_prio)
+      continue;  // not preemptible: owner outranks (or ties) the requester
     if (cheap && hw.loaded_task == hwtask::kInvalidTask && dark < 0)
       dark = int(prr);
     else if (cheap && cheap_used < 0)
@@ -152,6 +167,7 @@ void ManagerService::reclaim_from(GuestContext& ctx, u32 prr_idx) {
     regs[w] = v;
     core.spend(core.caches().access_device());
   }
+  last_reclaim_regs_ = regs;
 
   // Save register contents + inconsistent flag into the old client's data
   // section (§IV.C / Fig. 5).
@@ -176,7 +192,361 @@ void ManagerService::reclaim_from(GuestContext& ctx, u32 prr_idx) {
 
   entry.client = nova::kInvalidPd;
   entry.client_iface_va = 0;
+  ledger_[prr_idx] = LedgerEntry{};
 }
+
+// ---- priority preemption / wait queue (DESIGN.md §15) -----------------------
+
+u32 ManagerService::client_priority(PdId client) const {
+  auto it = prio_override_.find(client);
+  if (it != prio_override_.end()) return it->second;
+  nova::ProtectionDomain* pd = kernel_.pd_by_id(client);
+  return pd != nullptr ? pd->priority() : 1u;
+}
+
+HcStatus ManagerService::set_client_priority(PdId client, u32 prio) {
+  prio = std::clamp<u32>(prio, 1, 15);
+  prio_override_[client] = prio;
+  // Parked requests follow the new priority immediately.
+  for (auto& w : wait_queue_)
+    if (w.client == client) w.prio = prio;
+  return HcStatus::kSuccess;
+}
+
+u32 ManagerService::effective_quota(PdId client) const {
+  auto it = quota_override_.find(client);
+  if (it != quota_override_.end()) return it->second;
+  return sched_.default_quota;
+}
+
+u32 ManagerService::grants_in_use(PdId client) const {
+  u32 n = 0;
+  for (const auto& e : prr_table_)
+    if (e.client == client) ++n;
+  for (const auto& w : wait_queue_)
+    if (w.client == client) ++n;
+  return n;
+}
+
+u32 ManagerService::query_quota(PdId client) {
+  return (effective_quota(client) << 16) | (grants_in_use(client) & 0xFFFFu);
+}
+
+bool ManagerService::reconfig_undecided(PdId client, u32 prr) const {
+  auto it = pending_.find(client);
+  return it != pending_.end() && it->second.prr == prr &&
+         it->second.outcome == ReconfigOutcome::kInFlight;
+}
+
+void ManagerService::park_victim(PdId victim, hwtask::TaskId task,
+                                 vaddr_t iface_va,
+                                 const std::array<u32, 8>& regs) {
+  // One preemption save per client (the data section holds one record): a
+  // newer save supersedes an older parked resume, which degrades to a
+  // from-scratch re-grant.
+  save_outstanding_[victim] = SavedContext{task, regs};
+  for (auto& w : wait_queue_)
+    if (w.client == victim) w.resume = false;
+  wait_queue_.push_back(WaitEntry{victim, task, iface_va,
+                                  client_priority(victim), /*resume=*/true,
+                                  ++wait_seq_});
+  // Overwriting the pending record kills any backoff retry the victim had
+  // in flight on another region — unbind that region first.
+  abandon_stale_reconfig(victim, 0xFFFF'FFFFu);
+  pending_[victim] = PendingReconfig{task, 0xFFFF'FFFFu, 0,
+                                     ReconfigOutcome::kQueued};
+}
+
+void ManagerService::preempt_and_park(GuestContext& ctx, u32 prr_idx) {
+  PrrTableEntry& entry = prr_table_[prr_idx];
+  const PdId victim = entry.client;
+  const hwtask::TaskId task = entry.task;
+  const vaddr_t iface_va = entry.client_iface_va;
+  const bool victim_live = kernel_.pd_by_id(victim) != nullptr;
+  reclaim_from(ctx, prr_idx);  // §IV.C save + unbind, identical protocol
+  if (!victim_live) return;
+  ++stats_.preemptions;
+  c_preemptions_.inc();
+  park_victim(victim, task, iface_va, last_reclaim_regs_);
+  log_.debug("client %u preempted off PRR%u (task %u), parked for resume",
+             victim, prr_idx, task);
+}
+
+void ManagerService::preempt_phys(u32 prr_idx) {
+  PrrTableEntry& entry = prr_table_[prr_idx];
+  const PdId victim = entry.client;
+  const hwtask::TaskId task = entry.task;
+  const vaddr_t iface_va = entry.client_iface_va;
+  nova::ProtectionDomain* old_client = kernel_.pd_by_id(victim);
+  if (old_client == nullptr) {
+    entry.client = nova::kInvalidPd;
+    entry.client_iface_va = 0;
+    ledger_[prr_idx] = LedgerEntry{};
+    return;
+  }
+  ++stats_.reclaims;
+  ++stats_.preemptions;
+  c_preemptions_.inc();
+  kernel_.platform().trace().emit(kernel_.platform().clock().now(),
+                                  sim::TraceKind::kHwReclaim, prr_idx, victim);
+  // Event-context save: read the register group over the physical bus (no
+  // simulated charge, like the retry path's device programming).
+  auto& plat = kernel_.platform();
+  const auto& prrctl = plat.prr_controller();
+  std::array<u32, 8> regs{};
+  for (u32 w = 0; w < 8; ++w) {
+    u32 v = 0;
+    (void)plat.bus().read32(prrctl.reg_group_pa(prr_idx) + w * 4, v);
+    regs[w] = v;
+  }
+  std::array<u32, kConsistencyWords> record{};
+  record[0] = kStateInconsistent;
+  record[1] = task;
+  for (u32 w = 0; w < 8; ++w) record[2 + w] = regs[w];
+  kernel_.svc_write_client_data(*pd_, victim,
+                                consistency_offset(old_client->hw_data_size),
+                                record);
+  if (iface_va != 0) {
+    const auto key = std::make_pair(victim, iface_va);
+    auto it = iface_map_.find(key);
+    if (it != iface_map_.end() && it->second == prr_idx) {
+      kernel_.svc_unmap_from(*pd_, victim, iface_va);
+      iface_map_.erase(it);
+    }
+  }
+  entry.client = nova::kInvalidPd;
+  entry.client_iface_va = 0;
+  ledger_[prr_idx] = LedgerEntry{};
+  park_victim(victim, task, iface_va, regs);
+}
+
+void ManagerService::enqueue_request(const HwTaskRequest& req) {
+  wait_queue_.push_back(WaitEntry{req.client, req.task, req.iface_va,
+                                  client_priority(req.client),
+                                  /*resume=*/false, ++wait_seq_});
+  // Queuing supersedes any in-flight reconfig record (and its retry) for
+  // this client; a region waiting on that retry must not stay bound.
+  abandon_stale_reconfig(req.client, 0xFFFF'FFFFu);
+  pending_[req.client] = PendingReconfig{req.task, 0xFFFF'FFFFu, 0,
+                                         ReconfigOutcome::kQueued};
+  ++stats_.enqueued;
+  if (sched_.prefetch && sched_.cache_capacity > 0) cache_prefetch(req.task);
+}
+
+void ManagerService::drop_wait_entry(PdId client, bool write_record) {
+  std::erase_if(wait_queue_,
+                [&](const WaitEntry& w) { return w.client == client; });
+  auto it = save_outstanding_.find(client);
+  if (it == save_outstanding_.end()) return;
+  nova::ProtectionDomain* pd = kernel_.pd_by_id(client);
+  if (write_record && pd != nullptr) {
+    // The save is being abandoned, not resumed: the record must say
+    // consistent again or the save/restore oracle would see a phantom save.
+    const std::array<u32, 2> rec{kStateConsistent, it->second.task};
+    kernel_.svc_write_client_data(*pd_, client,
+                                  consistency_offset(pd->hw_data_size), rec);
+  }
+  save_outstanding_.erase(it);
+}
+
+void ManagerService::pump_wait_queue() {
+  if (pumping_ || wait_queue_.empty()) return;
+  pumping_ = true;
+  // Snapshot the queue order (priority desc, then FIFO): regrants mutate
+  // the queue (preemption parks new victims), so entries are re-located by
+  // their stable sequence number and each is attempted once per pump.
+  std::vector<std::pair<u32, u64>> order;
+  order.reserve(wait_queue_.size());
+  for (const auto& w : wait_queue_) order.emplace_back(w.prio, w.enq_seq);
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (const auto& [prio, seq] : order) {
+    auto it = std::find_if(wait_queue_.begin(), wait_queue_.end(),
+                           [&](const WaitEntry& w) { return w.enq_seq == seq; });
+    if (it == wait_queue_.end()) continue;  // dropped meanwhile
+    const WaitEntry w = *it;                // copy: regrant mutates the queue
+    if (try_regrant(w))
+      std::erase_if(wait_queue_,
+                    [&](const WaitEntry& e) { return e.enq_seq == seq; });
+  }
+  pumping_ = false;
+}
+
+bool ManagerService::try_regrant(const WaitEntry& w) {
+  nova::ProtectionDomain* client = kernel_.pd_by_id(w.client);
+  if (client == nullptr) {  // died while parked: drop the entry
+    save_outstanding_.erase(w.client);
+    pending_.erase(w.client);
+    return true;
+  }
+  const hwtask::TaskInfo* info =
+      kernel_.platform().task_library().find(w.task);
+  if (info == nullptr) return true;  // task vanished: drop
+  auto& plat = kernel_.platform();
+  auto& ctl = plat.prr_controller();
+
+  // Region choice mirrors stage 2: resident first, then any free region,
+  // then preempting a strictly lower-priority owner.
+  int resident = -1, unowned = -1, preemptable = -1;
+  for (u32 prr : info->compatible_prrs) {
+    const auto& hw = ctl.prr(prr);
+    const PrrTableEntry& e = prr_table_[prr];
+    if (hw.busy || hw.reconfiguring) continue;
+    if (e.health == PrrHealth::kQuarantined) continue;
+    const bool unheld =
+        e.client == nova::kInvalidPd || e.client == w.client;
+    if (unheld && hw.loaded_task == w.task && resident < 0)
+      resident = int(prr);
+    else if (unheld && unowned < 0)
+      unowned = int(prr);
+    else if (!unheld && sched_.priorities &&
+             client_priority(e.client) < w.prio && preemptable < 0)
+      preemptable = int(prr);
+  }
+  const int chosen =
+      resident >= 0 ? resident : (unowned >= 0 ? unowned : preemptable);
+  if (chosen < 0) return false;  // still saturated: stay parked
+  const u32 prr = u32(chosen);
+  const bool needs_pcap = ctl.prr(prr).loaded_task != w.task;
+  if (needs_pcap && plat.pcap().busy()) return false;  // port contended
+
+  PrrTableEntry& entry = prr_table_[prr];
+  if (entry.client != nova::kInvalidPd && entry.client != w.client)
+    preempt_phys(prr);
+
+  // Stage 3 (phys): map the interface page into the waiting client.
+  const paddr_t reg_pa = ctl.reg_group_pa(prr);
+  const auto key = std::make_pair(w.client, w.iface_va);
+  auto mit = iface_map_.find(key);
+  bool fresh_map = false;
+  if (mit == iface_map_.end() || mit->second != prr) {
+    if (kernel_.svc_map_into(*pd_, w.client, w.iface_va, reg_pa) !=
+        HcStatus::kSuccess)
+      return false;
+    iface_map_[key] = prr;
+    fresh_map = true;
+  }
+
+  // Stage 4 (phys): hwMMU window + PL IRQ straight at the device — event
+  // contexts have no manager VA window (same as handle_client_destroyed).
+  const u32 glob = mem::kPrrMaxRegions * mem::kPrrRegGroupStride;
+  ctl.mmio_write(glob + pl::kGlobPrrSelect, prr);
+  ctl.mmio_write(glob + pl::kGlobHwmmuBase, u32(client->hw_data_pa));
+  ctl.mmio_write(glob + pl::kGlobHwmmuSize, client->hw_data_size);
+  if (entry.irq_index == 0xFFFF'FFFFu) {
+    ctl.mmio_write(glob + pl::kGlobIrqAlloc, 1);
+    entry.irq_index = ctl.mmio_read(glob + pl::kGlobIrqAlloc);
+  }
+  if (entry.irq_index < mem::kNumPlIrqs)
+    kernel_.svc_assign_pl_irq(*pd_, w.client,
+                              mem::pl_irq_to_gic(entry.irq_index));
+
+  // Resume-from-record: put the saved interface registers back before any
+  // reload (load_task preserves the programmable registers).
+  auto sit = save_outstanding_.find(w.client);
+  const bool resume =
+      w.resume && sit != save_outstanding_.end() && sit->second.task == w.task;
+  if (resume) ctl.restore_registers(prr, sit->second.regs);
+
+  // Stage 5 (phys): reconfigure unless the task is already in the fabric.
+  if (needs_pcap) {
+    kernel_.svc_set_pcap_owner(*pd_, w.client);
+    if (!launch_pcap_phys(prr, w.task)) {
+      // The port raced busy after the check: unwind the fresh mapping (the
+      // table never records this grant) and stay parked. The queued pending
+      // record survives — the client still polls as queued.
+      if (fresh_map) {
+        kernel_.svc_unmap_from(*pd_, w.client, w.iface_va);
+        iface_map_.erase(key);
+      }
+      return false;
+    }
+    abandon_stale_reconfig(w.client, prr);
+    pending_[w.client] =
+        PendingReconfig{w.task, prr, 1, ReconfigOutcome::kInFlight};
+    inflight_client_ = w.client;
+    ++stats_.grants_with_reconfig;
+  } else {
+    abandon_stale_reconfig(w.client, prr);
+    pending_.erase(w.client);
+    ++stats_.grants_no_reconfig;
+  }
+
+  // The re-grant completes the preempt/resume round trip: record turns
+  // consistent and the outstanding save is consumed.
+  const std::array<u32, 2> ok_record{kStateConsistent, w.task};
+  kernel_.svc_write_client_data(*pd_, w.client,
+                                consistency_offset(client->hw_data_size),
+                                ok_record);
+  save_outstanding_.erase(w.client);
+  if (resume) {
+    ++stats_.resumes;
+    c_resumes_.inc();
+  }
+
+  // Stage 6 (phys): table + ledger update.
+  entry.client = w.client;
+  entry.task = w.task;
+  entry.client_iface_va = w.iface_va;
+  entry.reconfiguring = needs_pcap;
+  entry.last_grant_seq = ++grant_seq_;
+  ledger_[prr] = LedgerEntry{w.client, w.task};
+  ++stats_.wait_grants;
+  plat.trace().emit(plat.clock().now(), sim::TraceKind::kHwGrant, w.task,
+                    w.client);
+  log_.debug("queued client %u granted PRR%u (task %u%s)", w.client, prr,
+             w.task, resume ? ", resumed" : "");
+  return true;
+}
+
+// ---- bitstream cache (DESIGN.md §15) ----------------------------------------
+
+void ManagerService::cache_insert(hwtask::TaskId task, bool prefetched) {
+  for (auto& e : cache_) {
+    if (e.task != task) continue;
+    e.stamp = ++cache_seq_;
+    return;  // already staged
+  }
+  const auto bits = kernel_.find_bitstream(task);
+  cache_.push_back(CacheEntry{task, bits.pa, bits.len, ++cache_seq_,
+                              prefetched});
+  while (cache_.size() > sched_.cache_capacity) {
+    auto victim = std::min_element(
+        cache_.begin(), cache_.end(),
+        [](const CacheEntry& a, const CacheEntry& b) {
+          return a.stamp < b.stamp;
+        });
+    log_.debug("bitstream cache evicts task %u", victim->task);
+    cache_.erase(victim);
+    ++stats_.cache_evictions;
+    c_cache_evicts_.inc();
+  }
+}
+
+void ManagerService::cache_prefetch(hwtask::TaskId task) {
+  for (const auto& e : cache_)
+    if (e.task == task) return;  // already hot
+  cache_insert(task, /*prefetched=*/true);
+  ++stats_.cache_prefetches;
+}
+
+u32 ManagerService::cache_transfer_len(hwtask::TaskId task) {
+  const auto bits = kernel_.find_bitstream(task);
+  for (auto& e : cache_) {
+    if (e.task != task) continue;
+    e.stamp = ++cache_seq_;
+    ++stats_.cache_hits;
+    c_cache_hits_.inc();
+    return std::min(sched_.cache_hit_load_bytes, bits.len);
+  }
+  ++stats_.cache_misses;
+  c_cache_misses_.inc();
+  cache_insert(task, /*prefetched=*/false);
+  return bits.len;
+}
+
+// ---- request path (Fig. 7) --------------------------------------------------
 
 void ManagerService::program_hwmmu(GuestContext& ctx, u32 prr_idx,
                                    paddr_t base, u32 size) {
@@ -206,8 +576,10 @@ bool ManagerService::launch_pcap(GuestContext& ctx, u32 prr_idx,
   const auto status = ctx.read32(pcap + pl::kPcapStatus);
   if (status.value & pl::kPcapStatusBusy) return false;
   const auto bits = kernel_.find_bitstream(task);
+  u32 len = bits.len;
+  if (sched_.cache_capacity > 0) len = cache_transfer_len(task);
   (void)ctx.write32(pcap + pl::kPcapSrcAddr, bits.pa);
-  (void)ctx.write32(pcap + pl::kPcapLen, bits.len);
+  (void)ctx.write32(pcap + pl::kPcapLen, len);
   (void)ctx.write32(pcap + pl::kPcapTarget, prr_idx);
   (void)ctx.write32(pcap + pl::kPcapTaskId, task);
   (void)ctx.write32(pcap + pl::kPcapCtrl, 1);
@@ -233,6 +605,28 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
   nova::ProtectionDomain* client = kernel_.pd_by_id(req.client);
   if (client == nullptr) return HcStatus::kInvalidArg;
 
+  // Scheduler admission (all default-off; DESIGN.md §15).
+  if (!wait_queue_.empty()) {
+    for (const auto& w : wait_queue_) {
+      if (w.client != req.client) continue;
+      if (w.task == req.task) {
+        // Idempotent re-request of a parked task: still waiting.
+        result_flags = nova::kHwGrantQueued;
+        return HcStatus::kSuccess;
+      }
+      // A fresh request supersedes the parked one.
+      drop_wait_entry(req.client, /*write_record=*/true);
+      break;
+    }
+  }
+  // Quota gate: a grant that would grow the client's holdings (owned
+  // regions + queued requests) past its quota is bounced. Whether a grant
+  // grows the count depends on the region chosen — re-granting a region the
+  // client already holds replaces in place — so the check sits at each
+  // growth point below, not before selection.
+  const u32 quota = effective_quota(req.client);
+  const bool at_quota = quota > 0 && grants_in_use(req.client) >= quota;
+
   // Stage 2: PRR selection.
   bool needs_reconfig = false;
   bool quarantine_blocked = false;
@@ -244,27 +638,61 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
       // the client behind the cooldown, grant the task in software.
       ++stats_.sw_grants;
       c_sw_grants_.inc();
+      abandon_stale_reconfig(req.client, 0xFFFF'FFFFu);
       pending_[req.client] = PendingReconfig{req.task, 0xFFFF'FFFFu, 0,
                                              ReconfigOutcome::kFallback};
       result_flags = nova::kHwGrantSoftware;
       return HcStatus::kSuccess;
     }
+    if (at_quota) {
+      ++stats_.quota_rejections;
+      return HcStatus::kBusy;
+    }
+    if (sched_queueing() && wait_queue_.size() < sched_.queue_depth) {
+      enqueue_request(req);
+      result_flags = nova::kHwGrantQueued;
+      return HcStatus::kSuccess;
+    }
     ++stats_.busy_rejections;
-    return HcStatus::kBusy;  // no idle PRR: applicant retries (§IV.E)
+    return HcStatus::kBusy;  // true saturation: applicant retries (§IV.E)
   }
   PrrTableEntry& entry = prr_table_[u32(prr)];
 
+  // The chosen region decides whether this grant is net-new: replacing a
+  // region the client already owns never grows its count.
+  if (at_quota && entry.client != req.client) {
+    ++stats_.quota_rejections;
+    return HcStatus::kBusy;
+  }
+
   // When a PCAP transfer would be needed but the port is streaming another
-  // bitstream, report Busy rather than blocking the service.
+  // bitstream, park the request (queueing on) or report Busy rather than
+  // blocking the service.
   if (needs_reconfig && entry.task != req.task &&
       kernel_.platform().pcap().busy()) {
+    // Parking always adds a wait entry on top of whatever the client owns
+    // (even when the chosen region is its own), so the gate is unconditional.
+    if (at_quota) {
+      ++stats_.quota_rejections;
+      return HcStatus::kBusy;
+    }
+    if (sched_queueing() && wait_queue_.size() < sched_.queue_depth) {
+      enqueue_request(req);
+      result_flags = nova::kHwGrantQueued;
+      return HcStatus::kSuccess;
+    }
     ++stats_.busy_rejections;
     return HcStatus::kBusy;
   }
 
-  // Consistency protocol when another client owns the region (§IV.C).
-  if (entry.client != nova::kInvalidPd && entry.client != req.client)
-    reclaim_from(ctx, u32(prr));
+  // Consistency protocol when another client owns the region (§IV.C). With
+  // priorities on this is a preemption: the victim parks for a resume.
+  if (entry.client != nova::kInvalidPd && entry.client != req.client) {
+    if (sched_.priorities)
+      preempt_and_park(ctx, u32(prr));
+    else
+      reclaim_from(ctx, u32(prr));
+  }
 
   // Stage 3: map the interface page into the client. The live (client, VA)
   // -> PRR map decides whether the page table actually needs an update.
@@ -292,7 +720,6 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
 
   // Stage 5: reconfigure if the task is not already in the region.
   result_flags = nova::kHwGrantReady;
-  pending_.erase(req.client);  // a fresh grant supersedes any old outcome
   if (entry.task != req.task || needs_reconfig_forces_pcap(u32(prr), req.task)) {
     kernel_.svc_set_pcap_owner(*pd_, req.client);
     if (!launch_pcap(ctx, u32(prr), req.task)) {
@@ -300,7 +727,8 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
       // records this client — the interface page mapped in stage 3 must not
       // survive, or a Busy-rejected applicant keeps reaching a register
       // group the table says is free (and a later grant of the same region
-      // to another VM would share it).
+      // to another VM would share it). The client's old pending record is
+      // untouched: a backoff retry it may have scheduled stays live.
       if (fresh_map) {
         kernel_.svc_unmap_from(*pd_, req.client, req.iface_va);
         iface_map_.erase(key);
@@ -308,6 +736,11 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
       ++stats_.busy_rejections;
       return HcStatus::kBusy;
     }
+    // The grant is committed: only now may it supersede the old outcome
+    // record (erasing earlier would kill a scheduled retry, stranding its
+    // region, on the Busy path above).
+    abandon_stale_reconfig(req.client, u32(prr));
+    pending_.erase(req.client);
     result_flags = nova::kHwGrantReconfig;
     ++stats_.grants_with_reconfig;
     pending_[req.client] = PendingReconfig{req.task, u32(prr), 1,
@@ -332,14 +765,20 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
       result_flags = nova::kHwGrantReady;
     }
   } else {
+    // No transfer needed: the grant commits here, superseding any old
+    // outcome (and unbinding a region stranded by a dead retry).
+    abandon_stale_reconfig(req.client, u32(prr));
+    pending_.erase(req.client);
     ++stats_.grants_no_reconfig;
   }
 
-  // Mark the client's own consistency record as consistent.
+  // Mark the client's own consistency record as consistent. Any outstanding
+  // preemption save is superseded by the fresh grant.
   const std::array<u32, 2> ok_record{kStateConsistent, req.task};
   kernel_.svc_write_client_data(*pd_, req.client,
                                 consistency_offset(client->hw_data_size),
                                 ok_record);
+  save_outstanding_.erase(req.client);
 
   // Stage 6: update the PRR table and return without waiting for PCAP.
   entry.client = req.client;
@@ -347,6 +786,7 @@ HcStatus ManagerService::handle_request(GuestContext& ctx,
   entry.client_iface_va = req.iface_va;
   entry.reconfiguring = result_flags != 0;
   entry.last_grant_seq = ++grant_seq_;
+  ledger_[u32(prr)] = LedgerEntry{req.client, req.task};
   touch_prr_table(ctx, u32(prr), /*write=*/true);
   ctx.spend_insns(costs_.insns_table_update);
   return HcStatus::kSuccess;
@@ -363,12 +803,16 @@ bool ManagerService::needs_reconfig_forces_pcap(u32 prr_idx,
 // ---- retry / quarantine / fallback (DESIGN.md §8) ---------------------------
 
 u32 ManagerService::query_reconfig(PdId client) {
+  // Poll-driven progress for the admission queue: parked requests are
+  // re-granted as soon as a region (or the PCAP port) frees up.
+  if (!wait_queue_.empty()) pump_wait_queue();
   auto it = pending_.find(client);
   if (it == pending_.end()) return nova::kReconfigReady;
   switch (it->second.outcome) {
     case ReconfigOutcome::kInFlight: return nova::kReconfigInFlight;
     case ReconfigOutcome::kReady: return nova::kReconfigReady;
     case ReconfigOutcome::kFallback: return nova::kReconfigFallback;
+    case ReconfigOutcome::kQueued: return nova::kReconfigQueued;
   }
   return nova::kReconfigReady;
 }
@@ -396,6 +840,8 @@ void ManagerService::on_pcap_complete(u32 prr, u32 task, bool ok) {
     entry.fail_streak = 0;
     p.outcome = ReconfigOutcome::kReady;
     c_reconfig_success_.inc();
+    // The region is settled: parked requests may now preempt or reuse it.
+    if (!wait_queue_.empty()) pump_wait_queue();
     return;
   }
 
@@ -427,6 +873,13 @@ void ManagerService::retry_reconfig(PdId client) {
       hw.reconfiguring) {
     // The region became unusable while we backed off; retries stay on the
     // originally granted region (the interface page points at it).
+    declare_fallback(client);
+    return;
+  }
+  if (entry.client != client) {
+    // The region was reclaimed (or re-granted) during the backoff: a retry
+    // now would stream our bitstream over the new owner's logic. The client
+    // lost its region — degrade to software.
     declare_fallback(client);
     return;
   }
@@ -463,8 +916,10 @@ bool ManagerService::launch_pcap_phys(u32 prr_idx, hwtask::TaskId task) {
   (void)bus.read32(mem::kDevcfgBase + pl::kPcapStatus, status);
   if (status & pl::kPcapStatusBusy) return false;
   const auto bits = kernel_.find_bitstream(task);
+  u32 len = bits.len;
+  if (sched_.cache_capacity > 0) len = cache_transfer_len(task);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapSrcAddr, u32(bits.pa));
-  (void)bus.write32(mem::kDevcfgBase + pl::kPcapLen, bits.len);
+  (void)bus.write32(mem::kDevcfgBase + pl::kPcapLen, len);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapTarget, prr_idx);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapTaskId, task);
   (void)bus.write32(mem::kDevcfgBase + pl::kPcapCtrl, 1);
@@ -477,13 +932,44 @@ void ManagerService::declare_fallback(PdId client) {
   auto it = pending_.find(client);
   if (it == pending_.end()) return;
   PendingReconfig& p = it->second;
-  p.outcome = ReconfigOutcome::kFallback;
   ++stats_.fallbacks;
   c_fallbacks_.inc();
   log_.debug("client %u degraded to software for task %u", client, p.task);
-  if (p.prr >= prr_table_.size()) return;
   // Unbind the dark region so other grants can use it after recovery; the
   // client's interface page goes away with it (it points at dead logic).
+  if (p.prr < prr_table_.size() && prr_table_[p.prr].client == client) {
+    PrrTableEntry& entry = prr_table_[p.prr];
+    if (entry.client_iface_va != 0) {
+      const auto key = std::make_pair(client, entry.client_iface_va);
+      auto mit = iface_map_.find(key);
+      if (mit != iface_map_.end() && mit->second == p.prr) {
+        kernel_.svc_unmap_from(*pd_, client, entry.client_iface_va);
+        iface_map_.erase(mit);
+      }
+    }
+    entry.client = nova::kInvalidPd;
+    entry.task = hwtask::kInvalidTask;
+    entry.client_iface_va = 0;
+    entry.reconfiguring = false;
+    ledger_[p.prr] = LedgerEntry{};
+  }
+  // The outcome flips only after the table row is unbound: the unmap above
+  // runs introspection mid-call, and the stale binding must still be
+  // covered by the in-flight record while it is visible.
+  p.outcome = ReconfigOutcome::kFallback;
+  // The region just freed: hand it to the highest-priority parked request.
+  if (!wait_queue_.empty()) pump_wait_queue();
+}
+
+void ManagerService::abandon_stale_reconfig(PdId client, u32 keep_prr) {
+  auto it = pending_.find(client);
+  if (it == pending_.end()) return;
+  const PendingReconfig& p = it->second;
+  if (p.outcome != ReconfigOutcome::kInFlight) return;
+  if (p.prr >= prr_table_.size() || p.prr == keep_prr) return;
+  // The caller is about to erase this record, so the backoff retry for the
+  // old region will never relaunch — its table row would claim a task the
+  // fabric never received, forever. Unbind it like a fallback does.
   PrrTableEntry& entry = prr_table_[p.prr];
   if (entry.client != client) return;
   if (entry.client_iface_va != 0) {
@@ -498,6 +984,8 @@ void ManagerService::declare_fallback(PdId client) {
   entry.task = hwtask::kInvalidTask;
   entry.client_iface_va = 0;
   entry.reconfiguring = false;
+  ledger_[p.prr] = LedgerEntry{};
+  log_.debug("client %u abandoned failed reconfig on PRR%u", client, p.prr);
 }
 
 void ManagerService::quarantine(u32 prr_idx) {
@@ -522,6 +1010,8 @@ void ManagerService::unquarantine(u32 prr_idx) {
   ++stats_.unquarantines;
   c_unquarantines_.inc();
   log_.info("PRR%u back from quarantine (suspect)", prr_idx);
+  // A usable region reappeared: let parked requests at it.
+  if (!wait_queue_.empty()) pump_wait_queue();
 }
 
 HcStatus ManagerService::handle_release(GuestContext& ctx, PdId client,
@@ -544,10 +1034,23 @@ HcStatus ManagerService::handle_release(GuestContext& ctx, PdId client,
     program_hwmmu(ctx, prr, 0, 0);
     entry.client = nova::kInvalidPd;
     entry.client_iface_va = 0;
+    ledger_[prr] = LedgerEntry{};
     // The configured task stays resident for cheap re-dispatch.
     touch_prr_table(ctx, prr, /*write=*/true);
     ++stats_.releases;
+    abandon_stale_reconfig(client, prr);
     pending_.erase(client);  // nothing left to report for this client
+    // The freed region goes to the highest-priority parked request.
+    if (!wait_queue_.empty()) pump_wait_queue();
+    return HcStatus::kSuccess;
+  }
+  // A parked (queued or preempted) request can be released before it ever
+  // re-gains a region.
+  for (const auto& w : wait_queue_) {
+    if (w.client != client || w.task != task) continue;
+    drop_wait_entry(client, /*write_record=*/true);
+    pending_.erase(client);
+    ++stats_.releases;
     return HcStatus::kSuccess;
   }
   return HcStatus::kNotFound;
@@ -567,6 +1070,7 @@ void ManagerService::handle_client_destroyed(PdId client) {
     ctl.mmio_write(glob + pl::kGlobHwmmuSize, 0);
     entry.client = nova::kInvalidPd;
     entry.client_iface_va = 0;
+    ledger_[prr] = LedgerEntry{};
     // Like handle_release: the configured task stays resident so a future
     // grant of the same task re-dispatches without a PCAP transfer.
     log_.info("PRR%u reclaimed from destroyed client %u", prr, client);
@@ -581,6 +1085,74 @@ void ManagerService::handle_client_destroyed(PdId client) {
   }
   pending_.erase(client);
   if (inflight_client_ == client) inflight_client_ = nova::kInvalidPd;
+  // Scheduler bookkeeping dies with the client (no record write possible —
+  // the data section is gone with the PD).
+  std::erase_if(wait_queue_,
+                [&](const WaitEntry& w) { return w.client == client; });
+  save_outstanding_.erase(client);
+  prio_override_.erase(client);
+  quota_override_.erase(client);
+  if (!wait_queue_.empty()) pump_wait_queue();
+}
+
+// ---- fuzz-oracle sabotage (tests only) --------------------------------------
+
+void ManagerService::sabotage_for_test(u32 kind) {
+  // Find a live client id to synthesize state around (the fuzzer always has
+  // running VMs; fall back to id 1).
+  PdId live = 1;
+  for (PdId id = 0; id < 256; ++id) {
+    nova::ProtectionDomain* pd = kernel_.pd_by_id(id);
+    // The synthesized state must belong to a hw-task client: the oracles
+    // read its §IV.C consistency record, which the manager PD (and any VM
+    // without a data section) does not have.
+    if (pd == nullptr || pd == pd_ || pd->hw_data_size == 0) continue;
+    live = id;
+    break;
+  }
+  switch (kind) {
+    case 1: {  // launch ledger contradicts the PRR table
+      for (u32 prr = 0; prr < num_prrs(); ++prr) {
+        if (prr_table_[prr].client == nova::kInvalidPd) continue;
+        ledger_[prr].task = prr_table_[prr].task + 1;
+        return;
+      }
+      // No owned region: a ledger entry for an unowned one is just as wrong.
+      ledger_[0] = LedgerEntry{live, 1};
+      return;
+    }
+    case 2: {  // saved context diverges from the client's §IV.C record
+      if (!save_outstanding_.empty()) {
+        save_outstanding_.begin()->second.regs[0] ^= 0xDEAD'0001u;
+        return;
+      }
+      // Synthesize a phantom save: the record in the client's data section
+      // still says consistent, so the round-trip oracle must fire.
+      SavedContext s;
+      s.task = 1;
+      s.regs.fill(0xDEAD'BEEFu);
+      save_outstanding_[live] = s;
+      return;
+    }
+    case 3: {  // a client holds more regions than its quota admits
+      if (num_prrs() < 2) return;
+      for (u32 prr = 0; prr < 2; ++prr) {
+        PrrTableEntry& e = prr_table_[prr];
+        e.client = live;
+        if (e.task == hwtask::kInvalidTask) e.task = hwtask::TaskId(1 + prr);
+        ledger_[prr] = LedgerEntry{live, e.task};  // keep oracle 1 quiet
+      }
+      quota_override_[live] = 1;
+      return;
+    }
+    case 4: {  // cache entry names a bitstream the task table doesn't have
+      cache_.push_back(CacheEntry{hwtask::TaskId(0xBEEF), 0, 0,
+                                  ++cache_seq_, false});
+      return;
+    }
+    default:
+      break;
+  }
 }
 
 }  // namespace minova::hwmgr

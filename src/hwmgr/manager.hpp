@@ -19,27 +19,32 @@
 // Reclaiming a region from a previous client saves its interface registers
 // into that client's data section with an *inconsistent* state flag and
 // demaps the interface page (§IV.C).
+//
+// On top of the paper's allocator sits an opt-in scheduler (DESIGN.md §15):
+// per-client priorities with preemptive reclaim (the §IV.C record doubles as
+// the context-switch save area; preempted clients park on a wait queue and
+// resume from their saved registers when a region frees), an LRU bitstream
+// cache with prefetch-on-queue, and per-VM quotas with a bounded admission
+// queue so kBusy is reserved for true saturation. Every scheduler feature
+// defaults OFF, and the default configuration is bit-identical to the
+// pre-scheduler manager.
 #pragma once
 
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "hwtask/consistency.hpp"
 #include "nova/kernel.hpp"
 
 namespace minova::hwmgr {
 
-/// Consistency record layout at the tail of each client's hardware task
-/// data section (paper §IV.C): a state flag, the task id, and the saved
-/// interface register contents.
-inline constexpr u32 kConsistencyWords = 2 + 8;
-inline constexpr u32 kStateConsistent = 0;
-inline constexpr u32 kStateInconsistent = 1;
-
-/// Offset of the consistency record within the data section.
-constexpr u32 consistency_offset(u32 data_section_size) {
-  return data_section_size - kConsistencyWords * 4;
-}
+// Consistency-record layout (§IV.C) — canonical home is
+// hwtask/consistency.hpp; re-exported here for the existing callers.
+using hwtask::consistency_offset;
+using hwtask::kConsistencyWords;
+using hwtask::kStateConsistent;
+using hwtask::kStateInconsistent;
 
 /// PRR selection policy (stage 2 of Fig. 7). The paper's allocator prefers
 /// a region already configured with the requested task; the alternatives
@@ -76,6 +81,30 @@ struct RetryPolicy {
   double quarantine_us = 50'000.0; // cooldown before the region is retried
 };
 
+/// Scheduler configuration (DESIGN.md §15). All features default off: the
+/// default-constructed config reproduces the pre-scheduler manager exactly
+/// (bit-identical Table III / density / fuzz digests).
+struct SchedConfig {
+  /// Priority-aware allocation: a request may preempt a region owned by a
+  /// strictly lower-priority client (park + resume via the §IV.C record).
+  bool priorities = false;
+  /// Bitstream cache capacity in entries (task bitstreams held in the
+  /// manager's OCM staging buffers). 0 disables the cache entirely.
+  u32 cache_capacity = 0;
+  /// Prefetch a queued request's bitstream into the cache while it waits.
+  bool prefetch = false;
+  /// Per-VM cap on concurrent hardware-task grants (owned regions plus
+  /// queued requests). 0 = unlimited.
+  u32 default_quota = 0;
+  /// Admission-queue depth. 0 = legacy behaviour (immediate kBusy when no
+  /// region is available); >0 parks up to this many requests and answers
+  /// kHwGrantQueued, reserving kBusy for true saturation.
+  u32 queue_depth = 0;
+  /// PCAP bytes streamed on a cache hit: the cached bitstream only needs a
+  /// header re-link + ICAP handoff, not the full transfer.
+  u32 cache_hit_load_bytes = 1024;
+};
+
 /// Per-PRR health, driven by PCAP transfer outcomes.
 enum class PrrHealth : u8 {
   kHealthy = 0,
@@ -88,6 +117,7 @@ enum class ReconfigOutcome : u8 {
   kInFlight = 0,  // a transfer (or a scheduled retry) is pending
   kReady,         // the task is configured in the region
   kFallback,      // retries exhausted: client should run in software
+  kQueued,        // admission-queued (or preempted): waiting for a region
 };
 
 struct PrrTableEntry {
@@ -114,6 +144,16 @@ struct ManagerStats {
   u64 unquarantines = 0;   // cooldown expirations
   u64 fallbacks = 0;       // grants degraded to software after failures
   u64 sw_grants = 0;       // requests granted as software up front
+  // ---- scheduler (all zero when SchedConfig is default-off) ----
+  u64 preemptions = 0;       // regions taken from a lower-priority client
+  u64 resumes = 0;           // preempted grants resumed from saved registers
+  u64 enqueued = 0;          // requests parked on the admission queue
+  u64 wait_grants = 0;       // queued requests granted a region
+  u64 quota_rejections = 0;  // requests bounced by the per-VM quota
+  u64 cache_hits = 0;        // PCAP launches served from the bitstream cache
+  u64 cache_misses = 0;      // PCAP launches that streamed the full image
+  u64 cache_evictions = 0;   // LRU entries dropped at capacity
+  u64 cache_prefetches = 0;  // bitstreams staged while the request queued
 };
 
 class ManagerService final : public nova::HwService {
@@ -138,11 +178,27 @@ class ManagerService final : public nova::HwService {
   /// by the client are reclaimed (task stays resident for warm re-dispatch)
   /// and all per-client bookkeeping is dropped.
   void handle_client_destroyed(nova::PdId client) override;
+  /// kHwTaskQuery(kHwQuerySetPrio): per-client hardware-task priority
+  /// override (clamped to 1..15). Stored unconditionally; it only steers
+  /// allocation when SchedConfig::priorities is on.
+  nova::HcStatus set_client_priority(nova::PdId client, u32 prio) override;
+  /// kHwTaskQuery(kHwQueryQuota): packed (quota << 16) | grants_in_use.
+  u32 query_quota(nova::PdId client) override;
+  /// With any scheduler feature on, queries run inside the manager's domain:
+  /// the query path pumps the wait queue, and a re-grant's mapping/IRQ work
+  /// must sit in the service window so the switch back to the caller replays
+  /// the vGIC mask protocol. Default-off keeps the legacy in-place dispatch.
+  bool query_wants_service_ctx() const override {
+    return sched_.priorities || sched_.queue_depth > 0 ||
+           sched_.cache_capacity > 0;
+  }
 
   void set_policy(AllocPolicy p) { policy_ = p; }
   AllocPolicy policy() const { return policy_; }
   void set_retry_policy(const RetryPolicy& p) { retry_ = p; }
   const RetryPolicy& retry_policy() const { return retry_; }
+  void set_sched_config(const SchedConfig& c) { sched_ = c; }
+  const SchedConfig& sched_config() const { return sched_; }
   PrrHealth prr_health(u32 idx) const { return prr_table_[idx].health; }
 
   /// Ablation (§IV.E stage 6): when set, the service waits for PCAP
@@ -154,6 +210,12 @@ class ManagerService final : public nova::HwService {
   u32 num_prrs() const { return u32(prr_table_.size()); }
   const ManagerStats& stats() const { return stats_; }
 
+  /// True while an event-context wait-queue pump is mid-update (its kernel
+  /// service calls fire trap-exit hooks between individual table writes).
+  /// The fuzz oracles defer exactly as they do for the synchronous service
+  /// window and re-check at the next quiescent event.
+  bool in_service() const { return pumping_; }
+
   /// Live (client, interface VA) -> PRR bindings. A PRR table entry may keep
   /// a stale client/VA record after the same client re-grants through the
   /// same window (warm-region cache); this map is the authoritative view of
@@ -161,6 +223,76 @@ class ManagerService final : public nova::HwService {
   /// used by the fuzzer's ownership oracle.
   using IfaceBindings = std::map<std::pair<nova::PdId, vaddr_t>, u32>;
   const IfaceBindings& iface_bindings() const { return iface_map_; }
+
+  // ---- scheduler state, exposed read-only for the fuzz oracles ----
+
+  /// Independent launch ledger: who launched what into each PRR, written on
+  /// every grant/regrant and cleared on every unbind. The ownership oracle
+  /// cross-checks it against the PRR table and the fabric.
+  struct LedgerEntry {
+    nova::PdId client = nova::kInvalidPd;
+    hwtask::TaskId task = hwtask::kInvalidTask;
+  };
+  const std::vector<LedgerEntry>& launch_ledger() const { return ledger_; }
+
+  /// True while `client`'s reconfiguration of `prr` is undecided — a PCAP
+  /// transfer in flight or a failed attempt awaiting its scheduled retry.
+  /// Inside this window the fabric legitimately lags the ledger (the old
+  /// task is still resident), so the ledger oracle defers its fabric check.
+  bool reconfig_undecided(nova::PdId client, u32 prr) const;
+
+  /// Outstanding preemption saves: one per client, mirroring the §IV.C
+  /// record in the client's data section (the save/restore oracle checks
+  /// the round trip).
+  struct SavedContext {
+    hwtask::TaskId task = hwtask::kInvalidTask;
+    std::array<u32, 8> regs{};
+  };
+  const std::map<nova::PdId, SavedContext>& saved_contexts() const {
+    return save_outstanding_;
+  }
+
+  /// Bitstream cache entries (task id + staged image location).
+  struct CacheEntry {
+    hwtask::TaskId task = hwtask::kInvalidTask;
+    paddr_t pa = 0;
+    u32 len = 0;
+    u64 stamp = 0;  // LRU recency
+    bool prefetched = false;
+  };
+  const std::vector<CacheEntry>& bitstream_cache() const { return cache_; }
+
+  /// Admission/preemption wait queue (priority order, FIFO within a level).
+  struct WaitEntry {
+    nova::PdId client = nova::kInvalidPd;
+    hwtask::TaskId task = hwtask::kInvalidTask;
+    vaddr_t iface_va = 0;
+    u32 prio = 0;
+    bool resume = false;  // re-grant restores the saved register context
+    u64 enq_seq = 0;
+  };
+  const std::vector<WaitEntry>& wait_queue() const { return wait_queue_; }
+
+  /// Effective hardware-task priority of `client` (override, else PD
+  /// scheduling priority, else 1).
+  u32 client_priority(nova::PdId client) const;
+  /// Effective quota for `client` (per-VM override, else the config
+  /// default; 0 = unlimited) and the grants it currently consumes.
+  u32 effective_quota(nova::PdId client) const;
+  u32 grants_in_use(nova::PdId client) const;
+  /// Per-VM quota override (tests / management plane).
+  void set_vm_quota(nova::PdId client, u32 quota) {
+    quota_override_[client] = quota;
+  }
+
+  /// Deliberately corrupt scheduler state so the fuzz oracles can prove
+  /// they fire (mirrors Kernel::smp_sabotage_for_test). Kinds:
+  ///   1 = launch ledger contradicts the PRR table (ownership oracle)
+  ///   2 = saved register context diverges from the client's §IV.C record
+  ///   3 = a client holds more regions than its quota admits
+  ///   4 = a cache entry names a bitstream the task table doesn't have
+  /// Robust at any step: kinds that need live state synthesize it.
+  void sabotage_for_test(u32 kind);
 
  private:
   /// One in-flight (or decided) reconfiguration per client.
@@ -181,17 +313,26 @@ class ManagerService final : public nova::HwService {
   void on_pcap_complete(u32 prr, u32 task, bool ok);
   void retry_reconfig(nova::PdId client);
   void declare_fallback(nova::PdId client);
+  // Erasing a client's pending record kills its scheduled retry — if that
+  // retry was for a region other than `keep_prr`, the region's table row
+  // still names a task the fabric never received. Unbind it first.
+  void abandon_stale_reconfig(nova::PdId client, u32 keep_prr);
   void quarantine(u32 prr_idx);
   void unquarantine(u32 prr_idx);
 
   // `hwmgr.*` registry counters, interned once at construction.
   sim::CounterHandle c_sw_grants_, c_reconfig_success_, c_pcap_failures_,
-      c_retries_, c_fallbacks_, c_quarantines_, c_unquarantines_;
+      c_retries_, c_fallbacks_, c_quarantines_, c_unquarantines_,
+      c_preemptions_, c_resumes_, c_cache_hits_, c_cache_misses_,
+      c_cache_evicts_;
   cycles_t backoff_cycles(u32 attempts_made) const;
   // Re-program the PCAP from an event context (no manager VA translation).
   bool launch_pcap_phys(u32 prr_idx, hwtask::TaskId task);
-  // §IV.C consistency protocol when reclaiming from `old_client`.
+  // §IV.C consistency protocol when reclaiming from `old_client`. The
+  // register image it saved is kept for preempt_and_park to hand to the
+  // wait queue (valid only immediately after the call).
   void reclaim_from(nova::GuestContext& ctx, u32 prr_idx);
+  std::array<u32, 8> last_reclaim_regs_{};
   // Device programming helpers (PL global control page via the manager's
   // mapped window).
   void program_hwmmu(nova::GuestContext& ctx, u32 prr_idx, paddr_t base,
@@ -203,11 +344,39 @@ class ManagerService final : public nova::HwService {
   void touch_task_table(nova::GuestContext& ctx, hwtask::TaskId task);
   void touch_prr_table(nova::GuestContext& ctx, u32 prr_idx, bool write);
 
+  // ---- scheduler internals (DESIGN.md §15) ----
+  bool sched_queueing() const { return sched_.queue_depth > 0; }
+  // Preempt the region's owner (charged, from a request context): §IV.C
+  // save via reclaim_from, then park the victim for a resumed re-grant.
+  void preempt_and_park(nova::GuestContext& ctx, u32 prr_idx);
+  // Event-context preemption (no GuestContext; zero simulated charge, like
+  // the retry path): same save/park protocol over the physical bus.
+  void preempt_phys(u32 prr_idx);
+  void park_victim(nova::PdId victim, hwtask::TaskId task, vaddr_t iface_va,
+                   const std::array<u32, 8>& regs);
+  // Enqueue an admission-queued fresh request (no saved context).
+  void enqueue_request(const nova::HwTaskRequest& req);
+  // Remove `client`'s wait entry; when its preemption save is outstanding
+  // and the client is live, rewrite the §IV.C record consistent (the save
+  // is being abandoned, not resumed).
+  void drop_wait_entry(nova::PdId client, bool write_record);
+  // Grant regions to parked requests, highest priority first. Runs from
+  // event/poll contexts over the physical bus; zero simulated charge.
+  void pump_wait_queue();
+  // Try to place one wait entry; true when it was granted (and removed).
+  bool try_regrant(const WaitEntry& w);
+  // Bitstream-cache lookup for a PCAP launch: returns the transfer length
+  // (full image on miss, header-only on hit) and maintains the LRU state.
+  u32 cache_transfer_len(hwtask::TaskId task);
+  void cache_prefetch(hwtask::TaskId task);
+  void cache_insert(hwtask::TaskId task, bool prefetched);
+
   nova::Kernel& kernel_;
   ManagerCostModel costs_;
   bool blocking_reconfig_ = false;
   AllocPolicy policy_ = AllocPolicy::kResidentFirst;
   RetryPolicy retry_;
+  SchedConfig sched_;
   u64 grant_seq_ = 0;
   // Client whose transfer currently streams through the (single) PCAP port;
   // attributes completion-observer callbacks to the right grant.
@@ -220,6 +389,17 @@ class ManagerService final : public nova::HwService {
   // consult the *live* mapping, not the per-PRR history.
   std::map<std::pair<nova::PdId, vaddr_t>, u32> iface_map_;
   ManagerStats stats_;
+
+  // ---- scheduler state ----
+  std::vector<LedgerEntry> ledger_;  // one per PRR
+  std::map<nova::PdId, SavedContext> save_outstanding_;
+  std::vector<WaitEntry> wait_queue_;
+  std::vector<CacheEntry> cache_;
+  std::map<nova::PdId, u32> prio_override_;
+  std::map<nova::PdId, u32> quota_override_;
+  u64 wait_seq_ = 0;
+  u64 cache_seq_ = 0;
+  bool pumping_ = false;  // re-entrancy guard for pump_wait_queue
 
   // Manager text footprint (in the manager image).
   cpu::CodeLayout code_;

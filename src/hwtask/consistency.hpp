@@ -1,0 +1,55 @@
+// Hardware-task consistency record (paper §IV.C / Fig. 5).
+//
+// Each client's hardware task data section reserves its tail for a record
+// the Hardware Task Manager maintains: a state flag, the task id, and — when
+// the region was taken away mid-use — the saved interface register contents.
+// The guest (or the manager's resume path) restores execution from the saved
+// registers; a kStateInconsistent flag means exactly one preemption save is
+// outstanding and the region's registers are NOT what the client programmed.
+//
+// The layout is shared between the manager (writer), the preemption-resume
+// path (reader), guests inspecting their own section, and the fuzzer's
+// save/restore oracle — hence a header of its own next to the task library.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace minova::hwtask {
+
+/// Record layout: [ state, task, regs[0..7] ] — 10 words at the section tail.
+inline constexpr u32 kConsistencyWords = 2 + 8;
+inline constexpr u32 kStateConsistent = 0;
+inline constexpr u32 kStateInconsistent = 1;
+
+/// Offset of the consistency record within a data section of `size` bytes.
+constexpr u32 consistency_offset(u32 data_section_size) {
+  return data_section_size - kConsistencyWords * 4;
+}
+
+/// In-memory image of the record, with pack/unpack mirroring the exact word
+/// order the manager writes through svc_write_client_data.
+struct ConsistencyRecord {
+  u32 state = kStateConsistent;
+  u32 task = 0;
+  std::array<u32, 8> regs{};  // interface register group, ascending offsets
+
+  std::array<u32, kConsistencyWords> pack() const {
+    std::array<u32, kConsistencyWords> w{};
+    w[0] = state;
+    w[1] = task;
+    for (u32 i = 0; i < 8; ++i) w[2 + i] = regs[i];
+    return w;
+  }
+
+  static ConsistencyRecord unpack(const std::array<u32, kConsistencyWords>& w) {
+    ConsistencyRecord r;
+    r.state = w[0];
+    r.task = w[1];
+    for (u32 i = 0; i < 8; ++i) r.regs[i] = w[2 + i];
+    return r;
+  }
+};
+
+}  // namespace minova::hwtask

@@ -96,19 +96,39 @@ HypercallResult hwtask_release(KernelOps& ops, ProtectionDomain& caller,
 HypercallResult hwtask_query(KernelOps& ops, ProtectionDomain& caller,
                              const HypercallArgs& args) {
   HypercallResult res;
-  if (args.r[0] != 0) {
-    res.status = HcStatus::kInvalidArg;
+  if (args.r[0] > kHwQueryQuota) {
+    res.status = HcStatus::kInvalidArg;  // selector outside the defined ABI
     return res;
   }
-  // Reconfiguration-state poll: the manager answers per client, so a VM
-  // whose transfer the manager is retrying (and which therefore no longer
-  // owns the PCAP port) still learns its outcome.
   HwService* service = ops.hw_service();
   if (service == nullptr) {
     res.status = HcStatus::kDenied;
     return res;
   }
-  res.r1 = service->query_reconfig(caller.id());
+  // A scheduling service handles queries inside its own domain: the query
+  // path can re-grant a queued request (map + IRQ route), and the switch
+  // back to the caller must replay the vGIC mask protocol over it. The
+  // legacy service answers in place — no switches, identical timing.
+  ProtectionDomain* manager = ops.manager_pd();
+  ProtectionDomain* requester = &caller;
+  const bool svc_ctx =
+      manager != nullptr && service->query_wants_service_ctx();
+  if (svc_ctx) ops.vm_switch_to(manager);
+  switch (args.r[0]) {
+    case kHwQueryReconfig:
+      // Reconfiguration-state poll: the manager answers per client, so a VM
+      // whose transfer the manager is retrying (and which therefore no
+      // longer owns the PCAP port) still learns its outcome.
+      res.r1 = service->query_reconfig(caller.id());
+      break;
+    case kHwQuerySetPrio:
+      res.status = service->set_client_priority(caller.id(), args.r[1]);
+      break;
+    case kHwQueryQuota:
+      res.r1 = service->query_quota(caller.id());
+      break;
+  }
+  if (svc_ctx) ops.vm_switch_to(requester);
   auto& core = ops.core();
   core.spend(core.caches().access_device());
   return res;

@@ -99,8 +99,15 @@ HcStatus Kernel::svc_assign_pl_irq(ProtectionDomain& caller, PdId client,
   if (!pd->vgic().register_irq(gic_irq)) return HcStatus::kNoMemory;
   pd->vgic().enable(gic_irq);
   irq_owner_[gic_irq] = client;
-  // Physically unmasked when the client VM runs (vGIC switch protocol);
-  // unmask now if it is the interrupted VM about to resume.
+  // Physically unmasked when the client VM runs (vGIC switch protocol).
+  // When the client is on-CPU right now — an event-context re-grant off the
+  // wait queue — no switch is coming, so unmask immediately: a running VM's
+  // enabled sources must never stay masked.
+  for (const auto& cc : cores_) {
+    if (cc.current != pd) continue;
+    platform_.gic().enable_irq(gic_irq);
+    break;
+  }
   platform_.gic().set_priority(gic_irq, 0x90);
   // Route the SPI to the owning VM's core at the distributor (ICDIPTR) so
   // the owner takes its own interrupts instead of bouncing through CPU0.

@@ -108,11 +108,19 @@ enum class HcStatus : i32 {
 inline constexpr u32 kReconfigInFlight = 0;  // PCAP transfer/retries pending
 inline constexpr u32 kReconfigReady = 1;     // task configured, region usable
 inline constexpr u32 kReconfigFallback = 2;  // retries exhausted: run in SW
+inline constexpr u32 kReconfigQueued = 3;    // parked on the PRR wait queue
 
 // kHwTaskRequest grant flags (returned in r1 on kSuccess).
 inline constexpr u32 kHwGrantReady = 0;      // task already resident
 inline constexpr u32 kHwGrantReconfig = 1;   // PCAP reconfiguration launched
 inline constexpr u32 kHwGrantSoftware = 2;   // no usable PRR: run in SW
+inline constexpr u32 kHwGrantQueued = 3;     // admission-queued: poll query(0)
+
+// kHwTaskQuery sub-operations (selected by r0). The 25-hypercall ABI is
+// frozen (§V.B), so scheduler control rides on the existing query call.
+inline constexpr u32 kHwQueryReconfig = 0;  // poll reconfig/queue state
+inline constexpr u32 kHwQuerySetPrio = 1;   // set hw-task priority (r1)
+inline constexpr u32 kHwQueryQuota = 2;     // r1 = (quota << 16) | in_use
 
 struct HypercallArgs {
   Hypercall number = Hypercall::kCount;

@@ -73,6 +73,25 @@ class HwService {
   /// because the id may be reissued to an unrelated VM. Host-side cleanup
   /// only: no GuestContext exists for a dead VM, nothing may be charged.
   virtual void handle_client_destroyed(PdId client) { (void)client; }
+  /// kHwTaskQuery(kHwQuerySetPrio): set `client`'s hardware-task priority.
+  /// Services without a scheduler ignore the call.
+  virtual HcStatus set_client_priority(PdId client, u32 prio) {
+    (void)client;
+    (void)prio;
+    return HcStatus::kNotSupported;
+  }
+  /// kHwTaskQuery(kHwQueryQuota): packed (quota << 16) | grants_in_use for
+  /// `client`; 0 when the service enforces no quota.
+  virtual u32 query_quota(PdId client) {
+    (void)client;
+    return 0;
+  }
+  /// When true, kHwTaskQuery dispatches inside the manager's protection
+  /// domain (vm_switch bracket, like request/release). A scheduling service
+  /// may re-grant queued requests from the query path — mapping pages and
+  /// routing IRQs — which must run in the service window so the switch back
+  /// to the caller replays the vGIC mask protocol over any new grant.
+  virtual bool query_wants_service_ctx() const { return false; }
 };
 
 struct KernelConfig {

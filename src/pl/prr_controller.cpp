@@ -274,6 +274,18 @@ bool PrrController::load_task(u32 prr_idx, hwtask::TaskId task) {
   return true;
 }
 
+void PrrController::restore_registers(u32 idx, const std::array<u32, 8>& regs) {
+  MINOVA_CHECK(idx < prrs_.size());
+  PrrState& p = prrs_[idx];
+  MINOVA_CHECK_MSG(!p.busy && !p.reconfiguring,
+                   "restoring registers into an active PRR");
+  p.ctrl = regs[kRegCtrl / 4] & kCtrlIrqEn;  // START was a pulse, not state
+  p.src_addr = regs[kRegSrcAddr / 4];
+  p.src_len = regs[kRegSrcLen / 4];
+  p.dst_addr = regs[kRegDstAddr / 4];
+  p.dst_len = regs[kRegDstLen / 4];
+}
+
 u64 PrrController::total_jobs() const {
   u64 n = 0;
   for (const auto& p : prrs_) n += p.jobs_completed;

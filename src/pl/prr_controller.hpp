@@ -33,6 +33,7 @@
 //   0x18 VIOLATIONS r   hwMMU violation count of the selected PRR
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "irq/gic.hpp"
@@ -113,6 +114,14 @@ class PrrController final : public mem::MmioDevice {
   /// Called by the PCAP engine when a started transfer aborts: the region's
   /// partial contents are undefined, so it goes dark with STATUS.ERROR.
   void abort_reconfigure(u32 prr_idx);
+
+  /// Restore a preempted task's programmable register state (the §IV.C
+  /// consistency record, saved by the manager before eviction). Writes the
+  /// stored fields directly — no START pulse, no status side effects — so a
+  /// resumed client sees exactly the registers it had programmed. `regs` is
+  /// the 8-word register-group image in ascending offset order
+  /// (CTRL..IRQ_NUM); only the client-programmable words are applied.
+  void restore_registers(u32 idx, const std::array<u32, 8>& regs);
 
   /// Optional fault injector (owned by the platform); null disables.
   void attach_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }

@@ -232,13 +232,50 @@ void ChaosGuest::op_hwtask(GuestContext& ctx) {
       ++stats_.hw_grants;
       held_task_ = task;
       sw_fallback_ = (res.r1 == nova::kHwGrantSoftware);
+      queued_ = (res.r1 == nova::kHwGrantQueued);
+      if (queued_) ++stats_.hw_queued;
     }
     return;
   }
-  switch (rng_.next_below(5)) {
+  // Two extra dice faces when the scheduler surface is enabled; disabled
+  // runs draw the historical 5-face die and keep their digests.
+  const u64 dice = rng_.next_below(cfg_.sched_ops ? 7 : 5);
+  if (queued_) {
+    // Parked grant (admission queue or preemption): the interface page is
+    // not mapped until the re-grant, so poll the queue state — or give up
+    // and release the parked request — instead of touching the registers.
+    if (dice == 1) {
+      if (hc(ctx, Hypercall::kHwTaskRelease, held_task_).ok()) {
+        ++stats_.hw_releases;
+        held_task_ = hwtask::kInvalidTask;
+        sw_fallback_ = false;
+        queued_ = false;
+      }
+      return;
+    }
+    const auto res =
+        hc(ctx, Hypercall::kHwTaskQuery, nova::kHwQueryReconfig);
+    if (res.ok()) {
+      if (res.r1 == nova::kReconfigReady) {
+        queued_ = false;
+        ++stats_.hw_regrants;
+      } else if (res.r1 == nova::kReconfigFallback) {
+        queued_ = false;
+        sw_fallback_ = true;
+      }
+    }
+    return;
+  }
+  switch (dice) {
     case 0: {
       const auto res = hc(ctx, Hypercall::kHwTaskQuery, 0);
       if (res.ok() && res.r1 == nova::kReconfigFallback) sw_fallback_ = true;
+      // A preempted grant reports Queued: wait for the resume rather than
+      // faulting on the demapped interface page.
+      if (res.ok() && res.r1 == nova::kReconfigQueued) {
+        queued_ = true;
+        ++stats_.hw_queued;
+      }
       break;
     }
     case 1:
@@ -247,6 +284,16 @@ void ChaosGuest::op_hwtask(GuestContext& ctx) {
         held_task_ = hwtask::kInvalidTask;
         sw_fallback_ = false;
       }
+      break;
+    case 5:  // sched_ops only: hardware-task priority override
+      if (hc(ctx, Hypercall::kHwTaskQuery, nova::kHwQuerySetPrio,
+             1 + u32(rng_.next_below(15)))
+              .ok())
+        ++stats_.hw_setprios;
+      break;
+    case 6:  // sched_ops only: quota/in-use introspection
+      if (hc(ctx, Hypercall::kHwTaskQuery, nova::kHwQueryQuota).ok())
+        ++stats_.hw_quota_polls;
       break;
     default:
       program_job(ctx);

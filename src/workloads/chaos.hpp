@@ -31,6 +31,11 @@ struct ChaosConfig {
   bool mem_ops = true;
   bool hwtask_ops = true;
   bool ivc_ops = true;
+  // PRR-scheduler surface: setprio/quota sub-ops plus queued-grant polling
+  // (kHwGrantQueued handling). Adds two faces to the held-task dice, so
+  // enabling it changes the RNG stream; disabled runs draw exactly the
+  // legacy stream and keep their digests.
+  bool sched_ops = false;
   u32 max_ops_per_step = 4;
   // IVC channel ids this guest may send/recv on.
   std::vector<u32> ivc_channels;
@@ -58,6 +63,11 @@ struct ChaosStats {
   u64 jobs_started = 0;
   u64 ivc_sends = 0;
   u64 ivc_recvs = 0;
+  // PRR-scheduler surface (all zero unless ChaosConfig::sched_ops).
+  u64 hw_queued = 0;       // grants parked on the admission queue
+  u64 hw_regrants = 0;     // queued grants observed to complete
+  u64 hw_setprios = 0;     // priority sub-ops issued
+  u64 hw_quota_polls = 0;  // quota sub-ops issued
 };
 
 class ChaosGuest final : public nova::GuestOs {
@@ -103,6 +113,7 @@ class ChaosGuest final : public nova::GuestOs {
   bool in_kernel_ = true;
   hwtask::TaskId held_task_ = hwtask::kInvalidTask;
   bool sw_fallback_ = false;
+  bool queued_ = false;  // grant parked on the manager's admission queue
   bool next_compute_ = false;
   u64 burst_pos_ = 0;
   u64 burst_sum_ = 0;

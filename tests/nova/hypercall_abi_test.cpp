@@ -252,8 +252,13 @@ TEST_F(HypercallAbiTest, HwTaskCallsAreDeniedWithoutAService) {
   EXPECT_EQ(c.hypercall(Hypercall::kHwTaskRelease, 1).status,
             HcStatus::kDenied);
   EXPECT_EQ(c.hypercall(Hypercall::kHwTaskQuery, 0).status, HcStatus::kDenied);
-  // Non-zero query selector is not a defined ABI.
-  EXPECT_EQ(c.hypercall(Hypercall::kHwTaskQuery, 1).status,
+  // The scheduler sub-ops are defined ABI but still need a live service.
+  EXPECT_EQ(c.hypercall(Hypercall::kHwTaskQuery, kHwQuerySetPrio, 3).status,
+            HcStatus::kDenied);
+  EXPECT_EQ(c.hypercall(Hypercall::kHwTaskQuery, kHwQueryQuota).status,
+            HcStatus::kDenied);
+  // A selector past the defined sub-op range is not part of the ABI.
+  EXPECT_EQ(c.hypercall(Hypercall::kHwTaskQuery, kHwQueryQuota + 1).status,
             HcStatus::kInvalidArg);
 }
 
