@@ -36,6 +36,9 @@ const char* oracle_name(Oracle o) {
     case Oracle::kHwSaveRestore: return "hw-save-restore";
     case Oracle::kHwQuota: return "hw-quota";
     case Oracle::kHwCacheValid: return "hw-cache-valid";
+    case Oracle::kSvContainment: return "sv-containment";
+    case Oracle::kSvRestartLedger: return "sv-restart-ledger";
+    case Oracle::kSvQuarantine: return "sv-quarantine";
     case Oracle::kCount: break;
   }
   return "?";
@@ -99,6 +102,9 @@ void InvariantSuite::check(Oracle o, std::vector<Violation>& out) const {
     case Oracle::kHwSaveRestore: check_hw_save_restore(out); break;
     case Oracle::kHwQuota: check_hw_quota(out); break;
     case Oracle::kHwCacheValid: check_hw_cache_valid(out); break;
+    case Oracle::kSvContainment: check_sv_containment(out); break;
+    case Oracle::kSvRestartLedger: check_sv_restart_ledger(out); break;
+    case Oracle::kSvQuarantine: check_sv_quarantine(out); break;
     case Oracle::kCount: break;
   }
 }
@@ -808,6 +814,115 @@ void InvariantSuite::check_hw_cache_valid(std::vector<Violation>& out) const {
               " names image [" + hex(e.pa) + ", +" + std::to_string(e.len) +
               ") outside the bitstream store");
   }
+}
+
+// ---- (20) supervisor slots agree with the kernel's PD population ------------
+//
+// A live slot is backed by exactly one kernel PD (with a guest attached) and
+// sits in a running health state; a torn-down slot holds no PdId and is in a
+// terminal state. A mismatch means a reap or restart half-completed — the
+// supervisor believes in a VM the kernel no longer has, or vice versa.
+void InvariantSuite::check_sv_containment(std::vector<Violation>& out) const {
+  const nova::Supervisor* sup = insp_.supervisor();
+  if (sup == nullptr) return;
+  auto find_pd = [&](PdId id) -> const ProtectionDomain* {
+    for (u32 i = 0; i < insp_.pd_count(); ++i)
+      if (insp_.pd(i) != nullptr && insp_.pd(i)->id() == id)
+        return insp_.pd(i);
+    return nullptr;
+  };
+  for (u32 s = 0; s < sup->slot_count(); ++s) {
+    const auto& r = sup->record(s);
+    if (r.live) {
+      const ProtectionDomain* pd = find_pd(r.pd);
+      if (pd == nullptr) {
+        add(out, Oracle::kSvContainment,
+            "live slot " + std::to_string(s) + " names pd id " +
+                std::to_string(r.pd) + " which the kernel does not have");
+        continue;
+      }
+      if (pd->guest() == nullptr)
+        add(out, Oracle::kSvContainment,
+            "live slot " + std::to_string(s) + " pd '" + pd->name() +
+                "' has no guest attached");
+      if (r.health != nova::VmHealth::kHealthy &&
+          r.health != nova::VmHealth::kDegraded)
+        add(out, Oracle::kSvContainment,
+            "live slot " + std::to_string(s) + " in terminal health state '" +
+                nova::vm_health_name(r.health) + "'");
+    } else {
+      if (r.pd != kInvalidPd)
+        add(out, Oracle::kSvContainment,
+            "torn-down slot " + std::to_string(s) + " still holds pd id " +
+                std::to_string(r.pd));
+      if (r.health != nova::VmHealth::kCrashed &&
+          r.health != nova::VmHealth::kQuarantined)
+        add(out, Oracle::kSvContainment,
+            "torn-down slot " + std::to_string(s) + " in health state '" +
+                nova::vm_health_name(r.health) + "'");
+    }
+  }
+}
+
+// ---- (21) condemnations balance against restart/quarantine outcomes ---------
+//
+// Every condemnation (fatal trap or watchdog fire) ends in exactly one of:
+// a completed restart, a quarantine, or a still-pending reap/backoff. The
+// equation catches both a lost crash (condemned VM silently forgotten) and
+// a forged restart (restart counted without a matching crash).
+void InvariantSuite::check_sv_restart_ledger(std::vector<Violation>& out) const {
+  const nova::Supervisor* sup = insp_.supervisor();
+  if (sup == nullptr) return;
+  const auto& st = sup->stats();
+  u64 pending = 0;
+  u64 incarnations = 0;
+  for (u32 s = 0; s < sup->slot_count(); ++s) {
+    const auto& r = sup->record(s);
+    incarnations += r.incarnation;
+    // Condemned-but-unreaped (the trap's own introspection event fires
+    // before the run loop reaps) or reaped-and-backoff-running.
+    if ((r.live && r.condemned) ||
+        (!r.live && r.health == nova::VmHealth::kCrashed))
+      ++pending;
+    if (r.restarts_in_window > r.policy.max_restarts)
+      add(out, Oracle::kSvRestartLedger,
+          "slot " + std::to_string(s) + " records " +
+              std::to_string(r.restarts_in_window) +
+              " restarts in window, over the policy cap of " +
+              std::to_string(r.policy.max_restarts));
+  }
+  if (st.crashes + st.watchdog_fires !=
+      st.restarts + st.quarantines + pending)
+    add(out, Oracle::kSvRestartLedger,
+        "condemnations " + std::to_string(st.crashes + st.watchdog_fires) +
+            " (crashes " + std::to_string(st.crashes) + " + watchdog " +
+            std::to_string(st.watchdog_fires) + ") != restarts " +
+            std::to_string(st.restarts) + " + quarantines " +
+            std::to_string(st.quarantines) + " + pending " +
+            std::to_string(pending));
+  if (incarnations != st.restarts)
+    add(out, Oracle::kSvRestartLedger,
+        "slot incarnations sum to " + std::to_string(incarnations) +
+            " but the restart stat says " + std::to_string(st.restarts));
+}
+
+// ---- (22) quarantine is terminal and fully accounted ------------------------
+void InvariantSuite::check_sv_quarantine(std::vector<Violation>& out) const {
+  const nova::Supervisor* sup = insp_.supervisor();
+  if (sup == nullptr) return;
+  u64 quarantined = 0;
+  for (u32 s = 0; s < sup->slot_count(); ++s) {
+    const auto& r = sup->record(s);
+    if (r.health != nova::VmHealth::kQuarantined) continue;
+    ++quarantined;
+    if (r.live)
+      add(out, Oracle::kSvQuarantine,
+          "quarantined slot " + std::to_string(s) + " still backs a live VM");
+  }
+  if (quarantined != sup->stats().quarantines)
+    add(out, Oracle::kSvQuarantine,
+        std::to_string(quarantined) + " quarantined slots but the stat says " +
+            std::to_string(sup->stats().quarantines));
 }
 
 }  // namespace minova::fuzz

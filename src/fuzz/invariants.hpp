@@ -50,7 +50,18 @@
 //                      exceed its effective hardware-task quota
 //   kHwCacheValid      every bitstream-cache entry names a task-table
 //                      bitstream and matches its store location
+//   kSvContainment     every live supervisor slot is backed by a kernel PD
+//                      with a guest attached; every torn-down slot holds no
+//                      PdId and sits in a terminal health state
+//   kSvRestartLedger   condemnations balance against outcomes: crashes +
+//                      watchdog fires == restarts + quarantines + pending
+//                      reaps/restarts, and incarnation counts sum to the
+//                      restart stat
+//   kSvQuarantine      a quarantined slot is torn down for good, and the
+//                      quarantine stat equals the quarantined-slot count
 //
+// The three supervisor oracles are vacuous when the kernel runs without a
+// supervisor (the default), so they cost legacy shards nothing.
 // The three SMP oracles are vacuous on a unicore kernel (empty mailboxes,
 // zero epochs, one current), so enabling them costs unicore shards nothing.
 // The four PRR-scheduler oracles are likewise vacuous (or reduce to
@@ -95,6 +106,10 @@ enum class Oracle : u8 {
   kHwSaveRestore,
   kHwQuota,
   kHwCacheValid,
+  // Supervisor oracles (appended so PRR-era digests keep their numbering).
+  kSvContainment,
+  kSvRestartLedger,
+  kSvQuarantine,
   kCount,
 };
 
@@ -147,6 +162,9 @@ class InvariantSuite {
   void check_hw_save_restore(std::vector<Violation>& out) const;
   void check_hw_quota(std::vector<Violation>& out) const;
   void check_hw_cache_valid(std::vector<Violation>& out) const;
+  void check_sv_containment(std::vector<Violation>& out) const;
+  void check_sv_restart_ledger(std::vector<Violation>& out) const;
+  void check_sv_quarantine(std::vector<Violation>& out) const;
 
   const nova::KernelInspector& insp_;
   const hwmgr::ManagerService* mgr_;

@@ -33,7 +33,9 @@ struct Args {
   minova::u64 sabotage = 0;
   minova::u32 sabotage_smp = 0;
   minova::u32 sabotage_hw = 0;
+  minova::u32 sabotage_sv = 0;
   bool hw_sched = false;
+  bool supervisor = false;
   minova::u32 cores = 1;
   minova::u32 threads = 1;
   bool compute = false;
@@ -78,6 +80,17 @@ bool parse(int argc, char** argv, Args& a) {
       // 4 = cache validity).
       if (const char* v = val())
         a.sabotage_hw = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--sabotage-sv") {
+      // Supervisor corruption kind injected at --sabotage's step
+      // (1 = containment, 2 = restart ledger, 3 = quarantine). Implies
+      // nothing by itself: pair with --supervisor.
+      if (const char* v = val())
+        a.sabotage_sv = minova::u32(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--supervisor") {
+      // Supervisor shards: the VM supervisor watches every static chaos VM
+      // (watchdog, fatal-trap containment, restart/quarantine policy) while
+      // the guests deliberately crash, spin and poll their own health.
+      a.supervisor = true;
     } else if (arg == "--hw-sched") {
       // PRR-scheduler shards: priorities + preemptive reclaim, bitstream
       // cache, per-VM quotas and the admission queue, with the chaos guests
@@ -115,9 +128,10 @@ bool parse(int argc, char** argv, Args& a) {
       std::puts(
           "mininova_fuzz [--seed-base N] [--seeds N] [--seed N] [--steps N]\n"
           "              [--heavy N] [--sabotage STEP] [--sabotage-smp K]\n"
-          "              [--sabotage-hw K] [--hw-sched] [--cores N]\n"
-          "              [--threads N] [--compute] [--mt-check]\n"
-          "              [--lifecycle] [--shrink] [--out DIR] [--verbose]");
+          "              [--sabotage-hw K] [--sabotage-sv K] [--hw-sched]\n"
+          "              [--supervisor] [--cores N] [--threads N] [--compute]\n"
+          "              [--mt-check] [--lifecycle] [--shrink] [--out DIR]\n"
+          "              [--verbose]");
       return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -179,7 +193,9 @@ int main(int argc, char** argv) {
     opts.sabotage_step = a.sabotage;
     opts.sabotage_smp_kind = a.sabotage_smp;
     opts.sabotage_hw_kind = a.sabotage_hw;
+    opts.sabotage_sv_kind = a.sabotage_sv;
     opts.hw_sched = a.hw_sched;
+    opts.supervisor = a.supervisor;
     opts.num_cores = a.cores;
     opts.host_threads = a.threads;
     opts.compute = a.compute;

@@ -54,6 +54,33 @@ constexpr u64 kLaneDynBase = 256;  // dynamic VM k uses kLaneDynBase + k
 /// Ceiling on concurrently live dynamic VMs in lifecycle mode.
 constexpr u32 kMaxDynamicVms = 4;
 
+/// Fold one chaos guest's stats into an accumulator (used for both
+/// lifecycle-destroyed dynamic VMs and supervisor-reaped incarnations, so
+/// dead guests' work stays part of the replay contract).
+void fold_chaos(workloads::ChaosStats& acc, const workloads::ChaosStats& s) {
+  acc.ops += s.ops;
+  acc.hypercalls += s.hypercalls;
+  acc.ok += s.ok;
+  acc.rejected += s.rejected;
+  acc.faults += s.faults;
+  acc.virqs += s.virqs;
+  acc.maps += s.maps;
+  acc.hw_grants += s.hw_grants;
+  acc.hw_releases += s.hw_releases;
+  acc.jobs_started += s.jobs_started;
+  acc.ivc_sends += s.ivc_sends;
+  acc.ivc_recvs += s.ivc_recvs;
+  acc.hw_queued += s.hw_queued;
+  acc.hw_regrants += s.hw_regrants;
+  acc.hw_setprios += s.hw_setprios;
+  acc.hw_quota_polls += s.hw_quota_polls;
+  acc.crash_wild_jumps += s.crash_wild_jumps;
+  acc.crash_undefs += s.crash_undefs;
+  acc.crash_wild_stores += s.crash_wild_stores;
+  acc.spin_bursts += s.spin_bursts;
+  acc.health_polls += s.health_polls;
+}
+
 std::string fmt_trace_tail(Platform& platform, std::size_t max_events) {
   const auto events = platform.trace().snapshot();
   const std::size_t n = std::min(events.size(), max_events);
@@ -87,15 +114,16 @@ std::string describe(const ScenarioOptions& opts) {
   std::snprintf(buf, sizeof buf,
                 "seed=%llu steps=%llu vms=%u mask=0x%02x faults=%d hwtask=%d "
                 "ivc=%d mem=%d lc=%d cores=%u threads=%u compute=%d sched=%d "
-                "heavy=%llu sabotage=%llu smpk=%u hwk=%u",
+                "sv=%d heavy=%llu sabotage=%llu smpk=%u hwk=%u svk=%u",
                 (unsigned long long)opts.seed,
                 (unsigned long long)opts.max_steps, opts.num_vms,
                 opts.active_mask, opts.faults ? 1 : 0, opts.hwtask ? 1 : 0,
                 opts.ivc ? 1 : 0, opts.mem_ops ? 1 : 0, opts.lifecycle ? 1 : 0,
                 opts.num_cores, opts.host_threads, opts.compute ? 1 : 0,
-                opts.hw_sched ? 1 : 0, (unsigned long long)opts.heavy_interval,
+                opts.hw_sched ? 1 : 0, opts.supervisor ? 1 : 0,
+                (unsigned long long)opts.heavy_interval,
                 (unsigned long long)opts.sabotage_step, opts.sabotage_smp_kind,
-                opts.sabotage_hw_kind);
+                opts.sabotage_hw_kind, opts.sabotage_sv_kind);
   return buf;
 }
 
@@ -129,6 +157,16 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
   // shootdown. num_cores == 1 is bit-identical to the pre-SMP kernel.
   kcfg.num_cores = opts.num_cores == 0 ? 1 : opts.num_cores;
   kcfg.host_threads = opts.host_threads == 0 ? 1 : opts.host_threads;
+  if (opts.supervisor) {
+    // Supervisor shards: a watchdog tight enough that a spin burst trips it
+    // within a slice or two, and a crash-loop policy small enough that a
+    // persistently crashing guest reaches quarantine inside max_sim_ms.
+    kcfg.supervisor.enabled = true;
+    kcfg.supervisor.watchdog_us = 15'000.0;
+    kcfg.supervisor.max_restarts = 2;
+    kcfg.supervisor.restart_window_us = 120'000.0;
+    kcfg.supervisor.backoff_base_us = 800.0;
+  }
   nova::Kernel kernel(platform, kcfg);
 
   hwmgr::ManagerService manager(kernel);
@@ -149,6 +187,7 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
   // ---- chaos VMs (parameters per (seed, vm index), active set aside) ----
   std::vector<nova::ProtectionDomain*> pds;
   std::vector<workloads::ChaosGuest*> guests;
+  std::vector<workloads::ChaosConfig> cfgs;  // restart factories re-use these
   for (u32 i = 0; i < opts.num_vms; ++i) {
     if (((opts.active_mask >> i) & 1) == 0) continue;
     Derive d(opts.seed, kLaneVmBase + i);
@@ -162,6 +201,9 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     // stream (the shards compare digests across thread counts, not against
     // compute-off runs).
     cfg.compute_fraction = opts.compute ? 0.4 : 0.0;
+    // Likewise constant: the supervisor lane arms fault-seeking behaviour
+    // without shifting any legacy stream.
+    cfg.crash_fraction = opts.supervisor ? 0.01 : 0.0;
     cfg.max_ops_per_step = 2 + u32(d.below(4));
     cfg.vtimer_period_us = 400 + u32(d.below(2400));
     const u32 ntasks = 1 + u32(d.below(3));
@@ -174,15 +216,51 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
                                 std::move(guest));
     pds.push_back(&pd);
     guests.push_back(raw);
+    cfgs.push_back(std::move(cfg));
   }
 
   // ---- IVC ring over the instantiated VMs ----
+  std::vector<std::vector<u32>> vm_channels(pds.size());
   if (opts.ivc && pds.size() >= 2) {
     const u32 nch = pds.size() == 2 ? 1 : u32(pds.size());
     for (u32 k = 0; k < nch; ++k) {
       auto& ch = kernel.create_channel(*pds[k], *pds[(k + 1) % pds.size()]);
       guests[k]->add_ivc_channel(ch.id());
       guests[(k + 1) % pds.size()]->add_ivc_channel(ch.id());
+      vm_channels[k].push_back(ch.id());
+      vm_channels[(k + 1) % pds.size()].push_back(ch.id());
+    }
+  }
+
+  // ---- supervisor lane: watch the static VMs (DESIGN.md §16) ----
+  // Dead incarnations' stats accumulate here (harvested by the observer at
+  // teardown, while the guest object is still alive).
+  workloads::ChaosStats sv_acc{};
+  if (opts.supervisor) {
+    nova::Supervisor* sup = kernel.supervisor();
+    sup->set_observer([&](u32 slot, nova::VmHealth h, nova::PdId,
+                          nova::GuestOs* g) {
+      if (slot >= guests.size()) return;
+      if (h == nova::VmHealth::kCrashed || h == nova::VmHealth::kQuarantined) {
+        if (g != nullptr)
+          fold_chaos(sv_acc, static_cast<workloads::ChaosGuest*>(g)->stats());
+        guests[slot] = nullptr;  // about to be torn down
+      } else {
+        guests[slot] = static_cast<workloads::ChaosGuest*>(g);  // restarted
+      }
+    });
+    for (std::size_t s = 0; s < pds.size(); ++s) {
+      // watch() records the VM's channel memberships, so it must run after
+      // the IVC wiring above; slot index == guests index by construction.
+      sup->watch(*pds[s],
+                 [&, s](u32 inc) -> std::unique_ptr<nova::GuestOs> {
+                   workloads::ChaosConfig c = cfgs[s];
+                   c.ivc_channels = vm_channels[s];
+                   // Independent stream per incarnation: a replacement must
+                   // not replay the crashed instance's exact op sequence.
+                   c.seed = cfgs[s].seed ^ (0x5EED'0000ull + inc);
+                   return std::make_unique<workloads::ChaosGuest>(c);
+                 });
     }
   }
 
@@ -219,7 +297,9 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     if (done) return;
     ++step;
     if (opts.sabotage_step != 0 && step == opts.sabotage_step) {
-      if (opts.sabotage_hw_kind != 0)
+      if (opts.sabotage_sv_kind != 0 && kernel.supervisor() != nullptr)
+        kernel.supervisor()->sabotage_for_test(opts.sabotage_sv_kind);
+      else if (opts.sabotage_hw_kind != 0)
         manager.sabotage_for_test(opts.sabotage_hw_kind);
       else if (opts.sabotage_smp_kind != 0)
         kernel.smp_sabotage_for_test(opts.sabotage_smp_kind);
@@ -251,22 +331,7 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
   // attached guest) is deleted; live dynamic guests are added at the end.
   workloads::ChaosStats dyn_acc{};
   auto fold_stats = [&dyn_acc](const workloads::ChaosStats& s) {
-    dyn_acc.ops += s.ops;
-    dyn_acc.hypercalls += s.hypercalls;
-    dyn_acc.ok += s.ok;
-    dyn_acc.rejected += s.rejected;
-    dyn_acc.faults += s.faults;
-    dyn_acc.virqs += s.virqs;
-    dyn_acc.maps += s.maps;
-    dyn_acc.hw_grants += s.hw_grants;
-    dyn_acc.hw_releases += s.hw_releases;
-    dyn_acc.jobs_started += s.jobs_started;
-    dyn_acc.ivc_sends += s.ivc_sends;
-    dyn_acc.ivc_recvs += s.ivc_recvs;
-    dyn_acc.hw_queued += s.hw_queued;
-    dyn_acc.hw_regrants += s.hw_regrants;
-    dyn_acc.hw_setprios += s.hw_setprios;
-    dyn_acc.hw_quota_polls += s.hw_quota_polls;
+    fold_chaos(dyn_acc, s);
   };
   auto churn = [&]() {
     const u64 roll = lifecycle_d.below(4);
@@ -326,6 +391,9 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
     dg.mix(res.hypercalls);
     dg.mix(platform.fault().injected());
     for (const auto* g : guests) {
+      // A null slot is a supervisor-reaped VM awaiting restart (or
+      // quarantined): its stats were folded into sv_acc at teardown.
+      if (g == nullptr) continue;
       const auto& s = g->stats();
       dg.mix(s.ops);
       dg.mix(s.hypercalls);
@@ -344,6 +412,43 @@ FuzzResult run_scenario(const ScenarioOptions& in) {
         dg.mix(s.hw_regrants);
         dg.mix(s.hw_setprios);
         dg.mix(s.hw_quota_polls);
+      }
+      if (opts.supervisor) {
+        dg.mix(s.crash_wild_jumps);
+        dg.mix(s.crash_undefs);
+        dg.mix(s.crash_wild_stores);
+        dg.mix(s.spin_bursts);
+        dg.mix(s.health_polls);
+      }
+    }
+    if (opts.supervisor) {
+      // Supervisor replay contract: dead incarnations' harvested totals,
+      // the supervisor's own ledger, and each slot's terminal state pin
+      // down the exact crash/restart/quarantine interleaving. Gated on
+      // `supervisor` so every legacy digest keeps its value.
+      dg.mix(sv_acc.ops);
+      dg.mix(sv_acc.hypercalls);
+      dg.mix(sv_acc.ok);
+      dg.mix(sv_acc.rejected);
+      dg.mix(sv_acc.faults);
+      dg.mix(sv_acc.virqs);
+      dg.mix(sv_acc.crash_wild_jumps);
+      dg.mix(sv_acc.crash_undefs);
+      dg.mix(sv_acc.crash_wild_stores);
+      dg.mix(sv_acc.spin_bursts);
+      dg.mix(sv_acc.health_polls);
+      const nova::Supervisor* sup = insp.supervisor();
+      const auto& st = sup->stats();
+      dg.mix(st.crashes);
+      dg.mix(st.watchdog_fires);
+      dg.mix(st.restarts);
+      dg.mix(st.quarantines);
+      for (u32 s2 = 0; s2 < sup->slot_count(); ++s2) {
+        const auto& r = sup->record(s2);
+        dg.mix(r.incarnation);
+        dg.mix(u64(r.health));
+        dg.mix(r.fatal_faults);
+        dg.mix(r.watchdog_fires);
       }
     }
     if (opts.lifecycle) {

@@ -90,6 +90,22 @@ struct ScenarioOptions {
   /// (core-exclusivity). Requires num_cores >= 2.
   u32 sabotage_smp_kind = 0;
 
+  /// Supervisor shards (DESIGN.md §16): run the kernel with the VM
+  /// supervisor enabled, watch every static chaos VM (with a restart
+  /// factory and IVC rebinding), and give the guests fault-seeking
+  /// behaviour (ChaosConfig::crash_fraction) — wild jumps, undefined
+  /// instructions, wild stores, no-yield spin bursts, health self-polls.
+  /// Arms the three sv-* oracles. Changes the RNG streams, so digests
+  /// differ from legacy runs of the same seed (but stay deterministic);
+  /// off keeps every pre-supervisor digest bit-identical.
+  bool supervisor = false;
+  /// When nonzero, `sabotage_step` corrupts *supervisor* state instead:
+  /// 1 = a live record names a PD the kernel lacks (sv-containment),
+  /// 2 = forged restart ledger (sv-restart-ledger), 3 = a live record
+  /// marked quarantined (sv-quarantine). Requires `supervisor`. Takes
+  /// precedence over the hw/smp sabotage kinds.
+  u32 sabotage_sv_kind = 0;
+
   /// Simulated-time ceiling: a scenario whose guests go quiet ends here
   /// even if `max_steps` events never accumulate.
   double max_sim_ms = 400.0;

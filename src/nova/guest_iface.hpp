@@ -27,6 +27,16 @@ enum class StepExit : u8 {
   kHalt,         // guest finished for good
 };
 
+/// Fatal guest exceptions — traps the guest has no handler for (unlike the
+/// forwarded aborts of take_fault). With a supervisor the kernel contains
+/// them to the offending VM; without one they degrade to the legacy
+/// forwarding path (DESIGN.md §16).
+enum class FatalKind : u8 {
+  kUndefinedInsn = 0,  // UNDEF the guest did not register for
+  kPrefetchAbort,      // wild jump: instruction fetch from nowhere
+  kDataAbort,          // wild access with no guest abort handler
+};
+
 class GuestContext {
  public:
   GuestContext(Kernel& kernel, ProtectionDomain& pd, cpu::Core& core)
@@ -72,6 +82,13 @@ class GuestContext {
   /// Report a faulting guest access: runs the kernel's abort-forwarding
   /// path (SIV.C) so the guest's fault handler cost is accounted.
   void take_fault(const mmu::Fault& fault);
+
+  /// Raise a fatal trap (no guest handler exists). Returns true when a
+  /// supervisor contained it — the VM is condemned and the guest MUST
+  /// return StepExit::kHalt from the current step. False means no
+  /// supervisor watches this VM: the trap was charged and forwarded like a
+  /// recoverable abort, and the guest continues. Defined in kernel.cpp.
+  bool raise_fatal(FatalKind kind);
 
   Kernel& kernel() { return kernel_; }
   ProtectionDomain& pd() { return pd_; }

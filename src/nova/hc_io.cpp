@@ -113,12 +113,23 @@ HypercallResult ivc_transfer(KernelOps& ops, ProtectionDomain& caller,
                              const HypercallArgs& args, bool send) {
   HypercallResult res;
   IvcChannel* ch = ops.channel(args.r[0]);
-  if (ch == nullptr || !ch->connects(caller.id())) {
+  // A dead endpoint keeps its PdId on the channel until a supervisor
+  // restart re-binds it; a recycled id matching it must not inherit the
+  // membership — treat it as a stranger.
+  if (ch == nullptr || !ch->connects(caller.id()) ||
+      ch->endpoint_dead(caller.id())) {
     res.status = HcStatus::kNotFound;
     return res;
   }
   auto& core = ops.core();
   if (send) {
+    if (ch->peer_dead(caller.id())) {
+      // Peer-death semantics (DESIGN.md §16): the destroyed peer can never
+      // drain the queue — fail the send instead of filling it. The hangup
+      // virq was latched when the peer died.
+      res.status = HcStatus::kPeerDead;
+      return res;
+    }
     if (!ch->send(core, caller.id(), {args.r[1], args.r[2]})) {
       res.status = HcStatus::kBusy;  // queue full
       return res;
@@ -128,7 +139,10 @@ HypercallResult ivc_transfer(KernelOps& ops, ProtectionDomain& caller,
   } else {
     IvcMessage msg;
     if (!ch->recv(core, caller.id(), msg)) {
-      res.status = HcStatus::kNotFound;  // empty
+      // Empty queue: distinguish "peer is gone for good" from "nothing
+      // yet". In-flight messages from a now-dead peer stay drainable above.
+      res.status = ch->peer_dead(caller.id()) ? HcStatus::kPeerDead
+                                              : HcStatus::kNotFound;
       return res;
     }
     res.r1 = msg.words.empty() ? 0 : msg.words[0];

@@ -154,9 +154,30 @@ HypercallResult set_guest_mode(KernelOps& ops, ProtectionDomain& caller,
   return {};
 }
 
-HypercallResult reg_read(KernelOps&, ProtectionDomain& caller,
+HypercallResult reg_read(KernelOps& ops, ProtectionDomain& caller,
                          const HypercallArgs& args) {
   HypercallResult res;
+  if (args.r[0] == kSvcHealthQuery) {
+    // Supervisor health introspection rides the register-read call (the
+    // 25-hypercall ABI is frozen; same pattern as the kHwQuery* sub-ops).
+    // r1 selects the target PdId, kSvcHealthSelf = the caller itself.
+    Supervisor* sup = ops.supervisor();
+    if (sup == nullptr) {
+      res.status = HcStatus::kNotSupported;
+      return res;
+    }
+    const PdId target =
+        args.r[1] == kSvcHealthSelf ? caller.id() : PdId(args.r[1]);
+    const Supervisor::VmRecord* r = sup->record_for(target);
+    if (r == nullptr) {
+      res.status = HcStatus::kNotFound;
+      return res;
+    }
+    res.r1 = pack_vm_health(u32(r->health), r->incarnation,
+                            r->restarts_in_window, r->forwarded_faults);
+    ops.core().spend(12);  // record lookup + packing
+    return res;
+  }
   if (args.r[1] >= caller.sysregs.size()) {
     res.status = HcStatus::kInvalidArg;
     return res;

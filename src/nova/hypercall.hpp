@@ -102,6 +102,11 @@ enum class HcStatus : i32 {
   kNotFound = -3,
   kNoMemory = -4,
   kNotSupported = -5,
+  /// IVC: the channel's other endpoint was destroyed (a hangup virq was
+  /// latched when it died). Queued messages remain drainable via kIvcRecv;
+  /// sends fail with this status until a supervisor restart re-binds the
+  /// peer (DESIGN.md §16).
+  kPeerDead = -6,
 };
 
 // kHwTaskQuery(0) reconfiguration-state results (returned in r1).
@@ -121,6 +126,24 @@ inline constexpr u32 kHwGrantQueued = 3;     // admission-queued: poll query(0)
 inline constexpr u32 kHwQueryReconfig = 0;  // poll reconfig/queue state
 inline constexpr u32 kHwQuerySetPrio = 1;   // set hw-task priority (r1)
 inline constexpr u32 kHwQueryQuota = 2;     // r1 = (quota << 16) | in_use
+
+// kRegRead(kSvcHealthQuery, target) — supervisor health query (the frozen
+// 25-hypercall ABI means supervisor introspection rides the existing
+// register-read call, like the kHwQuery* sub-ops above). r1 selects the
+// target PdId (kSvcHealthSelf = the caller). Returns kNotSupported when no
+// supervisor is configured, kNotFound for an unwatched PD; on success r1
+// carries the packed health word below.
+inline constexpr u32 kSvcHealthQuery = 0x48454C54u;  // 'HELT'
+inline constexpr u32 kSvcHealthSelf = 0xFFFF'FFFFu;
+// Packed health reply: [31:28] VmHealth, [27:20] incarnation (saturated),
+// [19:16] restarts_in_window (saturated), [15:0] forwarded faults
+// (saturated).
+constexpr u32 pack_vm_health(u32 health, u32 incarnation, u32 in_window,
+                             u32 faults) {
+  return (health << 28) | ((incarnation > 0xFFu ? 0xFFu : incarnation) << 20) |
+         ((in_window > 0xFu ? 0xFu : in_window) << 16) |
+         (faults > 0xFFFFu ? 0xFFFFu : faults);
+}
 
 struct HypercallArgs {
   Hypercall number = Hypercall::kCount;

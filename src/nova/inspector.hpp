@@ -127,6 +127,14 @@ class KernelInspector {
   u64 vms_destroyed() const { return k_.vms_destroyed_; }
 
   u32 channel_count() const { return u32(k_.channels_.size()); }
+  /// Read-only view of one IVC channel (peer-death/rebind oracles).
+  const IvcChannel* channel(u32 id) const {
+    return id < k_.channels_.size() ? k_.channels_[id].get() : nullptr;
+  }
+
+  /// The supervisor subsystem, or nullptr when KernelConfig::supervisor is
+  /// off — the sv-* oracles are vacuous then.
+  const Supervisor* supervisor() const { return k_.sup_.get(); }
 
  private:
   const Kernel& k_;

@@ -40,6 +40,31 @@ bool IvcChannel::recv(cpu::Core& core, PdId receiver, IvcMessage& out) {
   return false;
 }
 
+void IvcChannel::mark_peer_dead(PdId pd) {
+  if (pd == a_) a_dead_ = true;
+  if (pd == b_) b_dead_ = true;
+}
+
+bool IvcChannel::peer_dead(PdId asker) const {
+  return asker == a_ ? b_dead_ : a_dead_;
+}
+
+bool IvcChannel::endpoint_dead(PdId pd) const {
+  if (pd == a_) return a_dead_;
+  if (pd == b_) return b_dead_;
+  return false;
+}
+
+void IvcChannel::rebind(PdId old_id, PdId new_id) {
+  if (a_dead_ && a_ == old_id) {
+    a_ = new_id;
+    a_dead_ = false;
+  } else if (b_dead_ && b_ == old_id) {
+    b_ = new_id;
+    b_dead_ = false;
+  }
+}
+
 std::size_t IvcChannel::pending_for(PdId receiver) const {
   std::size_t n = 0;
   for (const auto& s : queue_)

@@ -35,6 +35,24 @@ class IvcChannel {
   bool connects(PdId pd) const { return pd == a_ || pd == b_; }
   PdId peer_of(PdId pd) const { return pd == a_ ? b_ : a_; }
 
+  // ---- peer-death semantics (DESIGN.md §16) ----
+  /// destroy_vm marks the dying endpoint. The endpoint keeps its PdId (a
+  /// recycled id must not silently inherit the membership — connects() on a
+  /// dead endpoint still answers true, but the status surface reports the
+  /// death) until a supervisor restart re-binds it.
+  void mark_peer_dead(PdId pd);
+  /// True when `asker`'s *peer* endpoint is dead (sends will fail with
+  /// kPeerDead; queued messages remain drainable).
+  bool peer_dead(PdId asker) const;
+  /// True when `pd`'s own endpoint is marked dead (a destroyed VM whose id
+  /// was recycled must not reuse the channel).
+  bool endpoint_dead(PdId pd) const;
+  /// Supervisor restart: swap the dead endpoint `old_id` for `new_id` and
+  /// clear its death mark. Matching requires the death mark, so a live
+  /// endpoint that happens to carry `old_id` (PdId recycling) is never
+  /// touched. No-op when no dead endpoint has `old_id`.
+  void rebind(PdId old_id, PdId new_id);
+
   /// Enqueue towards the peer of `sender`; false when full.
   bool send(cpu::Core& core, PdId sender, std::vector<u32> words);
 
@@ -53,6 +71,7 @@ class IvcChannel {
   u32 id_;
   paddr_t buffer_pa_;
   PdId a_, b_;
+  bool a_dead_ = false, b_dead_ = false;
   u32 capacity_;
   std::deque<Slot> queue_;
 };

@@ -33,6 +33,9 @@ void GuestContext::use_vfp() { kernel_.vfp_access(pd_); }
 void GuestContext::take_fault(const mmu::Fault& fault) {
   kernel_.forward_guest_fault(pd_, fault);
 }
+bool GuestContext::raise_fatal(FatalKind kind) {
+  return kernel_.guest_fatal(pd_, kind);
+}
 
 // Guest memory accessors: one retry after a successful lazy-boot fixup.
 // For an eager VM (or any fault that is not a first touch of an
@@ -114,6 +117,7 @@ void KernelOps::hw_mark_exec_end() {
   kernel_.hw_exec_end_ = kernel_.platform_.clock().now();
 }
 void KernelOps::hw_cancel_sample() { kernel_.hw_req_t0_ = 0; }
+Supervisor* KernelOps::supervisor() { return kernel_.sup_.get(); }
 
 // ---- construction -----------------------------------------------------------
 
@@ -139,6 +143,10 @@ Kernel::Kernel(Platform& platform, const KernelConfig& cfg)
   l2ctrl_owner_.assign(cfg_.num_cores, kInvalidPd);
   if (cfg_.host_threads > 1)
     pool_ = std::make_unique<HostPool>(cfg_.host_threads - 1);
+  // Default-off supervisor (DESIGN.md §16): without it every run-loop and
+  // trap-path hook is a null-pointer test and nothing changes.
+  if (cfg_.supervisor.enabled)
+    sup_ = std::make_unique<Supervisor>(*this, cfg_.supervisor);
   // Debug poisoning of freed kernel objects (host-side writes only).
   heap_.attach_ram(&platform.dram());
   boot();
@@ -349,6 +357,19 @@ bool Kernel::destroy_vm(PdId id) {
   for (auto& owner : l2ctrl_owner_)
     if (owner == id) owner = kInvalidPd;
   if (hw_service_ != nullptr) hw_service_->handle_client_destroyed(id);
+
+  // IVC peer-death semantics: mark the dying endpoint on every channel it
+  // joins and latch a hangup virq for the surviving peer. Subsequent sends
+  // by the survivor get kPeerDead (hc_io.cpp); already-queued messages stay
+  // drainable. The dead endpoint keeps its PdId so a supervisor restart can
+  // re-bind the channel to the replacement VM (IvcChannel::rebind).
+  for (auto& ch : channels_) {
+    if (!ch->connects(id)) continue;
+    ch->mark_peer_dead(id);
+    ProtectionDomain* peer = pd_by_id(ch->peer_of(id));
+    if (peer != nullptr && peer != pd && peer->vgic().is_registered(ch->virq()))
+      peer->vgic().set_pending(ch->virq());
+  }
 
   // The tag's next owner must not inherit this VM's translations — on any
   // lane: flush the dying ASID from every main TLB, every micro-TLB bank,
@@ -590,11 +611,51 @@ u64 Kernel::forward_guest_fault(ProtectionDomain& pd,
     trap.exec(rg_inject_);  // forced jump to the guest handler
   }
   c_guest_faults_.inc();
+  if (sup_ != nullptr) {
+    // A forwarded fault is progress (the guest's handler ran), so it pets
+    // the watchdog — but it also feeds the degrade counter.
+    sup_->pet(pd.id());
+    sup_->on_forwarded_fault(pd.id());
+  }
   platform_.trace().emit(platform_.clock().now(),
                          sim::TraceKind::kGuestFault, fault.fsr_status(),
                          pd.id());
   notify_introspection(KernelEvent::kTrapExit, TrapKind::kGuestFault);
   return guest_faults_;
+}
+
+// ---- fatal guest traps (DESIGN.md §16) --------------------------------------
+
+bool Kernel::guest_fatal(ProtectionDomain& pd, FatalKind kind) {
+  MINOVA_CHECK(!in_parallel_batch_);
+  // Containment verdict first: with a supervisor watching this PD the VM is
+  // condemned here and the run loop reaps it once the step returns.
+  const bool contained = sup_ != nullptr && sup_->on_fatal(pd.id(), kind);
+  auto& core = platform_.cpu();
+  ++guest_faults_;
+  {
+    cpu::Exception exc = cpu::Exception::kDataAbort;
+    if (kind == FatalKind::kUndefinedInsn)
+      exc = cpu::Exception::kUndefined;
+    else if (kind == FatalKind::kPrefetchAbort)
+      exc = cpu::Exception::kPrefetchAbort;
+    TrapGuard trap(core, trap_counters_, exc, rg_vector_,
+                   TrapKind::kGuestFault);
+    trap.exec(rg_abt_);
+    // Synthetic FSR marking the fault fatal (no guest handler): the high
+    // half tags the class, the low bits carry the FatalKind.
+    pd.sysregs[6] = 0xFA7A'0000u | u32(kind);
+    pd.sysregs[7] = 0;
+    // Without a supervisor the kernel has nowhere to contain the trap:
+    // degrade to the legacy forwarding path (inject into the guest's
+    // registered entry) and let the guest continue.
+    if (!contained) trap.exec(rg_inject_);
+  }
+  c_guest_faults_.inc();
+  platform_.trace().emit(platform_.clock().now(), sim::TraceKind::kGuestFault,
+                         0xFA7A'0000u | u32(kind), pd.id());
+  notify_introspection(KernelEvent::kTrapExit, TrapKind::kGuestFault);
+  return contained;
 }
 
 // ---- lazy VFP ---------------------------------------------------------------
@@ -674,6 +735,11 @@ HypercallResult Kernel::hypercall_gate(ProtectionDomain& caller,
     core.mmu().set_dacr(caller.vcpu().dacr());
     core.spend(2);
   }
+
+  // Any hypercall is a liveness signal: the guest is executing its own
+  // logic, not spinning — pet the watchdog (covers IRQ-ack via
+  // kIrqComplete too).
+  if (sup_ != nullptr) sup_->pet(caller.id());
 
   if (hw_req_t0_ != 0) {
     // Table III instrumentation for the hardware-task request path.

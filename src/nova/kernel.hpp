@@ -40,6 +40,7 @@
 #include "nova/kmem.hpp"
 #include "nova/pd.hpp"
 #include "nova/sched.hpp"
+#include "nova/supervisor.hpp"
 #include "nova/trap.hpp"
 #include "util/log.hpp"
 
@@ -128,6 +129,12 @@ struct KernelConfig {
   // charged IRQ operation, making VM creation O(1). Off by default: eager
   // construction is the measured configuration of the paper's tables.
   bool lazy_vm_boot = false;
+
+  // VM supervisor (DESIGN.md §16): fault containment, watchdogs and
+  // crash-loop recovery. Default-off; with `supervisor.enabled` false the
+  // kernel constructs no Supervisor and every simulated number stays
+  // bit-identical to the pre-supervisor kernel.
+  SupervisorConfig supervisor;
 
   // Code-footprint model (bytes of kernel text per path); these sizes give
   // the 5.4 kLOC kernel its cache behaviour. Calibrated against Table III.
@@ -234,6 +241,19 @@ class Kernel {
   u64 forward_guest_fault(ProtectionDomain& pd, const mmu::Fault& fault);
   u64 guest_faults_forwarded() const { return guest_faults_; }
 
+  // ---- fatal guest traps (DESIGN.md §16) ----
+  /// A guest raised a trap it has no handler for (GuestContext::
+  /// raise_fatal). Charges the ABT/UND-class trap choreography; when a
+  /// supervisor watches the PD the fault is contained — the VM is condemned
+  /// and the run loop reaps it after the step returns (the guest must halt) —
+  /// otherwise the trap degrades to the legacy forwarding path and the
+  /// guest continues. Returns true when contained.
+  bool guest_fatal(ProtectionDomain& pd, FatalKind kind);
+
+  /// The supervisor subsystem, or nullptr when KernelConfig::supervisor is
+  /// disabled (the default).
+  Supervisor* supervisor() { return sup_.get(); }
+
   // ---- lazy VM boot (density) ----
   /// A guest-memory access by `pd` faulted at `va` and the PD has no
   /// address space yet: materialize it (charging one abort-class kernel
@@ -306,6 +326,9 @@ class Kernel {
   friend class KernelOps;
   // Read-only facade over kernel state for the fuzzer's invariant oracles.
   friend class KernelInspector;
+  // The supervisor drives destroy_vm/create_vm and the service-call charge
+  // from its reap/restart paths (DESIGN.md §16).
+  friend class Supervisor;
 
   // -- run-loop pieces --
   void boot();
@@ -395,6 +418,9 @@ class Kernel {
   std::vector<std::unique_ptr<IvcChannel>> channels_;
   ProtectionDomain* manager_pd_ = nullptr;
   HwService* hw_service_ = nullptr;
+  // Constructed only when cfg_.supervisor.enabled; every hook in the run
+  // loop and trap paths is gated on `sup_ != nullptr`.
+  std::unique_ptr<Supervisor> sup_;
   std::unique_ptr<mmu::AddressSpace> kernel_space_;
 
   // Kernel code footprint regions.

@@ -24,6 +24,7 @@ namespace minova::nova {
 class Kernel;
 class IvcChannel;
 class HwService;
+class Supervisor;
 
 class KernelOps {
  public:
@@ -72,6 +73,10 @@ class KernelOps {
   void hw_mark_entry_end();
   void hw_mark_exec_end();
   void hw_cancel_sample();
+
+  // ---- supervisor (hc_mem: kSvcHealthQuery) ----
+  /// The VM supervisor, or nullptr when KernelConfig::supervisor is off.
+  Supervisor* supervisor();
 
  private:
   Kernel& kernel_;

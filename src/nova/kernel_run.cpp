@@ -90,6 +90,9 @@ bool Kernel::smp_slice(CoreContext& cc, cycles_t limit, bool allow_defer) {
   platform_.pump();
   drain_ipis(cc);
   handle_pending_irqs();
+  // Crash-loop recovery: restart any crashed slot whose backoff deadline
+  // has passed. Null unless KernelConfig::supervisor is enabled.
+  if (sup_ != nullptr) sup_->poll();
 
   // Wake parked PDs that now have deliverable virtual interrupts. Gated
   // on the parked count so a dense population of runnable VMs never pays
@@ -147,6 +150,25 @@ bool Kernel::smp_slice(CoreContext& cc, cycles_t limit, bool allow_defer) {
   const cycles_t used = clock.now() - t0;
   pd->quantum_left -= std::min(used, pd->quantum_left);
 
+  if (sup_ != nullptr) {
+    // Watchdog accounting: a yield is progress (the guest chose to wait);
+    // anything else charges the step's burn against the liveness budget.
+    // Detectors may condemn the VM here (or already have, inside the step
+    // via guest_fatal) — the reap must happen now, after the step returned
+    // and before the scheduler touches the dying PD again.
+    if (exit == StepExit::kYield)
+      sup_->pet(pd->id());
+    else
+      sup_->on_guest_ran(pd->id(), used);
+    if (sup_->condemned(pd->id())) {
+      // Reap via the full destroy_vm teardown (it dequeues the PD, clears
+      // the current pointer with the MMU fallback, strips ownership and
+      // recycles everything).
+      sup_->reap(*pd);
+      return false;
+    }
+  }
+
   if (exit == StepExit::kHalt) {
     cc.sched.remove(pd);
     if (cc.current == pd) cc.current = nullptr;
@@ -186,6 +208,20 @@ void Kernel::commit_batch_item(BatchStep& s) {
   ProtectionDomain* pd = s.pd;
   const cycles_t used = s.end - s.start;
   pd->quantum_left -= std::min(used, pd->quantum_left);
+  if (sup_ != nullptr) {
+    // Mirror of the inline epilogue. A compute step cannot raise a fatal
+    // (hypercalls/faults are banned there), but its burn still counts
+    // against the watchdog budget — and the budget can trip here.
+    if (s.exit == StepExit::kYield)
+      sup_->pet(pd->id());
+    else
+      sup_->on_guest_ran(pd->id(), used);
+    if (sup_->condemned(pd->id())) {
+      sup_->reap(*pd);
+      cc.local_now = std::max(cc.local_now + 1, s.end);
+      return;
+    }
+  }
   if (s.exit == StepExit::kHalt) {
     cc.sched.remove(pd);
     if (cc.current == pd) cc.current = nullptr;

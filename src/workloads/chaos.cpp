@@ -46,6 +46,24 @@ StepExit ChaosGuest::step(GuestContext& ctx, cycles_t budget) {
     next_compute_ = rng_.next_bool(cfg_.compute_fraction);
     return StepExit::kBudget;
   }
+  if (spin_steps_ > 0) {
+    // Mid-spin: a hung guest burns its whole budget, makes no hypercalls,
+    // never yields and ignores its vIRQs — exactly what the supervisor's
+    // CPU-accumulation watchdog exists to catch.
+    --spin_steps_;
+    spin(ctx, budget);
+    return StepExit::kBudget;
+  }
+  // Fault-seeking draw (short-circuited to zero RNG draws when disabled,
+  // preserving every existing seed digest).
+  if (cfg_.crash_fraction > 0 && rng_.next_bool(cfg_.crash_fraction)) {
+    if (crash_act(ctx)) return StepExit::kHalt;  // contained: VM condemned
+    if (spin_steps_ > 0) {
+      --spin_steps_;
+      spin(ctx, budget);
+      return StepExit::kBudget;
+    }
+  }
   (void)budget;
   const u32 ops = 1 + u32(rng_.next_below(cfg_.max_ops_per_step));
   for (u32 i = 0; i < ops; ++i) {
@@ -94,6 +112,34 @@ void ChaosGuest::compute_burst(GuestContext& ctx, cycles_t budget) {
     ctx.spend_insns(200);
   }
   ++stats_.ops;
+}
+
+bool ChaosGuest::crash_act(GuestContext& ctx) {
+  switch (rng_.next_below(5)) {
+    case 0:  // wild jump: instruction fetch from nowhere
+      ++stats_.crash_wild_jumps;
+      return ctx.raise_fatal(nova::FatalKind::kPrefetchAbort);
+    case 1:  // deliberate undefined instruction
+      ++stats_.crash_undefs;
+      return ctx.raise_fatal(nova::FatalKind::kUndefinedInsn);
+    case 2:  // wild store with no abort handler
+      ++stats_.crash_wild_stores;
+      return ctx.raise_fatal(nova::FatalKind::kDataAbort);
+    case 3:  // no-yield spin burst (hundreds of full-budget steps)
+      ++stats_.spin_bursts;
+      spin_steps_ = 400;
+      return false;
+    default:  // self-observation: am I degraded yet?
+      ++stats_.health_polls;
+      hc(ctx, Hypercall::kRegRead, nova::kSvcHealthQuery,
+         nova::kSvcHealthSelf);
+      return false;
+  }
+}
+
+void ChaosGuest::spin(GuestContext& ctx, cycles_t budget) {
+  const cycles_t t_end = ctx.core_now() + budget;
+  while (ctx.core_now() < t_end) ctx.spend_insns(500);
 }
 
 void ChaosGuest::op_memory(GuestContext& ctx) {
@@ -356,6 +402,9 @@ void ChaosGuest::op_ivc(GuestContext& ctx) {
 
 void ChaosGuest::on_virq(GuestContext& ctx, u32 irq) {
   ++stats_.virqs;
+  // A hung guest services nothing: no register acks, no recv, and — the
+  // part the watchdog relies on — no kIrqComplete hypercall to pet it.
+  if (spin_steps_ > 0) return;
   if (irq < mem::kNumIrqs && mem::is_pl_irq(irq) &&
       held_task_ != hwtask::kInvalidTask && !sw_fallback_) {
     // Job completion: acknowledge DONE/ERROR through the register group.

@@ -47,6 +47,15 @@ struct ChaosConfig {
   // feature entirely — no extra RNG draws, so existing seed digests are
   // untouched.
   double compute_fraction = 0.0;
+  // Probability per step of a fault-seeking behaviour (DESIGN.md §16):
+  // wild jump / deliberate undefined instruction / wild store (each a
+  // fatal trap — with a supervisor the VM is contained and halts; without
+  // one the trap is forwarded and the guest staggers on), a no-yield spin
+  // burst (watchdog bait: hundreds of steps that burn the whole budget
+  // without a hypercall or yield, ignoring vIRQs like a truly hung guest),
+  // or a kSvcHealthQuery self-poll. 0 disables the feature with no extra
+  // RNG draws, so every existing seed digest is untouched.
+  double crash_fraction = 0.0;
 };
 
 struct ChaosStats {
@@ -68,6 +77,12 @@ struct ChaosStats {
   u64 hw_regrants = 0;     // queued grants observed to complete
   u64 hw_setprios = 0;     // priority sub-ops issued
   u64 hw_quota_polls = 0;  // quota sub-ops issued
+  // Fault-seeking surface (all zero unless ChaosConfig::crash_fraction).
+  u64 crash_wild_jumps = 0;   // prefetch-abort fatals raised
+  u64 crash_undefs = 0;       // undefined-instruction fatals raised
+  u64 crash_wild_stores = 0;  // data-abort fatals raised
+  u64 spin_bursts = 0;        // no-yield spin bursts begun
+  u64 health_polls = 0;       // kSvcHealthQuery self-polls issued
 };
 
 class ChaosGuest final : public nova::GuestOs {
@@ -105,6 +120,10 @@ class ChaosGuest final : public nova::GuestOs {
   void touch_memory(nova::GuestContext& ctx);
   void program_job(nova::GuestContext& ctx);
   void compute_burst(nova::GuestContext& ctx, cycles_t budget);
+  /// One fault-seeking act; true when a fatal was contained (the step must
+  /// return StepExit::kHalt — the supervisor reaps this VM).
+  bool crash_act(nova::GuestContext& ctx);
+  void spin(nova::GuestContext& ctx, cycles_t budget);
 
   ChaosConfig cfg_;
   util::Xoshiro256 rng_;
@@ -114,6 +133,7 @@ class ChaosGuest final : public nova::GuestOs {
   hwtask::TaskId held_task_ = hwtask::kInvalidTask;
   bool sw_fallback_ = false;
   bool queued_ = false;  // grant parked on the manager's admission queue
+  u32 spin_steps_ = 0;   // remaining no-yield spin-burst steps
   bool next_compute_ = false;
   u64 burst_pos_ = 0;
   u64 burst_sum_ = 0;

@@ -1,0 +1,151 @@
+// IVC peer-death semantics (DESIGN.md §16): destroying a channel member
+// latches a hangup virq at the survivor, sends to the dead peer fail with an
+// explicit kPeerDead (in both directions — whichever endpoint dies), queued
+// messages from the dead peer stay drainable before recv reports kPeerDead,
+// and a recycled PdId matching the dead endpoint does not inherit the
+// membership.
+#include "nova/ivc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/platform.hpp"
+#include "nova/kernel.hpp"
+#include "stub_guest.hpp"
+
+namespace minova::nova {
+namespace {
+
+using testing::StubGuest;
+
+class IvcPeerDeathTest : public ::testing::Test {
+ protected:
+  IvcPeerDeathTest() : kernel_(platform_) {
+    a_ = &kernel_.create_vm("a", 1, std::make_unique<StubGuest>());
+    b_ = &kernel_.create_vm("b", 1, std::make_unique<StubGuest>());
+    ch_ = &kernel_.create_channel(*a_, *b_);
+    kernel_.run_for_us(200);  // boot both
+  }
+
+  HypercallResult send(ProtectionDomain& pd, u32 word) {
+    GuestContext ctx(kernel_, pd, platform_.cpu());
+    return ctx.hypercall(Hypercall::kIvcSend, ch_->id(), word);
+  }
+
+  HypercallResult recv(ProtectionDomain& pd) {
+    GuestContext ctx(kernel_, pd, platform_.cpu());
+    return ctx.hypercall(Hypercall::kIvcRecv, ch_->id());
+  }
+
+  Platform platform_;
+  Kernel kernel_;
+  ProtectionDomain* a_ = nullptr;
+  ProtectionDomain* b_ = nullptr;
+  IvcChannel* ch_ = nullptr;
+};
+
+TEST_F(IvcPeerDeathTest, SendToDestroyedPeerFailsBothDirections) {
+  // Direction 1: b dies, a's sends fail with the explicit error.
+  ASSERT_EQ(send(*a_, 1).status, HcStatus::kSuccess);
+  ASSERT_TRUE(kernel_.destroy_vm(b_->id()));
+  EXPECT_EQ(send(*a_, 2).status, HcStatus::kPeerDead);
+  EXPECT_TRUE(ch_->peer_dead(a_->id()));
+  EXPECT_TRUE(ch_->endpoint_dead(ch_->peer_of(a_->id())));
+
+  // Direction 2: fresh pair on a fresh channel, the *other* endpoint dies.
+  ProtectionDomain* c = &kernel_.create_vm("c", 1, std::make_unique<StubGuest>());
+  ProtectionDomain* d = &kernel_.create_vm("d", 1, std::make_unique<StubGuest>());
+  IvcChannel& ch2 = kernel_.create_channel(*c, *d);
+  kernel_.run_for_us(200);
+  const PdId c_id = c->id();
+  GuestContext dctx(kernel_, *d, platform_.cpu());
+  ASSERT_EQ(dctx.hypercall(Hypercall::kIvcSend, ch2.id(), 7).status,
+            HcStatus::kSuccess);
+  ASSERT_TRUE(kernel_.destroy_vm(c_id));
+  EXPECT_EQ(dctx.hypercall(Hypercall::kIvcSend, ch2.id(), 8).status,
+            HcStatus::kPeerDead);
+}
+
+TEST_F(IvcPeerDeathTest, HangupVirqLatchedAtTheSurvivor) {
+  ASSERT_TRUE(b_->vgic().is_registered(ch_->virq()));
+  // Like a real guest, the survivor registers an IRQ entry point and
+  // unmasks the channel virq before relying on it (registration alone
+  // leaves the source disabled and undeliverable).
+  GuestContext bctx(kernel_, *b_, platform_.cpu());
+  ASSERT_EQ(bctx.hypercall(Hypercall::kIrqSetEntry, 0, 0x8000).status,
+            HcStatus::kSuccess);
+  ASSERT_EQ(bctx.hypercall(Hypercall::kIrqEnable, ch_->virq()).status,
+            HcStatus::kSuccess);
+  ASSERT_TRUE(kernel_.destroy_vm(a_->id()));
+  // The destroy latched the channel virq at the survivor: the next slice
+  // delivers it like any IVC notification (the guest records it).
+  ASSERT_TRUE(b_->vgic().any_deliverable());
+  auto* guest_b = static_cast<StubGuest*>(b_->guest());
+  const auto before = guest_b->virqs.size();
+  const u64 steps_before = guest_b->steps;
+  kernel_.run_for_us(2'000);
+  ASSERT_GT(guest_b->steps, steps_before);
+  ASSERT_FALSE(b_->vgic().any_deliverable());
+  bool saw_hangup = false;
+  for (std::size_t i = before; i < guest_b->virqs.size(); ++i)
+    if (guest_b->virqs[i] == ch_->virq()) saw_hangup = true;
+  EXPECT_TRUE(saw_hangup);
+}
+
+TEST_F(IvcPeerDeathTest, QueuedMessagesDrainBeforePeerDead) {
+  ASSERT_EQ(send(*a_, 11).status, HcStatus::kSuccess);
+  ASSERT_EQ(send(*a_, 22).status, HcStatus::kSuccess);
+  ASSERT_TRUE(kernel_.destroy_vm(a_->id()));
+
+  // In-flight messages from the dead sender are still worth delivering.
+  auto r = recv(*b_);
+  ASSERT_EQ(r.status, HcStatus::kSuccess);
+  EXPECT_EQ(r.r1, 11u);
+  r = recv(*b_);
+  ASSERT_EQ(r.status, HcStatus::kSuccess);
+  EXPECT_EQ(r.r1, 22u);
+  // Queue empty + peer gone: the terminal error, not a retryable "empty".
+  EXPECT_EQ(recv(*b_).status, HcStatus::kPeerDead);
+}
+
+TEST_F(IvcPeerDeathTest, RecycledPdIdDoesNotInheritMembership) {
+  const PdId dead_id = a_->id();
+  ASSERT_TRUE(kernel_.destroy_vm(dead_id));
+
+  // LIFO recycling hands the next VM the dead endpoint's exact id. The
+  // channel still names that id (a supervisor restart would re-bind it),
+  // but the impostor is a stranger: both directions must refuse it.
+  ProtectionDomain* imp =
+      &kernel_.create_vm("impostor", 1, std::make_unique<StubGuest>());
+  ASSERT_EQ(imp->id(), dead_id);
+  ASSERT_TRUE(ch_->connects(dead_id));
+  EXPECT_TRUE(ch_->endpoint_dead(dead_id));
+  EXPECT_EQ(send(*imp, 99).status, HcStatus::kNotFound);
+  EXPECT_EQ(recv(*imp).status, HcStatus::kNotFound);
+
+  // The survivor still gets the peer-dead error, not a revived peer.
+  EXPECT_EQ(send(*b_, 1).status, HcStatus::kPeerDead);
+}
+
+TEST_F(IvcPeerDeathTest, RebindRevivesExactlyTheDeadEndpoint) {
+  const PdId dead_id = a_->id();
+  ASSERT_TRUE(kernel_.destroy_vm(dead_id));
+  ProtectionDomain* fresh =
+      &kernel_.create_vm("fresh", 1, std::make_unique<StubGuest>());
+  ASSERT_EQ(fresh->id(), dead_id);  // recycled: rebind must still be safe
+  kernel_.run_for_us(200);
+
+  // rebind() requires the dead flag, so it cannot mis-match a live member;
+  // after it, the fresh PD is a first-class member again.
+  ch_->rebind(dead_id, fresh->id());
+  EXPECT_FALSE(ch_->endpoint_dead(fresh->id()));
+  EXPECT_EQ(send(*fresh, 5).status, HcStatus::kSuccess);
+  auto r = recv(*b_);
+  ASSERT_EQ(r.status, HcStatus::kSuccess);
+  EXPECT_EQ(r.r1, 5u);
+  EXPECT_EQ(send(*b_, 6).status, HcStatus::kSuccess);
+}
+
+}  // namespace
+}  // namespace minova::nova
